@@ -1,0 +1,26 @@
+# Convenience targets for the ObjectMath reproduction.
+
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/bearing_sim.exe
+	dune exec examples/powerplant_sim.exe
+	dune exec examples/heat_equation.exe
+	dune exec examples/scaling_study.exe
+	dune exec examples/dam_safety.exe
+
+clean:
+	dune clean

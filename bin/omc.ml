@@ -1,0 +1,423 @@
+(* omc — the ObjectMath reproduction compiler driver.
+
+   Subcommands mirror the paper's toolchain (Figure 7): [analyze] performs
+   the dependency/SCC analysis, [compile] runs the code generator and
+   emits Fortran 90 / C, [simulate] integrates the model, and [bench]
+   executes the generated RHS on a simulated parallel machine. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- shared arguments ---- *)
+
+let builtin_models =
+  [
+    ("bearing2d", fun () -> Om_models.Bearing2d.source ());
+    ("powerplant", fun () -> Om_models.Powerplant.source ());
+    ("servo", fun () -> Om_models.Servo.source ());
+    ("bearing3d", fun () -> Om_models.Bearing_scaled.source ());
+  ]
+
+let model_source file builtin =
+  match (file, builtin) with
+  | Some path, None -> Ok (read_file path)
+  | None, Some name -> (
+      match List.assoc_opt name builtin_models with
+      | Some f -> Ok (f ())
+      | None ->
+          Error
+            (Printf.sprintf "unknown builtin model %s (available: %s)" name
+               (String.concat ", " (List.map fst builtin_models))))
+  | Some _, Some _ -> Error "give either FILE or --model, not both"
+  | None, None -> Error "a model is required: FILE or --model NAME"
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"ObjectMath model source file.")
+
+let builtin_arg =
+  Arg.(value & opt (some string) None
+       & info [ "model" ] ~docv:"NAME"
+           ~doc:"Use a builtin model: bearing2d, powerplant, servo, \
+                 bearing3d.")
+
+let load file builtin =
+  match model_source file builtin with
+  | Error e ->
+      Printf.eprintf "omc: %s\n" e;
+      exit 2
+  | Ok src -> (
+      match Om_lang.Flatten.flatten_string src with
+      | fm -> (src, fm)
+      | exception Om_lang.Flatten.Error msg ->
+          Printf.eprintf "omc: semantic error: %s\n" msg;
+          exit 1
+      | exception Om_lang.Parser.Error (msg, pos) ->
+          Printf.eprintf "omc: syntax error at %d:%d: %s\n" pos.line pos.col
+            msg;
+          exit 1
+      | exception Om_lang.Lexer.Error (msg, pos) ->
+          Printf.eprintf "omc: lexical error at %d:%d: %s\n" pos.line pos.col
+            msg;
+          exit 1)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run file builtin dot_path =
+    let _, fm = load file builtin in
+    let a = Om_codegen.Pipeline.analyse fm in
+    Printf.printf "model %s: %d equations, %d SCCs (%d nontrivial)\n" fm.name
+      (Om_lang.Flat_model.dim fm) a.comps.count
+      (List.length a.nontrivial);
+    Array.iteri
+      (fun k members ->
+        Printf.printf "  SCC %2d (%d): %s\n" k (List.length members)
+          (String.concat ", "
+             (List.map (Om_graph.Digraph.label a.graph) members)))
+      a.comps.members;
+    let layers = Om_graph.Topo.layers a.condensed in
+    Printf.printf "condensation: %d layers (critical path)\n"
+      (List.length layers);
+    Printf.printf "max equation-system-level speedup: %.2f\n"
+      (Om_sched.Dag_sched.max_speedup a.condensed ~weights:a.scc_weights);
+    Format.printf "%a" Om_codegen.Diagnostics.pp
+      (Om_codegen.Diagnostics.analyse fm);
+    match dot_path with
+    | Some path ->
+        Om_graph.Dot.save path (Om_graph.Dot.with_components a.graph a.comps);
+        Printf.printf "dependency graph written to %s\n" path
+    | None -> ()
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"PATH" ~doc:"Write a Graphviz graph.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Dependency and SCC analysis (paper fig. 3/6)")
+    Term.(const run $ file_arg $ builtin_arg $ dot)
+
+(* ---- browse ---- *)
+
+let browse_cmd =
+  let run file builtin dot_path =
+    let src, _ = load file builtin in
+    let ast = Om_lang.Parser.parse_model src in
+    Printf.printf "inheritance hierarchy:\n%s\n"
+      (Om_lang.Browser.inheritance_tree ast);
+    Printf.printf "composition structure:\n%s"
+      (Om_lang.Browser.composition_tree ast);
+    match dot_path with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Om_lang.Browser.to_dot ast);
+        close_out oc;
+        Printf.printf "\nstructure graph written to %s\n" path
+    | None -> ()
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"PATH" ~doc:"Write a Graphviz graph.")
+  in
+  Cmd.v
+    (Cmd.info "browse"
+       ~doc:"Show the model's class hierarchy and composition (paper fig. 5)")
+    Term.(const run $ file_arg $ builtin_arg $ dot)
+
+(* ---- flatten ---- *)
+
+let flatten_cmd =
+  let run file builtin unparse_out =
+    let _, fm = load file builtin in
+    Printf.printf "model %s: %d state variables\n" fm.name
+      (Om_lang.Flat_model.dim fm);
+    List.iter
+      (fun (s, v) -> Printf.printf "  %-28s init %g\n" s v)
+      fm.states;
+    List.iter
+      (fun (s, e) ->
+        Format.printf "  der(%s) =@[<hov 2> %a@]@." s Om_expr.Expr.pp e)
+      fm.equations;
+    match unparse_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Om_lang.Unparse.flat_model fm);
+        close_out oc;
+        Printf.printf "flat model source written to %s\n" path
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "unparse" ] ~docv:"PATH"
+             ~doc:"Write the flat model back as model source text.")
+  in
+  Cmd.v
+    (Cmd.info "flatten"
+       ~doc:"Flatten classes/instances into explicit first-order ODEs")
+    Term.(const run $ file_arg $ builtin_arg $ out)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run file builtin out_prefix serial =
+    let src, fm = load file builtin in
+    let r = Om_codegen.Pipeline.compile fm in
+    let stats = Om_codegen.Stats.collect ~source:src r in
+    Format.printf "%a@." Om_codegen.Stats.pp stats;
+    let state_names = Om_lang.Flat_model.state_names fm in
+    let initial = Om_lang.Flat_model.initial_values fm in
+    let mode_f, mode_c, suffix =
+      if serial then (Om_codegen.Fortran.Serial, Om_codegen.C_backend.Serial, "serial")
+      else (Om_codegen.Fortran.Parallel, Om_codegen.C_backend.Parallel, "parallel")
+    in
+    match out_prefix with
+    | None -> ()
+    | Some prefix ->
+        let f =
+          Om_codegen.Fortran.generate ~mode:mode_f r.plan ~state_names
+            ~initial ~model_name:fm.name
+        in
+        let c =
+          Om_codegen.C_backend.generate ~mode:mode_c r.plan ~state_names
+            ~initial ~model_name:fm.name
+        in
+        let write path text =
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc text);
+          Printf.printf "wrote %s\n" path
+        in
+        write (Printf.sprintf "%s_%s.f90" prefix suffix) f.code;
+        write (Printf.sprintf "%s_%s.c" prefix suffix) c.code;
+        let jac =
+          Om_codegen.Jacobian_gen.fortran
+            (Om_codegen.Jacobian_gen.generate fm)
+            ~state_names ~model_name:fm.name
+        in
+        write (Printf.sprintf "%s_jacobian.f90" prefix) jac.code;
+        let mma = Om_codegen.Mathematica_backend.generate fm in
+        write (Printf.sprintf "%s.m" prefix) mma.code
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"PREFIX"
+             ~doc:"Write generated Fortran 90 and C code to PREFIX_*.f90/.c.")
+  in
+  let serial =
+    Arg.(value & flag
+         & info [ "serial" ] ~doc:"Generate serial code (global CSE).")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Run the code generator and report statistics")
+    Term.(const run $ file_arg $ builtin_arg $ out $ serial)
+
+(* ---- simulate ---- *)
+
+(* Start values from a text file, one "name value" pair per line — the
+   paper's §3.2 requirement that "the start values for the simulation can
+   be changed without re-compilation of the application". *)
+let read_start_values path fm =
+  let y0 = Om_lang.Flat_model.initial_values fm in
+  let names = Om_lang.Flat_model.state_names fm in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then
+             match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+             | [ name; value ] -> (
+                 match Array.find_index (( = ) name) names with
+                 | Some i -> y0.(i) <- float_of_string value
+                 | None ->
+                     Printf.eprintf "omc: unknown state %s in %s\n" name path;
+                     exit 1)
+             | _ ->
+                 Printf.eprintf "omc: malformed line in %s: %s\n" path line;
+                 exit 1
+         done
+       with End_of_file -> ());
+      y0)
+
+let simulate_cmd =
+  let run file builtin tend solver hstep csv plot init_file =
+    let _, fm = load file builtin in
+    let sys = Om_ode.Odesys.of_equations fm.equations in
+    let y0 =
+      match init_file with
+      | Some path -> read_start_values path fm
+      | None -> Om_lang.Flat_model.initial_values fm
+    in
+    let trajectory =
+      match solver with
+      | "lsoda" ->
+          (Om_ode.Lsoda.integrate sys ~t0:0. ~y0 ~tend).trajectory
+      | "rkf45" -> Om_ode.Rk.rkf45 sys ~t0:0. ~y0 ~tend
+      | "rk4" ->
+          let h = match hstep with Some h -> h | None -> tend /. 1000. in
+          Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0:0. ~y0 ~tend ~h
+      | other ->
+          Printf.eprintf "omc: unknown solver %s (lsoda, rkf45, rk4)\n" other;
+          exit 2
+    in
+    Printf.printf
+      "simulated %s to t=%g: %d steps, %d RHS calls, %d Jacobians\n" fm.name
+      tend sys.counters.steps sys.counters.rhs_calls sys.counters.jac_calls;
+    if csv then begin
+      Printf.printf "t,%s\n"
+        (String.concat "," (Array.to_list sys.names));
+      Array.iteri
+        (fun k t ->
+          Printf.printf "%g,%s\n" t
+            (String.concat ","
+               (Array.to_list
+                  (Array.map (Printf.sprintf "%g") trajectory.states.(k)))))
+        trajectory.ts
+    end
+    else begin
+      let yf = Om_ode.Odesys.final_state trajectory in
+      Printf.printf "final state:\n";
+      Array.iteri
+        (fun i n -> Printf.printf "  %-24s % .6e\n" n yf.(i))
+        sys.names
+    end;
+    match plot with
+    | None -> ()
+    | Some path ->
+        (* Plot the first few state variables over time. *)
+        let n_plot = min 6 sys.dim in
+        let all =
+          List.init n_plot (fun i ->
+              Om_viz.Plot.of_arrays sys.names.(i) trajectory.ts
+                (Array.map (fun y -> y.(i)) trajectory.states))
+        in
+        Om_viz.Plot.save_svg ~path
+          ~title:(Printf.sprintf "%s trajectory" fm.name)
+          ~x_label:"t" all;
+        Printf.printf "trajectory plot written to %s\n" path
+  in
+  let tend =
+    Arg.(value & opt float 1.0
+         & info [ "tend" ] ~docv:"T" ~doc:"Simulation end time.")
+  in
+  let solver =
+    Arg.(value & opt string "lsoda"
+         & info [ "solver" ] ~docv:"NAME" ~doc:"lsoda, rkf45 or rk4.")
+  in
+  let hstep =
+    Arg.(value & opt (some float) None
+         & info [ "step" ] ~docv:"H" ~doc:"Fixed step size for rk4.")
+  in
+  let csv =
+    Arg.(value & flag
+         & info [ "csv" ] ~doc:"Print the whole trajectory as CSV.")
+  in
+  let plot =
+    Arg.(value & opt (some string) None
+         & info [ "plot" ] ~docv:"PATH"
+             ~doc:"Write an SVG plot of the first state variables.")
+  in
+  let init_file =
+    Arg.(value & opt (some file) None
+         & info [ "init" ] ~docv:"FILE"
+             ~doc:"Read start values from FILE (one 'state value' per                    line) instead of the model's init expressions.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Integrate the model's ODE system")
+    Term.(const run $ file_arg $ builtin_arg $ tend $ solver $ hstep $ csv
+          $ plot $ init_file)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let run file builtin machine workers tend needed_only semidynamic fanout =
+    let _, fm = load file builtin in
+    let r = Om_codegen.Pipeline.compile fm in
+    let m =
+      match machine with
+      | "sparc" -> Om_machine.Machine.sparccenter_2000
+      | "parsytec" -> Om_machine.Machine.parsytec_gcpp
+      | "mpp" -> Om_machine.Machine.t3d_class_mpp
+      | other ->
+          Printf.eprintf "omc: unknown machine %s (sparc, parsytec, mpp)\n"
+            other;
+          exit 2
+    in
+    let config =
+      {
+        Objectmath.Runtime.machine = m;
+        nworkers = workers;
+        strategy =
+          (if needed_only then Om_machine.Supervisor.Needed_only
+           else Om_machine.Supervisor.Broadcast_state);
+        scheduling =
+          (match semidynamic with
+          | Some period -> Objectmath.Runtime.Semidynamic period
+          | None -> Objectmath.Runtime.Static);
+        topology =
+          (match fanout with
+          | Some f -> Objectmath.Runtime.Tree f
+          | None -> Objectmath.Runtime.Flat);
+      }
+    in
+    let rep = Objectmath.Runtime.execute ~config ~tend r in
+    Printf.printf
+      "%s on %s with %d workers:\n  %d RHS calls in %.4f simulated s -> \
+       %.1f calls/s\n  supervisor messaging: %.4f s\n"
+      fm.name m.name workers rep.rhs_calls rep.sim_seconds
+      rep.rhs_calls_per_sec rep.supervisor_comm_seconds;
+    let sp =
+      Objectmath.Runtime.speedup ~machine:m ~nworkers:(max 1 workers) r
+    in
+    Printf.printf "  static speedup vs local evaluation: %.2fx\n" sp
+  in
+  let machine =
+    Arg.(value & opt string "sparc"
+         & info [ "machine" ] ~docv:"NAME" ~doc:"sparc or parsytec.")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker processors.")
+  in
+  let tend =
+    Arg.(value & opt float 1e-3
+         & info [ "tend" ] ~docv:"T" ~doc:"Simulated model time.")
+  in
+  let needed_only =
+    Arg.(value & flag
+         & info [ "needed-only" ]
+             ~doc:"Ship only the state entries each worker reads.")
+  in
+  let semidynamic =
+    Arg.(value & opt (some int) None
+         & info [ "semidynamic" ] ~docv:"PERIOD"
+             ~doc:"Semi-dynamic LPT rescheduling every PERIOD iterations.")
+  in
+  let fanout =
+    Arg.(value & opt (some int) None
+         & info [ "tree" ] ~docv:"FANOUT"
+             ~doc:"Tree-structured scatter/gather with the given fanout.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Execute the generated RHS on a simulated parallel machine")
+    Term.(const run $ file_arg $ builtin_arg $ machine $ workers $ tend
+          $ needed_only $ semidynamic $ fanout)
+
+let () =
+  let doc = "ObjectMath reproduction compiler (PPoPP 1995)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "omc" ~doc)
+          [
+            analyze_cmd; browse_cmd; flatten_cmd; compile_cmd; simulate_cmd;
+            bench_cmd;
+          ]))

@@ -1,0 +1,64 @@
+(* PDE extension (paper §6 future work): discretise a PDE with the method
+   of lines and push the resulting large ODE system through exactly the
+   same analysis / code generation / parallel execution pipeline as the
+   mechanical models.
+
+   Run with:  dune exec examples/heat_equation.exe *)
+
+module Dz = Om_pde.Discretize
+module Fm = Om_lang.Flat_model
+
+let () =
+  (* 1. A 1D advection-diffusion problem on 200 nodes. *)
+  let m = Dz.advection_diffusion_1d ~n:201 ~speed:1. ~alpha:0.005 () in
+  Printf.printf "advection-diffusion, 201 nodes -> %d ODEs\n" (Fm.dim m);
+
+  (* 2. Solve it and watch the pulse travel. *)
+  let sys = Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false
+      m.equations
+  in
+  let y0 = Fm.initial_values m in
+  let tr = Om_ode.Rk.rkf45 sys ~t0:0. ~y0 ~tend:0.4 in
+  let profile y =
+    (* A coarse ASCII rendering of the field. *)
+    String.init 66 (fun k ->
+        let i = k * (Array.length y - 1) / 65 in
+        let v = y.(i) in
+        if v > 0.75 then '#'
+        else if v > 0.5 then '+'
+        else if v > 0.25 then '-'
+        else if v > 0.05 then '.'
+        else ' ')
+  in
+  Printf.printf "\npulse transport (t = 0, 0.2, 0.4):\n";
+  Printf.printf "  |%s|\n" (profile tr.states.(0));
+  let mid =
+    let n = Array.length tr.ts in
+    let rec find i = if tr.ts.(i) >= 0.2 then i else find (i + 1) in
+    min (n - 1) (find 0)
+  in
+  Printf.printf "  |%s|\n" (profile tr.states.(mid));
+  Printf.printf "  |%s|\n" (profile (Om_ode.Odesys.final_state tr));
+
+  (* 3. The same parallel code generation as for the bearing. *)
+  let r = Om_codegen.Pipeline.compile m in
+  Printf.printf "\ncode generation: %d tasks, %.1f kflop per RHS call\n"
+    (Array.length r.tasks)
+    (Om_sched.Task.total_cost r.tasks /. 1000.);
+  List.iter
+    (fun w ->
+      let sp =
+        Objectmath.Runtime.speedup
+          ~machine:Om_machine.Machine.sparccenter_2000 ~nworkers:w r
+      in
+      Printf.printf "  SPARC, %d workers: speedup %.2f\n" w sp)
+    [ 2; 4; 7 ];
+
+  (* 4. The generated Jacobian is tridiagonal: stiff diffusion problems
+     integrate cheaply with BDF + sparse analytic Jacobian. *)
+  let jg = Om_codegen.Jacobian_gen.generate m in
+  Printf.printf
+    "\ngenerated Jacobian: %d nonzeros (%.1f%% dense) — banded, as the\n\
+     5-point/3-point stencils promise\n"
+    (Om_codegen.Jacobian_gen.nonzero_count jg)
+    (100. *. Om_codegen.Jacobian_gen.density jg)

@@ -1,0 +1,17 @@
+type t = {
+  state : string;
+  target : string;
+  state_index : int;
+  rhs : Om_expr.Expr.t;
+}
+
+let target_of_state s = s ^ "$dot"
+
+let of_flat_model (m : Om_lang.Flat_model.t) =
+  Array.of_list
+    (List.mapi
+       (fun i (state, rhs) ->
+         { state; target = target_of_state state; state_index = i; rhs })
+       m.equations)
+
+let cost a = Om_expr.Cost.flops_mean a.rhs

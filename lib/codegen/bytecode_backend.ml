@@ -1,0 +1,179 @@
+type cse_scope = Cse_none | Cse_per_task | Cse_global
+
+type compiled_task = {
+  id : int;
+  label : string;
+  eval : unit -> unit;
+  measured_eval : unit -> float;
+  static_cost : float;
+  reads : int list;
+  writes : int list;
+}
+
+type t = {
+  dim : int;
+  n_slots : int;
+  tasks : compiled_task array;
+  set_state : float -> float array -> unit;
+  out : float array;
+  run_epilogue : unit -> unit;
+  epilogue_flops : float;
+  state_names : string array;
+  cse_temp_total : int;
+}
+
+let slot_target slot = Printf.sprintf "slot$%d" slot
+
+let slot_of_target s =
+  match String.index_opt s '$' with
+  | Some i ->
+      int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+  | None -> invalid_arg "Bytecode_backend: bad slot target"
+
+let compile ?(scope = Cse_per_task) (plan : Partition.plan) ~state_names =
+  let dim = plan.dim in
+  if Array.length state_names <> dim then
+    invalid_arg "Bytecode_backend.compile: state_names length mismatch";
+  let info = Comm_analysis.analyse plan ~state_names in
+  (* One CSE block per compiled task. *)
+  let blocks =
+    match scope with
+    | Cse_none ->
+        Array.to_list plan.tasks
+        |> List.map (fun (tk : Partition.task) ->
+               let targets =
+                 List.map (fun (s, e) -> (slot_target s, e)) tk.roots
+               in
+               ( tk.tid,
+                 tk.label,
+                 { Cse.temps = []; roots = targets },
+                 info.reads.(tk.tid),
+                 info.writes.(tk.tid) ))
+    | Cse_per_task ->
+        Array.to_list plan.tasks
+        |> List.map (fun (tk : Partition.task) ->
+               let targets =
+                 List.map (fun (s, e) -> (slot_target s, e)) tk.roots
+               in
+               let block =
+                 Cse.eliminate
+                   ~prefix:(Printf.sprintf "cse$%d$" tk.tid)
+                   targets
+               in
+               (tk.tid, tk.label, block, info.reads.(tk.tid),
+                info.writes.(tk.tid)))
+    | Cse_global ->
+        let targets =
+          Array.to_list plan.tasks
+          |> List.concat_map (fun (tk : Partition.task) ->
+                 List.map (fun (s, e) -> (slot_target s, e)) tk.roots)
+        in
+        let block = Cse.eliminate ~prefix:"cse$g$" targets in
+        let module Iset = Set.Make (Int) in
+        let union a =
+          Array.fold_left
+            (fun acc l -> List.fold_left (fun s x -> Iset.add x s) acc l)
+            Iset.empty a
+          |> Iset.elements
+        in
+        [ (0, "serial", block, union info.reads, union info.writes) ]
+  in
+  (* Environment: states, time, then every temp of every block. *)
+  let temp_names =
+    List.concat_map
+      (fun (_, _, (b : Cse.block), _, _) ->
+        List.map (fun (t : Cse.binding) -> t.name) b.temps)
+      blocks
+  in
+  let names =
+    Array.concat
+      [ state_names; [| "t" |]; Array.of_list temp_names ]
+  in
+  let env = Array.make (Array.length names) 0. in
+  let slot_of_name =
+    let h = Hashtbl.create 64 in
+    Array.iteri (fun i n -> Hashtbl.replace h n i) names;
+    fun n ->
+      match Hashtbl.find_opt h n with
+      | Some i -> i
+      | None -> invalid_arg ("Bytecode_backend: unknown name " ^ n)
+  in
+  let out = Array.make (Partition.n_slots plan) 0. in
+  let compile_block (id, label, (block : Cse.block), reads, writes) =
+    let temp_steps =
+      List.map
+        (fun (b : Cse.binding) ->
+          (slot_of_name b.name, Om_expr.Eval.eval_fn names b.expr))
+        block.temps
+    in
+    let root_steps =
+      List.map
+        (fun (target, e) ->
+          (slot_of_target target, Om_expr.Eval.eval_fn names e))
+        block.roots
+    in
+    let eval () =
+      List.iter (fun (slot, f) -> env.(slot) <- f env) temp_steps;
+      List.iter (fun (slot, f) -> out.(slot) <- f env) root_steps
+    in
+    let temp_msteps =
+      List.map
+        (fun (b : Cse.binding) ->
+          (slot_of_name b.name, Om_expr.Cost_dyn.build names b.expr))
+        block.temps
+    in
+    let root_msteps =
+      List.map
+        (fun (target, e) ->
+          (slot_of_target target, Om_expr.Cost_dyn.build names e))
+        block.roots
+    in
+    let measured_eval () =
+      let acc = ref 0. in
+      List.iter (fun (slot, f) -> env.(slot) <- f env acc) temp_msteps;
+      List.iter (fun (slot, f) -> out.(slot) <- f env acc) root_msteps;
+      !acc
+    in
+    {
+      id;
+      label;
+      eval;
+      measured_eval;
+      static_cost = Cse.block_cost block;
+      reads;
+      writes;
+    }
+  in
+  let tasks = Array.of_list (List.map compile_block blocks) in
+  let set_state t y =
+    Array.blit y 0 env 0 dim;
+    env.(dim) <- t
+  in
+  let epilogue = plan.epilogue in
+  let run_epilogue () =
+    List.iter
+      (fun (deriv, slots) ->
+        let acc = ref 0. in
+        List.iter (fun s -> acc := !acc +. out.(s)) slots;
+        out.(deriv) <- !acc)
+      epilogue
+  in
+  {
+    dim;
+    n_slots = Partition.n_slots plan;
+    tasks;
+    set_state;
+    out;
+    run_epilogue;
+    epilogue_flops = plan.epilogue_flops;
+    state_names;
+    cse_temp_total = List.length temp_names;
+  }
+
+let rhs_fn c t y ydot =
+  c.set_state t y;
+  Array.iter (fun tk -> tk.eval ()) c.tasks;
+  c.run_epilogue ();
+  Array.blit c.out 0 ydot 0 c.dim
+
+let task_costs_static c = Array.map (fun tk -> tk.static_cost) c.tasks

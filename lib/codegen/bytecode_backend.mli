@@ -1,0 +1,47 @@
+(** Executable backend: compile a partition plan into OCaml closures.
+
+    The paper's generated Fortran 90 is compiled by an F90 compiler and
+    linked with the runtime; here the equivalent executable artifact is a
+    set of closures over a shared value environment, which the sequential
+    driver and the machine simulator both call.  Semantics match the
+    textual backends exactly (same temps, same evaluation order). *)
+
+type cse_scope =
+  | Cse_none
+  | Cse_per_task  (** parallel mode: no sharing across tasks (§3.3) *)
+  | Cse_global  (** serial mode: one task, sharing everywhere *)
+
+type compiled_task = {
+  id : int;
+  label : string;
+  eval : unit -> unit;
+      (** evaluate temps then roots; reads the state environment set by
+          {!set_state}, writes into {!out} *)
+  measured_eval : unit -> float;
+      (** like [eval] but returns the branch-resolved flop cost *)
+  static_cost : float;  (** mean-branch estimate, includes temps *)
+  reads : int list;
+  writes : int list;
+}
+
+type t = {
+  dim : int;
+  n_slots : int;
+  tasks : compiled_task array;
+  set_state : float -> float array -> unit;
+  out : float array;  (** output slots: derivatives then partials *)
+  run_epilogue : unit -> unit;
+  epilogue_flops : float;
+  state_names : string array;
+  cse_temp_total : int;  (** temporaries across all tasks *)
+}
+
+val compile :
+  ?scope:cse_scope -> Partition.plan -> state_names:string array -> t
+(** Default scope is [Cse_per_task]. *)
+
+val rhs_fn : t -> float -> float array -> float array -> unit
+(** Sequential execution of every task plus the epilogue: the reference
+    semantics used for [Odesys.make]. *)
+
+val task_costs_static : t -> float array

@@ -1,0 +1,23 @@
+(** C code generation — the second textual backend of the ObjectMath 4.0
+    code generator (Figure 9 lists both a Fortran90 and a C++ generator;
+    we emit portable C99). *)
+
+type source = {
+  code : string;
+  total_lines : int;
+  declaration_lines : int;
+  statement_lines : int;
+  cse_count : int;
+}
+
+type mode = Parallel | Serial
+
+val generate :
+  mode:mode ->
+  Partition.plan ->
+  state_names:string array ->
+  initial:float array ->
+  model_name:string ->
+  source
+
+val expr_to_c : (string -> string) -> Om_expr.Expr.t -> string

@@ -1,0 +1,15 @@
+(** Communication analysis (paper §3.2, Figure 9's "Communication
+    analysis" box): determine which state-vector entries each task reads
+    and which output slots it writes, "to minimize the amount of sent data
+    ... to find out which data should be distributed". *)
+
+type info = {
+  reads : int list array;  (** per task: state indices consumed *)
+  writes : int list array;  (** per task: output slots produced *)
+}
+
+val analyse : Partition.plan -> state_names:string array -> info
+
+val read_fraction : info -> dim:int -> float
+(** Average fraction of the state vector a task actually reads: the
+    saving available to the [Needed_only] message strategy. *)

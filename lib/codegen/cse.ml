@@ -1,0 +1,135 @@
+module E = Om_expr.Expr
+module Smap = Map.Make (String)
+
+module Etbl = Hashtbl.Make (struct
+  type t = E.t
+
+  let equal = E.equal
+  let hash = E.hash
+end)
+
+type binding = { name : string; expr : E.t }
+
+type block = {
+  temps : binding list;
+  roots : (string * E.t) list;
+}
+
+let extractable e =
+  match e with
+  | E.Const _ | E.Var _ -> false
+  | E.Add _ | E.Mul _ | E.Pow _ | E.Call _ | E.If _ -> true
+
+let eliminate ?(min_size = 3) ?(min_count = 2) ?(prefix = "cse$") targets =
+  (* Pass 1: count syntactic occurrences of every candidate subtree. *)
+  let counts = Etbl.create 256 in
+  let rec count e =
+    if extractable e && E.size e >= min_size then
+      Etbl.replace counts e
+        (1 + Option.value ~default:0 (Etbl.find_opt counts e));
+    List.iter count (E.children e)
+  in
+  List.iter (fun (_, e) -> count e) targets;
+  let shared =
+    Etbl.fold (fun e c acc -> if c >= min_count then e :: acc else acc) counts []
+    |> List.sort (fun a b ->
+           let c = Int.compare (E.size a) (E.size b) in
+           if c <> 0 then c else E.compare a b)
+  in
+  (* Pass 2: name the shared subtrees smallest-first, so each definition
+     can refer to already-named smaller temps. *)
+  let names = Etbl.create 64 in
+  let defs =
+    List.mapi
+      (fun i e ->
+        let name = prefix ^ string_of_int i in
+        Etbl.add names e name;
+        (name, e))
+      shared
+  in
+  let rec rewrite e =
+    match Etbl.find_opt names e with
+    | Some n -> E.var n
+    | None -> E.map_children rewrite e
+  in
+  let temps =
+    List.map (fun (name, e) -> { name; expr = E.map_children rewrite e }) defs
+  in
+  let roots = List.map (fun (t, e) -> (t, rewrite e)) targets in
+  (* Pass 3: inline temps used at most once (their single consumer absorbs
+     the definition) — extraction counts occurrences before substitution,
+     so a subtree appearing only inside one bigger shared subtree would
+     otherwise survive as a single-use temporary. *)
+  let uses = Hashtbl.create 64 in
+  let record_uses e =
+    ignore
+      (E.fold
+         (fun () n ->
+           match n with
+           | E.Var v when String.length v >= String.length prefix
+                          && String.sub v 0 (String.length prefix) = prefix ->
+               Hashtbl.replace uses v
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt uses v))
+           | _ -> ())
+         () e)
+  in
+  List.iter (fun b -> record_uses b.expr) temps;
+  List.iter (fun (_, e) -> record_uses e) roots;
+  let dropped = ref Smap.empty in
+  let resolve e = Om_expr.Subst.apply_map !dropped e in
+  let kept =
+    List.filter_map
+      (fun b ->
+        let u = Option.value ~default:0 (Hashtbl.find_opt uses b.name) in
+        let expr = resolve b.expr in
+        if u <= 1 then begin
+          dropped := Smap.add b.name expr !dropped;
+          None
+        end
+        else Some { b with expr })
+      temps
+  in
+  let roots = List.map (fun (t, e) -> (t, resolve e)) roots in
+  (* Renumber the kept temps densely. *)
+  let renaming =
+    List.mapi (fun i b -> (b.name, E.var (prefix ^ string_of_int i))) kept
+  in
+  let rn e = Om_expr.Subst.apply renaming e in
+  let temps =
+    List.mapi
+      (fun i b -> { name = prefix ^ string_of_int i; expr = rn b.expr })
+      kept
+  in
+  let roots = List.map (fun (t, e) -> (t, rn e)) roots in
+  { temps; roots }
+
+let temp_count b = List.length b.temps
+
+let block_cost b =
+  List.fold_left (fun acc t -> acc +. Om_expr.Cost.flops_mean t.expr) 0. b.temps
+  +. List.fold_left
+       (fun acc (_, e) -> acc +. Om_expr.Cost.flops_mean e)
+       0. b.roots
+
+let inline b =
+  let resolved =
+    List.fold_left
+      (fun m t -> Smap.add t.name (Om_expr.Subst.apply_map m t.expr) m)
+      Smap.empty b.temps
+  in
+  List.map (fun (t, e) -> (t, Om_expr.Subst.apply_map resolved e)) b.roots
+
+let verify_no_forward_refs b =
+  let all_temps = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.add all_temps t.name ()) b.temps;
+  let defined = Hashtbl.create 16 in
+  List.for_all
+    (fun t ->
+      let ok =
+        List.for_all
+          (fun v -> (not (Hashtbl.mem all_temps v)) || Hashtbl.mem defined v)
+          (E.vars t.expr)
+      in
+      Hashtbl.add defined t.name ();
+      ok)
+    b.temps

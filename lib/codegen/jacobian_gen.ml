@@ -1,0 +1,150 @@
+module E = Om_expr.Expr
+
+type t = {
+  dim : int;
+  entries : (int * int * E.t) list;
+  block : Cse.block;
+}
+
+let target row col = Printf.sprintf "j$%d$%d" row col
+
+let target_coords s =
+  match String.split_on_char '$' s with
+  | [ "j"; r; c ] -> (int_of_string r, int_of_string c)
+  | _ -> invalid_arg "Jacobian_gen: bad target"
+
+let generate (m : Om_lang.Flat_model.t) =
+  let states = Array.of_list (List.map fst m.states) in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i s -> Hashtbl.replace index s i) states;
+  let entries =
+    List.concat
+      (List.mapi
+         (fun row (_, rhs) ->
+           (* Only differentiate with respect to states that actually
+              occur: the rest are structural zeros. *)
+           List.filter_map
+             (fun v ->
+               match Hashtbl.find_opt index v with
+               | None -> None
+               | Some col ->
+                   let d = Om_expr.Deriv.diff v rhs in
+                   if E.equal d E.zero then None else Some (row, col, d))
+             (E.vars rhs))
+         m.equations)
+  in
+  let targets =
+    List.map (fun (r, c, e) -> (target r c, e)) entries
+  in
+  let block = Cse.eliminate ~prefix:"jcse$" targets in
+  { dim = Array.length states; entries; block }
+
+let nonzero_count t = List.length t.entries
+
+let density t =
+  if t.dim = 0 then 0.
+  else float_of_int (nonzero_count t) /. float_of_int (t.dim * t.dim)
+
+let flops t = Cse.block_cost t.block
+
+let compile t ~state_names =
+  let dim = t.dim in
+  if Array.length state_names <> dim then
+    invalid_arg "Jacobian_gen.compile: state_names length mismatch";
+  let temp_names =
+    List.map (fun (b : Cse.binding) -> b.name) t.block.temps
+  in
+  let names =
+    Array.concat [ state_names; [| "t" |]; Array.of_list temp_names ]
+  in
+  let env = Array.make (Array.length names) 0. in
+  let slot_of =
+    let h = Hashtbl.create 64 in
+    Array.iteri (fun i n -> Hashtbl.replace h n i) names;
+    Hashtbl.find h
+  in
+  let temp_steps =
+    List.map
+      (fun (b : Cse.binding) ->
+        (slot_of b.name, Om_expr.Eval.eval_fn names b.expr))
+      t.block.temps
+  in
+  let root_steps =
+    List.map
+      (fun (tgt, e) ->
+        let r, c = target_coords tgt in
+        (r, c, Om_expr.Eval.eval_fn names e))
+      t.block.roots
+  in
+  fun time y (m : Om_ode.Linalg.mat) ->
+    Array.blit y 0 env 0 dim;
+    env.(dim) <- time;
+    List.iter (fun (slot, f) -> env.(slot) <- f env) temp_steps;
+    Array.iter (fun row -> Array.fill row 0 dim 0.) m;
+    List.iter (fun (r, c, f) -> m.(r).(c) <- f env) root_steps
+
+let to_odesys (fm : Om_lang.Flat_model.t) =
+  let state_names = Om_lang.Flat_model.state_names fm in
+  let base =
+    Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false fm.equations
+  in
+  let jac = compile (generate fm) ~state_names in
+  Om_ode.Odesys.make ~names:state_names ~jac ~dim:base.dim base.f
+
+let fortran t ~state_names ~model_name =
+  let buf = Buffer.create 4096 in
+  let n_lines = ref 0 in
+  let n_decls = ref 0 in
+  let n_stmts = ref 0 in
+  let line s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n';
+    incr n_lines
+  in
+  let mangle = Fortran.mangle in
+  line ("! Generated Jacobian for model " ^ model_name);
+  line "subroutine JAC(t, yin, pd)";
+  line "  integer, parameter :: dp = kind(1.0d0)";
+  line "  real(dp), intent(in) :: t";
+  line (Printf.sprintf "  real(dp), intent(in) :: yin(%d)" t.dim);
+  line (Printf.sprintf "  real(dp), intent(out) :: pd(%d,%d)" t.dim t.dim);
+  Array.iter
+    (fun s ->
+      line (Printf.sprintf "  real(dp) :: %s" (mangle s));
+      incr n_decls)
+    state_names;
+  List.iter
+    (fun (b : Cse.binding) ->
+      line (Printf.sprintf "  real(dp) :: %s" (mangle b.name));
+      incr n_decls)
+    t.block.temps;
+  line "  pd = 0.0d0";
+  incr n_stmts;
+  Array.iteri
+    (fun i s ->
+      line (Printf.sprintf "  %s = yin(%d)" (mangle s) (i + 1));
+      incr n_stmts)
+    state_names;
+  List.iter
+    (fun (b : Cse.binding) ->
+      line
+        (Printf.sprintf "  %s = %s" (mangle b.name)
+           (Fortran.expr_to_fortran mangle b.expr));
+      incr n_stmts)
+    t.block.temps;
+  List.iter
+    (fun (tgt, e) ->
+      let r, c = target_coords tgt in
+      line
+        (Printf.sprintf "  pd(%d,%d) = %s" (r + 1) (c + 1)
+           (Fortran.expr_to_fortran mangle e));
+      incr n_stmts)
+    t.block.roots;
+  line "end subroutine JAC";
+  {
+    Fortran.code = Buffer.contents buf;
+    total_lines = !n_lines;
+    declaration_lines = !n_decls;
+    statement_lines = !n_stmts;
+    cse_count = Cse.temp_count t.block;
+  }

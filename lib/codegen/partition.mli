@@ -1,0 +1,50 @@
+(** Task partitioning.
+
+    Paper §3.2: "The parallelization stage of the code generator groups all
+    small assignments into one task and splits large assignments obtained
+    from the equations into several tasks."
+
+    - Grouping: assignments cheaper than [merge_threshold] are packed
+      greedily into tasks of about that size.
+    - Splitting: an assignment costlier than [split_threshold] whose
+      right-hand side is a sum has its terms divided into chunks; each
+      chunk becomes a task computing a {e partial} output, and the
+      supervisor adds the partials into the derivative during the gather
+      phase (keeping all worker tasks mutually independent, as the paper's
+      LPT scheduler requires).
+
+    Output slots: indices [0 .. dim-1] are derivative entries, indices
+    [dim ..] are partials. *)
+
+type task = {
+  tid : int;
+  label : string;
+  roots : (int * Om_expr.Expr.t) list;
+      (** (output slot, expression) computed by this task *)
+}
+
+type plan = {
+  dim : int;  (** state-vector dimension *)
+  n_partials : int;
+  tasks : task array;
+  epilogue : (int * int list) list;
+      (** [(deriv, partial slots)] — supervisor sums these after gather *)
+  epilogue_flops : float;
+}
+
+val partition :
+  ?merge_threshold:float ->
+  ?split_threshold:float ->
+  Assignments.t array ->
+  plan
+(** Defaults: [merge_threshold = 50.], [split_threshold = 4000.] flop
+    units.  Every derivative is produced exactly once (directly or via the
+    epilogue). *)
+
+val n_slots : plan -> int
+(** [dim + n_partials]. *)
+
+val task_cost : task -> float
+val validate : plan -> unit
+(** @raise Invalid_argument if slots are written twice or an epilogue
+    entry references an unknown partial. *)

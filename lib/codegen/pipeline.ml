@@ -1,0 +1,72 @@
+type config = {
+  merge_threshold : float;
+  split_threshold : float;
+  cse_scope : Bytecode_backend.cse_scope;
+}
+
+let default_config =
+  {
+    merge_threshold = 50.;
+    split_threshold = 4000.;
+    cse_scope = Bytecode_backend.Cse_per_task;
+  }
+
+type analysis = {
+  graph : Om_graph.Digraph.t;
+  comps : Om_graph.Scc.components;
+  condensed : Om_graph.Digraph.t;
+  nontrivial : int list;
+  scc_weights : float array;
+}
+
+type result = {
+  model : Om_lang.Flat_model.t;
+  assigns : Assignments.t array;
+  plan : Partition.plan;
+  compiled : Bytecode_backend.t;
+  tasks : Om_sched.Task.t array;
+  analysis : analysis;
+}
+
+let analyse (m : Om_lang.Flat_model.t) =
+  let graph = Om_lang.Flat_model.dependency_graph m in
+  let comps = Om_graph.Scc.tarjan graph in
+  let condensed = Om_graph.Scc.condensation graph comps in
+  let nontrivial = Om_graph.Scc.nontrivial graph comps in
+  let eq_cost =
+    Array.of_list
+      (List.map (fun (_, e) -> Om_expr.Cost.flops_mean e) m.equations)
+  in
+  let scc_weights =
+    Array.map
+      (fun members ->
+        List.fold_left (fun acc v -> acc +. eq_cost.(v)) 0. members)
+      comps.members
+  in
+  { graph; comps; condensed; nontrivial; scc_weights }
+
+let compile ?(config = default_config) (m : Om_lang.Flat_model.t) =
+  let assigns = Assignments.of_flat_model m in
+  let plan =
+    Partition.partition ~merge_threshold:config.merge_threshold
+      ~split_threshold:config.split_threshold assigns
+  in
+  Partition.validate plan;
+  let state_names = Om_lang.Flat_model.state_names m in
+  let compiled =
+    Bytecode_backend.compile ~scope:config.cse_scope plan ~state_names
+  in
+  let tasks =
+    Array.map
+      (fun (ct : Bytecode_backend.compiled_task) ->
+        Om_sched.Task.make ~id:ct.id ~label:ct.label ~cost:ct.static_cost
+          ~reads:ct.reads ~writes:ct.writes)
+      compiled.tasks
+  in
+  Om_sched.Task.validate tasks;
+  { model = m; assigns; plan; compiled; tasks; analysis = analyse m }
+
+let system_level_speedup a ~comm ~nprocs =
+  Om_sched.Dag_sched.speedup a.condensed ~weights:a.scc_weights ~comm ~nprocs
+
+let rhs_fn r = Bytecode_backend.rhs_fn r.compiled

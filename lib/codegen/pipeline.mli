@@ -1,0 +1,40 @@
+(** End-to-end code-generation pipeline (paper Figure 9): flat model →
+    assignments → dependency analysis → partitioning → CSE → executable
+    tasks → schedulable task set. *)
+
+type config = {
+  merge_threshold : float;  (** group small assignments up to this cost *)
+  split_threshold : float;  (** split assignments above this cost *)
+  cse_scope : Bytecode_backend.cse_scope;
+}
+
+val default_config : config
+
+(** Equation-system-level dependency analysis (paper §2.1, Figures 3/6). *)
+type analysis = {
+  graph : Om_graph.Digraph.t;  (** state-variable dependency graph *)
+  comps : Om_graph.Scc.components;
+  condensed : Om_graph.Digraph.t;  (** reduced acyclic graph of SCCs *)
+  nontrivial : int list;  (** SCC ids that are real equation systems *)
+  scc_weights : float array;  (** flop cost of each SCC's equations *)
+}
+
+type result = {
+  model : Om_lang.Flat_model.t;
+  assigns : Assignments.t array;
+  plan : Partition.plan;
+  compiled : Bytecode_backend.t;
+  tasks : Om_sched.Task.t array;  (** schedulable view of the tasks *)
+  analysis : analysis;
+}
+
+val analyse : Om_lang.Flat_model.t -> analysis
+
+val compile : ?config:config -> Om_lang.Flat_model.t -> result
+
+val system_level_speedup : analysis -> comm:float -> nprocs:int -> float
+(** Speedup attainable by solving SCC subsystems in parallel on the
+    condensation DAG — the paper's first parallelisation approach. *)
+
+val rhs_fn : result -> float -> float array -> float array -> unit
+(** Sequential reference execution of the generated code. *)

@@ -1,0 +1,34 @@
+(** Code-generation statistics — the quantities §3.3 reports for the 2D
+    bearing (source lines → intermediate-form lines → generated lines,
+    declaration share, and CSE counts in parallel vs. serial scope). *)
+
+type t = {
+  model_name : string;
+  source_lines : int option;
+  n_classes : int option;
+  n_instances : int option;
+  n_equations : int;
+  n_tasks : int;
+  n_partials : int;
+  intermediate_lines : int;
+  fortran_parallel_lines : int;
+  fortran_parallel_decls : int;
+  fortran_serial_lines : int;
+  fortran_serial_decls : int;
+  c_parallel_lines : int;
+  mathematica_lines : int;
+  jacobian_nonzeros : int;
+  jacobian_lines : int;
+  cse_parallel : int;  (** temporaries with per-task CSE *)
+  cse_serial : int;  (** temporaries with global CSE *)
+  total_rhs_flops : float;
+}
+
+val collect : ?source:string -> Pipeline.result -> t
+(** Renders both Fortran modes (and parallel C) to count lines; [source]
+    is the ObjectMath model text, used for the source-line count. *)
+
+val pp : t Fmt.t
+(** Paper-style summary table. *)
+
+val count_lines : string -> int

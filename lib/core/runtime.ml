@@ -1,0 +1,192 @@
+type scheduling =
+  | Static
+  | Static_with of float array
+  | Semidynamic of int
+
+type topology = Flat | Tree of int
+
+type config = {
+  machine : Om_machine.Machine.t;
+  nworkers : int;
+  strategy : Om_machine.Supervisor.comm_strategy;
+  scheduling : scheduling;
+  topology : topology;
+}
+
+let default_config =
+  {
+    machine = Om_machine.Machine.sparccenter_2000;
+    nworkers = 1;
+    strategy = Om_machine.Supervisor.Broadcast_state;
+    scheduling = Static;
+    topology = Flat;
+  }
+
+type solver = Rk4 of float | Rkf45 | Lsoda
+
+type report = {
+  trajectory : Om_ode.Odesys.trajectory;
+  rhs_calls : int;
+  sim_seconds : float;
+  rhs_calls_per_sec : float;
+  sched_overhead_seconds : float;
+  supervisor_comm_seconds : float;
+  worker_utilization : float;
+  reschedules : int;
+  solver_steps : int;
+}
+
+let task_arrays (r : Om_codegen.Pipeline.result) =
+  let reads = Array.map (fun t -> t.Om_sched.Task.reads) r.tasks in
+  let writes = Array.map (fun t -> t.Om_sched.Task.writes) r.tasks in
+  (reads, writes)
+
+(* Simulated seconds for one round given per-task costs and a schedule. *)
+let simulate_round config (r : Om_codegen.Pipeline.result) assignment costs =
+  let reads, writes = task_arrays r in
+  let m = config.machine in
+  let round =
+    match config.topology with
+    | Tree fanout when config.nworkers > 0 ->
+        Om_machine.Supervisor.tree_round m ~fanout ~nworkers:config.nworkers
+          ~assignment ~task_flops:costs ~task_reads:reads ~task_writes:writes
+          ~state_dim:r.compiled.dim
+    | Flat | Tree _ ->
+        Om_machine.Supervisor.round m ~nworkers:config.nworkers ~assignment
+          ~task_flops:costs ~task_reads:reads ~task_writes:writes
+          ~state_dim:r.compiled.dim ~strategy:config.strategy
+  in
+  (* The supervisor folds the partials into the derivatives after the
+     gather phase. *)
+  let epilogue = r.compiled.epilogue_flops *. m.flop_time in
+  let utilization =
+    if config.nworkers = 0 || round.duration <= 0. then 1.
+    else
+      Array.fold_left ( +. ) 0. round.worker_compute
+      /. (float_of_int config.nworkers *. round.duration)
+  in
+  (round.duration +. epilogue, round.supervisor_busy, utilization)
+
+let execute ?(config = default_config) ?solver ?(t0 = 0.) ~tend
+    (r : Om_codegen.Pipeline.result) =
+  let compiled = r.compiled in
+  let n_tasks = Array.length compiled.tasks in
+  let sim_seconds = ref 0. in
+  let comm_seconds = ref 0. in
+  let sched_overhead = ref 0. in
+  let utilization_sum = ref 0. in
+  let rounds = ref 0 in
+  let measured = Array.make n_tasks 0. in
+  let semidyn =
+    match config.scheduling with
+    | Static | Static_with _ -> None
+    | Semidynamic period ->
+        Some
+          (Om_sched.Semidynamic.create ~period r.tasks
+             ~nprocs:(max 1 config.nworkers))
+  in
+  let static_sched =
+    match config.scheduling with
+    | Static_with costs ->
+        Om_sched.Lpt.schedule ~costs r.tasks ~nprocs:(max 1 config.nworkers)
+    | Static | Semidynamic _ ->
+        Om_sched.Lpt.schedule r.tasks ~nprocs:(max 1 config.nworkers)
+  in
+  let overhead_per_resched =
+    Om_sched.Semidynamic.overhead_cost_per_reschedule r.tasks
+    *. config.machine.flop_time
+  in
+  let reschedules_seen = ref 0 in
+  let f t y ydot =
+    compiled.set_state t y;
+    (* Execute the tasks for real, measuring branch-resolved costs. *)
+    for i = 0 to n_tasks - 1 do
+      measured.(i) <- compiled.tasks.(i).measured_eval ()
+    done;
+    compiled.run_epilogue ();
+    Array.blit compiled.out 0 ydot 0 compiled.dim;
+    (* Charge simulated machine time for the round. *)
+    let sched =
+      match semidyn with
+      | None -> static_sched
+      | Some sd -> Om_sched.Semidynamic.current sd
+    in
+    let duration, busy, util =
+      simulate_round config r sched.assignment measured
+    in
+    sim_seconds := !sim_seconds +. duration;
+    comm_seconds := !comm_seconds +. busy;
+    utilization_sum := !utilization_sum +. util;
+    incr rounds;
+    (match semidyn with
+    | None -> ()
+    | Some sd ->
+        Om_sched.Semidynamic.observe sd measured;
+        let n = Om_sched.Semidynamic.reschedule_count sd in
+        if n > !reschedules_seen then begin
+          sched_overhead :=
+            !sched_overhead
+            +. (float_of_int (n - !reschedules_seen) *. overhead_per_resched);
+          reschedules_seen := n
+        end)
+  in
+  let sys =
+    Om_ode.Odesys.make ~names:(Array.copy compiled.state_names)
+      ~dim:compiled.dim f
+  in
+  let y0 = Om_lang.Flat_model.initial_values r.model in
+  let solver =
+    match solver with Some s -> s | None -> Rk4 ((tend -. t0) /. 400.)
+  in
+  let trajectory =
+    match solver with
+    | Rk4 h -> Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0 ~y0 ~tend ~h
+    | Rkf45 -> Om_ode.Rk.rkf45 sys ~t0 ~y0 ~tend
+    | Lsoda ->
+        let res = Om_ode.Lsoda.integrate sys ~t0 ~y0 ~tend in
+        res.trajectory
+  in
+  let rhs_calls = sys.counters.rhs_calls in
+  let total = !sim_seconds +. !sched_overhead in
+  {
+    trajectory;
+    rhs_calls;
+    sim_seconds = total;
+    rhs_calls_per_sec = (if total > 0. then float_of_int rhs_calls /. total else 0.);
+    sched_overhead_seconds = !sched_overhead;
+    supervisor_comm_seconds = !comm_seconds;
+    worker_utilization =
+      (if !rounds = 0 then 1. else !utilization_sum /. float_of_int !rounds);
+    reschedules = !reschedules_seen;
+    solver_steps = sys.counters.steps;
+  }
+
+let round_seconds ?(config = default_config) ?costs
+    (r : Om_codegen.Pipeline.result) =
+  let costs =
+    match costs with
+    | Some c -> c
+    | None -> Om_codegen.Bytecode_backend.task_costs_static r.compiled
+  in
+  let sched =
+    Om_sched.Lpt.schedule ~costs r.tasks ~nprocs:(max 1 config.nworkers)
+  in
+  let duration, _, _ = simulate_round config r sched.assignment costs in
+  duration
+
+let speedup ?(strategy = Om_machine.Supervisor.Broadcast_state) ~machine
+    ~nworkers r =
+  let base =
+    round_seconds
+      ~config:
+        { machine; nworkers = 0; strategy; scheduling = Static;
+          topology = Flat }
+      r
+  in
+  let par =
+    round_seconds
+      ~config:
+        { machine; nworkers; strategy; scheduling = Static; topology = Flat }
+      r
+  in
+  base /. par

@@ -1,0 +1,83 @@
+(** Parallel simulation runtime: drive a real ODE solver with the generated
+    RHS tasks executing on a simulated MIMD machine.
+
+    This is the complete loop of the paper's Figure 7/10: the solver runs
+    on the supervisor; every RHS evaluation becomes one supervisor/worker
+    round on the machine model; the numerical results are exact (the tasks
+    really execute), while the clock advances by the simulated round time.
+    [#RHS-calls per second] — the paper's Figure 12 metric — falls out as
+    [rhs_calls / simulated_time]. *)
+
+type scheduling =
+  | Static  (** LPT on the static cost estimates, once *)
+  | Static_with of float array
+      (** LPT on externally supplied cost estimates, once (used by the
+          scheduling ablation to model mis-estimated task times) *)
+  | Semidynamic of int
+      (** LPT on measured costs, rescheduling every [period] iterations
+          (paper §3.2.3) *)
+
+type topology =
+  | Flat  (** all messages serialise at the supervisor (the paper's
+              implementation) *)
+  | Tree of int
+      (** [fanout]-ary scatter/reduction trees (the scalable variant;
+          forces full-state broadcast) *)
+
+type config = {
+  machine : Om_machine.Machine.t;
+  nworkers : int;  (** 0 = the solver evaluates the RHS locally *)
+  strategy : Om_machine.Supervisor.comm_strategy;
+  scheduling : scheduling;
+  topology : topology;
+}
+
+val default_config : config
+(** One worker on the SPARCCenter 2000, broadcast state, static LPT. *)
+
+type solver =
+  | Rk4 of float  (** fixed step *)
+  | Rkf45
+  | Lsoda
+
+type report = {
+  trajectory : Om_ode.Odesys.trajectory;
+  rhs_calls : int;
+  sim_seconds : float;  (** simulated machine time spent in RHS rounds *)
+  rhs_calls_per_sec : float;
+  sched_overhead_seconds : float;  (** simulated rescheduling cost *)
+  supervisor_comm_seconds : float;
+  worker_utilization : float;
+      (** mean fraction of the round the workers spent computing (1.0
+          when the solver runs the RHS locally) *)
+  reschedules : int;
+  solver_steps : int;
+}
+
+val execute :
+  ?config:config ->
+  ?solver:solver ->
+  ?t0:float ->
+  tend:float ->
+  Om_codegen.Pipeline.result ->
+  report
+(** Integrate the compiled model from its initial state.  Default solver
+    [Rk4 (tend /. 400.)]. *)
+
+val round_seconds :
+  ?config:config ->
+  ?costs:float array ->
+  Om_codegen.Pipeline.result ->
+  float
+(** Simulated duration of a single RHS round under an LPT schedule of the
+    given per-task costs (static estimates by default) — the analytic fast
+    path used by the scaling study. *)
+
+val speedup :
+  ?strategy:Om_machine.Supervisor.comm_strategy ->
+  machine:Om_machine.Machine.t ->
+  nworkers:int ->
+  Om_codegen.Pipeline.result ->
+  float
+(** [round_seconds] with 0 workers divided by [round_seconds] with
+    [nworkers]. *)

@@ -1,0 +1,34 @@
+type point = {
+  value : float;
+  metric : float;
+  steps : int;
+  rhs_calls : int;
+}
+
+let final_value name sys tr =
+  let col = Om_ode.Odesys.column tr name sys in
+  col.(Array.length col - 1)
+
+let run ~source ~cls ~param ~values ~tend ?atol ?rtol ~metric () =
+  List.map
+    (fun value ->
+      let fm =
+        Om_lang.Override.flatten_with ~source
+          ~overrides:[ (cls, param, value) ]
+      in
+      let sys =
+        Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false fm.equations
+      in
+      let y0 = Om_lang.Flat_model.initial_values fm in
+      let r = Om_ode.Lsoda.integrate ?atol ?rtol sys ~t0:0. ~y0 ~tend in
+      {
+        value;
+        metric = metric sys r.trajectory;
+        steps = sys.counters.steps;
+        rhs_calls = sys.counters.rhs_calls;
+      })
+    values
+
+let to_series label points =
+  Om_viz.Plot.series label
+    (List.map (fun p -> (p.value, p.metric)) points)

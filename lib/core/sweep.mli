@@ -1,0 +1,32 @@
+(** Parameter sweeps: run the same model across a range of parameter
+    values and collect a scalar metric from each simulation — the
+    "evaluation of numerical experiments" workflow of paper §1.1. *)
+
+type point = {
+  value : float;  (** the swept parameter's value *)
+  metric : float;
+  steps : int;
+  rhs_calls : int;
+}
+
+val run :
+  source:string ->
+  cls:string ->
+  param:string ->
+  values:float list ->
+  tend:float ->
+  ?atol:float ->
+  ?rtol:float ->
+  metric:(Om_ode.Odesys.t -> Om_ode.Odesys.trajectory -> float) ->
+  unit ->
+  point list
+(** For each value: override the class parameter, re-flatten, integrate
+    with the LSODA-style solver from the model's initial state to [tend],
+    and evaluate [metric] on the trajectory.
+    @raise Om_lang.Override.Unknown_target / [Om_lang.Flatten.Error]. *)
+
+val final_value : string -> Om_ode.Odesys.t -> Om_ode.Odesys.trajectory -> float
+(** Convenience metric: the final value of a named state. *)
+
+val to_series : string -> point list -> Om_viz.Plot.series
+(** Plot-ready (value, metric) series. *)

@@ -1,0 +1,33 @@
+(** Directed graphs over integer node ids with string labels.
+
+    Node ids are dense: [0 .. node_count - 1].  The dependency analysis of
+    the paper (§2.1) builds one node per equation/variable and edges from
+    used values to produced values. *)
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> string -> int
+(** Add a labelled node; returns its id. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g src dst]: duplicate edges are ignored.
+    @raise Invalid_argument on unknown ids. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val label : t -> int -> string
+val succ : t -> int -> int list
+val pred : t -> int -> int list
+val mem_edge : t -> int -> int -> bool
+val nodes : t -> int list
+val edges : t -> (int * int) list
+val find_node : t -> string -> int option
+(** First node carrying the given label, if any. *)
+
+val of_edges : string list -> (string * string) list -> t
+(** Build a graph from labelled nodes and label pairs.
+    @raise Invalid_argument if an edge mentions an unknown label. *)
+
+val transpose : t -> t

@@ -1,0 +1,50 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node_line g v =
+  Printf.sprintf "  n%d [label=\"%s\"];\n" v (escape (Digraph.label g v))
+
+let edge_lines g =
+  Digraph.edges g
+  |> List.map (fun (a, b) -> Printf.sprintf "  n%d -> n%d;\n" a b)
+  |> String.concat ""
+
+let to_string ?(name = "deps") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box];\n";
+  List.iter (fun v -> Buffer.add_string buf (node_line g v)) (Digraph.nodes g);
+  Buffer.add_string buf (edge_lines g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let with_components ?(name = "deps") g (comps : Scc.components) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box];\n";
+  for k = 0 to comps.count - 1 do
+    match comps.members.(k) with
+    | [ v ] -> Buffer.add_string buf (node_line g v)
+    | members ->
+        Buffer.add_string buf
+          (Printf.sprintf "  subgraph cluster_%d {\n    label=\"SCC %d\";\n" k k);
+        List.iter
+          (fun v -> Buffer.add_string buf ("  " ^ node_line g v))
+          members;
+        Buffer.add_string buf "  }\n"
+  done;
+  Buffer.add_string buf (edge_lines g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)

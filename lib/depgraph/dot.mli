@@ -1,0 +1,12 @@
+(** Graphviz DOT emission, the visual counterpart of the paper's Figures 3
+    and 6 (dependency graphs with SCCs highlighted as clusters). *)
+
+val to_string : ?name:string -> Digraph.t -> string
+
+val with_components :
+  ?name:string -> Digraph.t -> Scc.components -> string
+(** Render with one cluster per non-singleton strongly connected
+    component. *)
+
+val save : string -> string -> unit
+(** [save path dot_text] writes the text to a file. *)

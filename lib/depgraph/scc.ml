@@ -1,0 +1,95 @@
+type components = {
+  count : int;
+  comp_of : int array;
+  members : int list array;
+}
+
+(* Iterative Tarjan with an explicit work stack: each frame is (node,
+   iterator position into its successor array). *)
+let tarjan g =
+  let n = Digraph.node_count g in
+  let succ = Array.init n (fun v -> Array.of_list (Digraph.succ g v)) in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let comp_of = Array.make n (-1) in
+  let comp_members = ref [] in
+  let comp_count = ref 0 in
+  let work = Stack.create () in
+  let start v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref 0) work
+  in
+  let finish v =
+    (* v is a root: pop its component. *)
+    let members = ref [] in
+    let continue = ref true in
+    while !continue do
+      let w = Stack.pop stack in
+      on_stack.(w) <- false;
+      comp_of.(w) <- !comp_count;
+      members := w :: !members;
+      if w = v then continue := false
+    done;
+    comp_members := !members :: !comp_members;
+    incr comp_count
+  in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      start root;
+      while not (Stack.is_empty work) do
+        let v, pos = Stack.top work in
+        if !pos < Array.length succ.(v) then begin
+          let w = succ.(v).(!pos) in
+          incr pos;
+          if index.(w) < 0 then start w
+          else if on_stack.(w) then
+            lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          ignore (Stack.pop work);
+          if lowlink.(v) = index.(v) then finish v;
+          if not (Stack.is_empty work) then begin
+            let parent, _ = Stack.top work in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+        end
+      done
+    end
+  done;
+  let members = Array.of_list (List.rev !comp_members) in
+  { count = !comp_count; comp_of; members }
+
+let condensation g comps =
+  let c = Digraph.create () in
+  for k = 0 to comps.count - 1 do
+    let rep =
+      match comps.members.(k) with
+      | v :: _ -> Digraph.label g v
+      | [] -> assert false
+    in
+    let size = List.length comps.members.(k) in
+    let lbl = if size = 1 then rep else Printf.sprintf "%s (+%d)" rep (size - 1) in
+    ignore (Digraph.add_node c lbl)
+  done;
+  List.iter
+    (fun (a, b) ->
+      let ka = comps.comp_of.(a) and kb = comps.comp_of.(b) in
+      if ka <> kb then Digraph.add_edge c ka kb)
+    (Digraph.edges g);
+  c
+
+let nontrivial g comps =
+  List.filter
+    (fun k ->
+      match comps.members.(k) with
+      | [ v ] -> Digraph.mem_edge g v v
+      | _ :: _ :: _ -> true
+      | [] -> false)
+    (List.init comps.count Fun.id)

@@ -1,0 +1,27 @@
+(** Strongly connected components (Tarjan) and graph condensation.
+
+    This is the analysis of paper §2.1: "the equations are partitioned into
+    sets of mutually dependent equations by this algorithm (i.e. separate
+    systems of equations) and the reduced, acyclic dependency graph is
+    built". *)
+
+type components = {
+  count : int;
+  comp_of : int array;  (** node id -> component id *)
+  members : int list array;  (** component id -> member node ids *)
+}
+
+val tarjan : Digraph.t -> components
+(** Components are numbered in reverse topological order of the condensation
+    (i.e. component 0 has no successors among distinct components).
+    Iterative implementation; safe on graphs with tens of thousands of
+    nodes. *)
+
+val condensation : Digraph.t -> components -> Digraph.t
+(** Reduced acyclic graph: one node per component (labelled with a
+    representative member's label plus the member count), edges between
+    distinct components, deduplicated. *)
+
+val nontrivial : Digraph.t -> components -> int list
+(** Components with more than one node, or a single node with a self
+    loop (a genuine equation system rather than a single assignment). *)

@@ -1,0 +1,26 @@
+(** Floating-point operation cost model for expressions.
+
+    The scheduler (paper §3.2.3) predicts per-task execution time from the
+    expression it computes; this module supplies that prediction.  Costs are
+    expressed in "flop units": an add or multiply is 1, a division 4, and
+    transcendental calls carry the typical relative latencies of early-1990s
+    RISC libms, which is what matters for reproducing the LPT schedules. *)
+
+type weights = {
+  w_add : float;
+  w_mul : float;
+  w_div : float;
+  w_pow : float;  (** general power via exp/log *)
+  w_call : Expr.func -> float;
+  w_cmp : float;  (** comparison in a conditional *)
+}
+
+val default : weights
+
+val flops : ?weights:weights -> Expr.t -> float
+(** Worst-case flop count of one evaluation (conditionals count the more
+    expensive branch plus the comparison). *)
+
+val flops_mean : ?weights:weights -> Expr.t -> float
+(** Like {!flops} but conditionals count the average of both branches; used
+    by the semi-dynamic scheduler as the static prior. *)

@@ -1,0 +1,61 @@
+open Expr
+
+let rec diff v (e : Expr.t) =
+  match e with
+  | Const _ -> zero
+  | Var w -> if w = v then one else zero
+  | Add xs -> add (List.map (diff v) xs)
+  | Mul xs ->
+      (* Product rule over an n-ary product: sum over each factor
+         differentiated with the others untouched. *)
+      let rec terms before = function
+        | [] -> []
+        | f :: after ->
+            mul ((diff v f :: List.rev before) @ after)
+            :: terms (f :: before) after
+      in
+      add (terms [] xs)
+  | Pow (b, Const n) ->
+      (* d(b^n) = n * b^(n-1) * b' for constant n. *)
+      mul [ const n; pow b (const (n -. 1.)); diff v b ]
+  | Pow (b, ex) ->
+      (* General case: b^e * (e' ln b + e b'/b). *)
+      mul
+        [
+          pow b ex;
+          add [ mul [ diff v ex; log b ]; mul [ ex; diff v b; pow b minus_one ] ];
+        ]
+  | Call (f, args) -> diff_call v f args
+  | If (c, t, e') -> if_ c (diff v t) (diff v e')
+
+and diff_call v f args =
+  let chain inner outer = mul [ outer; diff v inner ] in
+  match (f, args) with
+  | Sin, [ x ] -> chain x (cos x)
+  | Cos, [ x ] -> chain x (neg (sin x))
+  | Tan, [ x ] -> chain x (add [ one; sqr (tan x) ])
+  | Asin, [ x ] -> chain x (pow (sub one (sqr x)) (const (-0.5)))
+  | Acos, [ x ] -> chain x (neg (pow (sub one (sqr x)) (const (-0.5))))
+  | Atan, [ x ] -> chain x (div one (add [ one; sqr x ]))
+  | Sinh, [ x ] -> chain x (call Cosh [ x ])
+  | Cosh, [ x ] -> chain x (call Sinh [ x ])
+  | Tanh, [ x ] -> chain x (sub one (sqr (call Tanh [ x ])))
+  | Exp, [ x ] -> chain x (exp x)
+  | Log, [ x ] -> chain x (div one x)
+  | Sqrt, [ x ] -> chain x (div (const 0.5) (sqrt x))
+  | Abs, [ x ] -> chain x (sign x)
+  | Sign, [ x ] -> mul [ zero; diff v x ]
+  | Atan2, [ y; x ] ->
+      (* d atan2(y,x) = (x dy - y dx) / (x^2 + y^2) *)
+      div
+        (sub (mul [ x; diff v y ]) (mul [ y; diff v x ]))
+        (add [ sqr x; sqr y ])
+  | Min, [ a; b ] -> if_ (cond a Le b) (diff v a) (diff v b)
+  | Max, [ a; b ] -> if_ (cond a Ge b) (diff v a) (diff v b)
+  | Hypot, [ a; b ] ->
+      div
+        (add [ mul [ a; diff v a ]; mul [ b; diff v b ] ])
+        (hypot a b)
+  | _ -> invalid_arg "Deriv.diff: malformed call"
+
+let gradient vars e = List.map (fun v -> (v, diff v e)) vars

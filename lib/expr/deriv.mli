@@ -1,0 +1,10 @@
+(** Symbolic differentiation. *)
+
+val diff : string -> Expr.t -> Expr.t
+(** [diff v e] is the partial derivative de/dv.  Piecewise expressions are
+    differentiated branch-wise (the condition is treated as constant), which
+    matches the convention of equation-based modelling tools.  [Abs], [Sign],
+    [Min] and [Max] are differentiated piecewise as well. *)
+
+val gradient : string list -> Expr.t -> (string * Expr.t) list
+(** Partial derivative with respect to each given variable. *)

@@ -1,0 +1,17 @@
+(** Direct numeric evaluation of expressions. *)
+
+exception Unbound of string
+(** Raised when evaluation meets a variable absent from the environment. *)
+
+type env = (string, float) Hashtbl.t
+
+val env_of_list : (string * float) list -> env
+
+val eval : env -> Expr.t -> float
+(** Tree-walking evaluation.  [If] nodes evaluate only the taken branch.
+    @raise Unbound for free variables not in [env]. *)
+
+val eval_fn : string array -> Expr.t -> float array -> float
+(** [eval_fn names e] pre-resolves every variable of [e] to an index into
+    [names] and returns a closure evaluating [e] against a value vector laid
+    out like [names].  @raise Unbound at closure-build time. *)

@@ -1,0 +1,420 @@
+type func =
+  | Sin
+  | Cos
+  | Tan
+  | Asin
+  | Acos
+  | Atan
+  | Sinh
+  | Cosh
+  | Tanh
+  | Exp
+  | Log
+  | Sqrt
+  | Abs
+  | Sign
+  | Atan2
+  | Min
+  | Max
+  | Hypot
+
+type rel = Lt | Le | Gt | Ge
+
+type t =
+  | Const of float
+  | Var of string
+  | Add of t list
+  | Mul of t list
+  | Pow of t * t
+  | Call of func * t list
+  | If of cond * t * t
+
+and cond = { lhs : t; rel : rel; rhs : t }
+
+let rank = function
+  | Const _ -> 0
+  | Var _ -> 1
+  | Pow _ -> 2
+  | Mul _ -> 3
+  | Add _ -> 4
+  | Call _ -> 5
+  | If _ -> 6
+
+let rec compare a b =
+  match (a, b) with
+  | Const x, Const y -> Float.compare x y
+  | Var x, Var y -> String.compare x y
+  | Add xs, Add ys | Mul xs, Mul ys -> compare_list xs ys
+  | Pow (x1, y1), Pow (x2, y2) ->
+      let c = compare x1 x2 in
+      if c <> 0 then c else compare y1 y2
+  | Call (f, xs), Call (g, ys) ->
+      let c = Stdlib.compare f g in
+      if c <> 0 then c else compare_list xs ys
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+      let c = compare_cond c1 c2 in
+      if c <> 0 then c
+      else
+        let c = compare t1 t2 in
+        if c <> 0 then c else compare e1 e2
+  | _ -> Int.compare (rank a) (rank b)
+
+and compare_cond c1 c2 =
+  let c = compare c1.lhs c2.lhs in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare c1.rel c2.rel in
+    if c <> 0 then c else compare c1.rhs c2.rhs
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c <> 0 then c else compare_list xs' ys'
+
+let equal a b = compare a b = 0
+
+let rec hash e =
+  match e with
+  | Const x -> Hashtbl.hash x
+  | Var s -> Hashtbl.hash s
+  | Add xs -> hash_list 3 xs
+  | Mul xs -> hash_list 5 xs
+  | Pow (x, y) -> (7 * hash x) + (11 * hash y)
+  | Call (f, xs) -> (13 * Hashtbl.hash f) + hash_list 17 xs
+  | If (c, t, e') ->
+      (19 * hash c.lhs)
+      + (23 * Hashtbl.hash c.rel)
+      + (29 * hash c.rhs) + (31 * hash t) + (37 * hash e')
+
+and hash_list seed xs =
+  List.fold_left (fun acc x -> (acc * 131) + hash x) seed xs
+
+let const x = Const x
+let int n = Const (float_of_int n)
+let var s = Var s
+let zero = Const 0.
+let one = Const 1.
+let two = Const 2.
+let minus_one = Const (-1.)
+let pi = Const (Float.pi)
+let is_const = function Const _ -> true | _ -> false
+let const_value = function Const x -> Some x | _ -> None
+
+(* Split a product term into (numeric coefficient, remaining factors).  Used
+   by [add] to collect like terms: 2*x and 3*x merge into 5*x. *)
+let coeff_split = function
+  | Const c -> (c, [])
+  | Mul (Const c :: rest) -> (c, rest)
+  | Mul fs -> (1., fs)
+  | e -> (1., [ e ])
+
+(* Split a factor into (base, numeric exponent).  Used by [mul] to collect
+   powers: x * x^2 merges into x^3. *)
+let power_split = function
+  | Pow (b, Const n) -> (b, n)
+  | e -> (e, 1.)
+
+let rec add terms =
+  let flat =
+    List.concat_map (function Add xs -> xs | e -> [ e ]) terms
+  in
+  (* Collect like terms keyed by their non-constant factor list. *)
+  let table : (t list, float ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let konst = ref 0. in
+  let record e =
+    let c, fs = coeff_split e in
+    if fs = [] then konst := !konst +. c
+    else
+      match Hashtbl.find_opt table fs with
+      | Some r -> r := !r +. c
+      | None ->
+          Hashtbl.add table fs (ref c);
+          order := fs :: !order
+  in
+  List.iter record flat;
+  let rebuilt =
+    List.rev !order
+    |> List.filter_map (fun fs ->
+           let c = !(Hashtbl.find table fs) in
+           if c = 0. then None
+           else if c = 1. then Some (mul_nocollect fs)
+           else Some (mul_nocollect (Const c :: fs)))
+  in
+  let all = if !konst = 0. then rebuilt else Const !konst :: rebuilt in
+  match List.sort compare all with
+  | [] -> zero
+  | [ e ] -> e
+  | es -> Add es
+
+(* Rebuild a product from factors already in collected form. *)
+and mul_nocollect = function
+  | [] -> one
+  | [ e ] -> e
+  | es -> Mul (List.sort compare es)
+
+and mul factors =
+  let flat =
+    List.concat_map (function Mul xs -> xs | e -> [ e ]) factors
+  in
+  let table : (t, float ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let konst = ref 1. in
+  let record e =
+    match e with
+    | Const c -> konst := !konst *. c
+    | _ -> (
+        let b, n = power_split e in
+        match Hashtbl.find_opt table b with
+        | Some r -> r := !r +. n
+        | None ->
+            Hashtbl.add table b (ref n);
+            order := b :: !order)
+  in
+  List.iter record flat;
+  if !konst = 0. then zero
+  else
+    let rebuilt =
+      List.rev !order
+      |> List.filter_map (fun b ->
+             let n = !(Hashtbl.find table b) in
+             if n = 0. then None
+             else if n = 1. then Some b
+             else Some (pow b (Const n)))
+    in
+    let all = if !konst = 1. then rebuilt else Const !konst :: rebuilt in
+    match List.sort compare all with
+    | [] -> one
+    | [ e ] -> e
+    | es -> Mul es
+
+and pow base expo =
+  match (base, expo) with
+  | _, Const 0. -> one
+  | _, Const 1. -> base
+  | Const 1., _ -> one
+  | Const b, Const n ->
+      let r = Float.pow b n in
+      if Float.is_finite r then Const r else Pow (base, expo)
+  | Pow (b, Const m), Const n -> pow b (Const (m *. n))
+  | _ -> Pow (base, expo)
+
+let neg e = mul [ minus_one; e ]
+let sub a b = add [ a; neg b ]
+let div a b = mul [ a; pow b minus_one ]
+let powi b n = pow b (int n)
+let sqr e = powi e 2
+
+let func_name = function
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Tan -> "tan"
+  | Asin -> "asin"
+  | Acos -> "acos"
+  | Atan -> "atan"
+  | Sinh -> "sinh"
+  | Cosh -> "cosh"
+  | Tanh -> "tanh"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Sqrt -> "sqrt"
+  | Abs -> "abs"
+  | Sign -> "sign"
+  | Atan2 -> "atan2"
+  | Min -> "min"
+  | Max -> "max"
+  | Hypot -> "hypot"
+
+let func_arity = function
+  | Atan2 | Min | Max | Hypot -> 2
+  | Sin | Cos | Tan | Asin | Acos | Atan | Sinh | Cosh | Tanh | Exp | Log
+  | Sqrt | Abs | Sign ->
+      1
+
+let all_funcs =
+  [
+    Sin; Cos; Tan; Asin; Acos; Atan; Sinh; Cosh; Tanh; Exp; Log; Sqrt; Abs;
+    Sign; Atan2; Min; Max; Hypot;
+  ]
+
+let func_of_name s = List.find_opt (fun f -> func_name f = s) all_funcs
+let rel_name = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let eval_func f args =
+  match (f, args) with
+  | Sin, [ x ] -> Float.sin x
+  | Cos, [ x ] -> Float.cos x
+  | Tan, [ x ] -> Float.tan x
+  | Asin, [ x ] -> Float.asin x
+  | Acos, [ x ] -> Float.acos x
+  | Atan, [ x ] -> Float.atan x
+  | Sinh, [ x ] -> Float.sinh x
+  | Cosh, [ x ] -> Float.cosh x
+  | Tanh, [ x ] -> Float.tanh x
+  | Exp, [ x ] -> Float.exp x
+  | Log, [ x ] -> Float.log x
+  | Sqrt, [ x ] -> Float.sqrt x
+  | Abs, [ x ] -> Float.abs x
+  | Sign, [ x ] -> if x > 0. then 1. else if x < 0. then -1. else 0.
+  | Atan2, [ y; x ] -> Float.atan2 y x
+  | Min, [ x; y ] -> Float.min x y
+  | Max, [ x; y ] -> Float.max x y
+  | Hypot, [ x; y ] -> Float.hypot x y
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Expr.eval_func: %s applied to %d arguments"
+           (func_name f) (List.length args))
+
+let eval_rel r a b =
+  match r with Lt -> a < b | Le -> a <= b | Gt -> a > b | Ge -> a >= b
+
+let call f args =
+  if List.length args <> func_arity f then
+    invalid_arg
+      (Printf.sprintf "Expr.call: %s expects %d arguments" (func_name f)
+         (func_arity f));
+  if List.for_all is_const args then
+    let r =
+      eval_func f
+        (List.map (function Const c -> c | _ -> assert false) args)
+    in
+    if Float.is_finite r then Const r else Call (f, args)
+  else Call (f, args)
+
+let sin x = call Sin [ x ]
+let cos x = call Cos [ x ]
+let tan x = call Tan [ x ]
+let exp x = call Exp [ x ]
+let log x = call Log [ x ]
+let sqrt x = call Sqrt [ x ]
+let abs x = call Abs [ x ]
+let sign x = call Sign [ x ]
+let atan2 y x = call Atan2 [ y; x ]
+let hypot x y = call Hypot [ x; y ]
+let min_e x y = call Min [ x; y ]
+let max_e x y = call Max [ x; y ]
+let cond lhs rel rhs = { lhs; rel; rhs }
+
+let if_ c t e =
+  match (c.lhs, c.rhs) with
+  | Const a, Const b -> if eval_rel c.rel a b then t else e
+  | _ -> if equal t e then t else If (c, t, e)
+
+let ( + ) = fun a b -> add [ a; b ]
+let ( - ) = sub
+let ( * ) = fun a b -> mul [ a; b ]
+let ( / ) = div
+let ( ** ) = powi
+let ( ~- ) = neg
+
+let children = function
+  | Const _ | Var _ -> []
+  | Add xs | Mul xs | Call (_, xs) -> xs
+  | Pow (a, b) -> [ a; b ]
+  | If (c, t, e) -> [ c.lhs; c.rhs; t; e ]
+
+let map_children f = function
+  | (Const _ | Var _) as e -> e
+  | Add xs -> add (List.map f xs)
+  | Mul xs -> mul (List.map f xs)
+  | Pow (a, b) -> pow (f a) (f b)
+  | Call (g, xs) -> call g (List.map f xs)
+  | If (c, t, e) ->
+      if_ { lhs = f c.lhs; rel = c.rel; rhs = f c.rhs } (f t) (f e)
+
+let rec fold f acc e = List.fold_left (fold f) (f acc e) (children e)
+
+let vars e =
+  let module S = Set.Make (String) in
+  fold (fun s e -> match e with Var v -> S.add v s | _ -> s) S.empty e
+  |> S.elements
+
+let mem_var v e =
+  let exception Found in
+  try
+    fold (fun () e -> match e with Var w when w = v -> raise Found | _ -> ()) () e;
+    false
+  with Found -> true
+
+let size e = fold (fun n _ -> Stdlib.( + ) n 1) 0 e
+
+let rec depth e =
+  match children e with
+  | [] -> 1
+  | cs -> Stdlib.( + ) 1 (List.fold_left (fun m c -> Stdlib.max m (depth c)) 0 cs)
+
+let pp_float ppf x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Fmt.pf ppf "%d" (int_of_float x)
+  else Fmt.pf ppf "%.12g" x
+
+(* Precedence levels: 0 sum, 1 product, 2 unary minus, 3 power, 4 atom. *)
+let rec pp_prec prec ppf e =
+  let paren p body =
+    if Stdlib.( > ) prec p then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Const x when x < 0. -> paren 1 (fun ppf -> Fmt.pf ppf "%a" pp_float x)
+  | Const x -> pp_float ppf x
+  | Var v -> Fmt.string ppf v
+  | Add terms ->
+      paren 0 (fun ppf ->
+          List.iteri
+            (fun i t ->
+              match coeff_split t with
+              | c, fs when c < 0. && Stdlib.( > ) i 0 ->
+                  Fmt.pf ppf " - %a" (pp_prec 1)
+                    (if c = -1. && fs <> [] then mul_nocollect fs
+                     else mul_nocollect (Const (Float.neg c) :: fs))
+              | _ ->
+                  if Stdlib.( > ) i 0 then Fmt.pf ppf " + ";
+                  pp_prec 1 ppf t)
+            terms)
+  | Mul (Const (-1.) :: rest) ->
+      paren 2 (fun ppf -> Fmt.pf ppf "-%a" (pp_prec 2) (mul_nocollect rest))
+  | Mul factors ->
+      paren 1 (fun ppf ->
+          let num, den =
+            List.partition
+              (function Pow (_, Const n) when n < 0. -> false | _ -> true)
+              factors
+          in
+          let pp_prod ppf = function
+            | [] -> Fmt.string ppf "1"
+            | fs ->
+                List.iteri
+                  (fun i f ->
+                    if Stdlib.( > ) i 0 then Fmt.pf ppf "*";
+                    pp_prec 3 ppf f)
+                  fs
+          in
+          if den = [] then pp_prod ppf num
+          else
+            let inverted =
+              List.map
+                (function
+                  | Pow (b, Const n) -> pow b (Const (Float.neg n))
+                  | _ -> assert false)
+                den
+            in
+            Fmt.pf ppf "%a/%a" pp_prod num (pp_prec 3)
+              (match inverted with [ d ] -> d | ds -> mul_nocollect ds))
+  | Pow (b, Const n) when n < 0. ->
+      paren 1 (fun ppf ->
+          Fmt.pf ppf "1/%a" (pp_prec 3) (pow b (Const (Float.neg n))))
+  | Pow (b, e') ->
+      paren 3 (fun ppf -> Fmt.pf ppf "%a^%a" (pp_prec 4) b (pp_prec 4) e')
+  | Call (f, args) ->
+      Fmt.pf ppf "%s(%a)" (func_name f)
+        (Fmt.list ~sep:(Fmt.any ", ") (pp_prec 0))
+        args
+  | If (c, t, e') ->
+      paren 0 (fun ppf ->
+          Fmt.pf ppf "if %a %s %a then %a else %a" (pp_prec 0) c.lhs
+            (rel_name c.rel) (pp_prec 0) c.rhs (pp_prec 0) t (pp_prec 0) e')
+
+let pp = pp_prec 0

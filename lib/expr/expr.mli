@@ -1,0 +1,138 @@
+(** Symbolic mathematical expressions.
+
+    This is the term language shared by the whole ObjectMath reproduction:
+    the modelling-language frontend elaborates into it, the code generator
+    rewrites it, and the ODE solvers evaluate it.  The representation follows
+    Mathematica's convention of n-ary [Plus]/[Times] with [Power] so that
+    negation and division are derived forms; this keeps simplification and
+    common-subexpression elimination canonical.
+
+    Smart constructors ({!add}, {!mul}, ...) perform light normalisation:
+    flattening of nested sums/products, constant folding, identity and
+    absorbing-element elimination, and canonical argument ordering.  Deeper
+    rewriting lives in {!Simplify}. *)
+
+(** Primitive functions available in models.  [Atan2], [Min], [Max] and
+    [Hypot] are binary; everything else is unary. *)
+type func =
+  | Sin
+  | Cos
+  | Tan
+  | Asin
+  | Acos
+  | Atan
+  | Sinh
+  | Cosh
+  | Tanh
+  | Exp
+  | Log
+  | Sqrt
+  | Abs
+  | Sign
+  | Atan2
+  | Min
+  | Max
+  | Hypot
+
+(** Comparison relations used in piecewise expressions. *)
+type rel = Lt | Le | Gt | Ge
+
+type t = private
+  | Const of float
+  | Var of string
+  | Add of t list  (** n-ary sum; invariant: >= 2 args, flattened, sorted *)
+  | Mul of t list  (** n-ary product; same invariants as [Add] *)
+  | Pow of t * t
+  | Call of func * t list
+  | If of cond * t * t
+      (** [If (c, a, b)] evaluates [a] when [c] holds, else [b]. *)
+
+and cond = { lhs : t; rel : rel; rhs : t }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal}. *)
+
+(** {1 Constructors} *)
+
+val const : float -> t
+val int : int -> t
+val var : string -> t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+val pi : t
+
+val add : t list -> t
+val sub : t -> t -> t
+val mul : t list -> t
+val neg : t -> t
+val div : t -> t -> t
+val pow : t -> t -> t
+val powi : t -> int -> t
+val sqr : t -> t
+val call : func -> t list -> t
+
+val sin : t -> t
+val cos : t -> t
+val tan : t -> t
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+val abs : t -> t
+val sign : t -> t
+val atan2 : t -> t -> t
+val hypot : t -> t -> t
+val min_e : t -> t -> t
+val max_e : t -> t -> t
+
+val if_ : cond -> t -> t -> t
+val cond : t -> rel -> t -> cond
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ** ) : t -> int -> t
+val ( ~- ) : t -> t
+
+(** {1 Inspection} *)
+
+val is_const : t -> bool
+val const_value : t -> float option
+
+val children : t -> t list
+(** Immediate sub-expressions, including those inside conditions. *)
+
+val map_children : (t -> t) -> t -> t
+(** Rebuild a node with every immediate child transformed by [f]; smart
+    constructors re-normalise the result. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over every node of the expression tree. *)
+
+val vars : t -> string list
+(** Free variables, sorted, without duplicates. *)
+
+val mem_var : string -> t -> bool
+val size : t -> int
+val depth : t -> int
+
+val func_name : func -> string
+val func_arity : func -> int
+val func_of_name : string -> func option
+val rel_name : rel -> string
+
+val eval_func : func -> float list -> float
+(** Apply a primitive function to numeric arguments.
+    @raise Invalid_argument on arity mismatch. *)
+
+val eval_rel : rel -> float -> float -> bool
+
+val pp : t Fmt.t
+(** Infix rendering, suitable for reading; see {!Pretty} for precise
+    backend-oriented printers. *)

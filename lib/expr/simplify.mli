@@ -1,0 +1,15 @@
+(** Algebraic simplification beyond the smart-constructor normal form.
+
+    The smart constructors already flatten, sort, fold constants and collect
+    like terms/powers.  This module adds a bottom-up rewriting pass with
+    rules that are not applied eagerly: distribution of constants over sums,
+    trigonometric Pythagoras ([sin^2 x + cos^2 x = 1]), collapsing
+    [sqrt(x^2)] patterns, and branch pruning of conditionals with decidable
+    conditions. *)
+
+val simplify : Expr.t -> Expr.t
+(** Idempotent, meaning-preserving rewrite to a (locally) smaller form. *)
+
+val expand : Expr.t -> Expr.t
+(** Distribute products over sums and expand small integer powers of sums.
+    Useful before collecting terms; inverse-ish of factoring. *)

@@ -1,0 +1,74 @@
+(* Binary min-heap keyed by (time, sequence number). *)
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.; seq = 0; action = ignore }
+let create () = { heap = Array.make 64 dummy; size = 0; clock = 0.; next_seq = 0 }
+let now t = t.clock
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let at t time action =
+  if time < t.clock -. 1e-15 then
+    invalid_arg "Event_sim.at: scheduling in the past";
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let after t delay action = at t (t.clock +. delay) action
+
+let step t =
+  if t.size = 0 then false
+  else begin
+    let ev = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    t.clock <- ev.time;
+    ev.action ();
+    true
+  end
+
+let run t =
+  while step t do
+    ()
+  done
+
+let pending t = t.size

@@ -1,0 +1,25 @@
+(** Minimal discrete-event simulation core.
+
+    Events are closures ordered by simulated time (ties broken by insertion
+    order, so the simulation is deterministic).  The supervisor/worker
+    machine model runs on top of this engine. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val at : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback at an absolute time (>= now).
+    @raise Invalid_argument for times in the past. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback [delay] seconds from now. *)
+
+val run : t -> unit
+(** Execute events in time order until the queue drains. *)
+
+val step : t -> bool
+(** Execute the single earliest event; [false] when the queue is empty. *)
+
+val pending : t -> int

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  latency : float;
+  per_byte : float;
+  flop_time : float;
+  physical_procs : int;
+  timeshared : bool;
+}
+
+(* Effective scalar speed of the 1995-era processors on the
+   transcendental-heavy bearing code (~3 Mflop-units/s), calibrated so the
+   2D bearing evaluates at the paper's ~90-100 RHS-calls/s on one
+   processor (Figure 12). *)
+let default_flop_time = 0.35e-6
+
+let make ~name ~latency ~per_byte ?(flop_time = default_flop_time)
+    ?(timeshared = false) ~physical_procs () =
+  if physical_procs < 1 then invalid_arg "Machine.make: physical_procs < 1";
+  { name; latency; per_byte; flop_time; physical_procs; timeshared }
+
+let sparccenter_2000 =
+  make ~name:"SPARCCenter 2000" ~latency:4e-6 ~per_byte:0.04e-6
+    ~timeshared:true ~physical_procs:8 ()
+
+let parsytec_gcpp =
+  make ~name:"Parsytec GC/PP" ~latency:140e-6 ~per_byte:0.9e-6
+    ~physical_procs:64 ()
+
+let t3d_class_mpp =
+  make ~name:"T3D-class MPP" ~latency:6e-6 ~per_byte:0.008e-6
+    ~physical_procs:512 ()
+
+let ideal ?(flop_time = default_flop_time) n =
+  make ~name:(Printf.sprintf "ideal-%d" n) ~latency:0. ~per_byte:0.
+    ~flop_time ~physical_procs:n ()
+
+let message_time m ~bytes = m.latency +. (float_of_int bytes *. m.per_byte)
+
+let slowdown m ~nworkers =
+  if not m.timeshared then 1.
+  else
+    (* One CPU is pinned by the solver process and the OS; the remaining
+       workers time-share what is left. *)
+    let available = m.physical_procs - 1 in
+    if nworkers <= available then 1.
+    else float_of_int nworkers /. float_of_int available
+
+let compute_time m ~flops ~nworkers =
+  flops *. m.flop_time *. slowdown m ~nworkers

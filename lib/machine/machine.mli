@@ -1,0 +1,56 @@
+(** Parallel machine parameter sets.
+
+    The paper evaluates on two MIMD machines (§3.2.2, §4):
+    - a SPARCCenter 2000, shared-memory, 8 processors, where a 1-byte
+      message takes 4 µs and the UNIX timesharing OS prevents using the
+      whole machine (the "knee" in Figure 12);
+    - a Parsytec GC/PP, distributed-memory (PowerPC 601 + T805 transputer
+      links), where a 1-byte message takes 140 µs.
+
+    Times are in seconds; computation cost is converted from flop units
+    (see {!Om_expr.Cost}) at [flop_time] seconds per unit.  The default
+    flop time corresponds to the few-Mflop/s effective scalar rate of the
+    machines' 1995-era processors on transcendental-heavy code. *)
+
+type t = {
+  name : string;
+  latency : float;  (** per-message start-up time, seconds *)
+  per_byte : float;  (** transfer time per byte, seconds *)
+  flop_time : float;  (** seconds per flop unit *)
+  physical_procs : int;
+  timeshared : bool;
+      (** when true, using more processors than [physical_procs - 1]
+          workers (one CPU belongs to the solver/OS) divides worker speed
+          by the oversubscription factor *)
+}
+
+val sparccenter_2000 : t
+val parsytec_gcpp : t
+
+val t3d_class_mpp : t
+(** A 1995 low-latency massively parallel machine (Cray T3D class:
+    ~6 µs messages, ~128 MB/s links, 512 nodes) — the kind of platform
+    the paper's §6 projection assumes. *)
+
+val ideal : ?flop_time:float -> int -> t
+(** Zero-latency machine with the given processor count: the upper bound
+    the paper compares against implicitly. *)
+
+val make :
+  name:string ->
+  latency:float ->
+  per_byte:float ->
+  ?flop_time:float ->
+  ?timeshared:bool ->
+  physical_procs:int ->
+  unit ->
+  t
+
+val message_time : t -> bytes:int -> float
+(** [latency + bytes * per_byte]. *)
+
+val compute_time : t -> flops:float -> nworkers:int -> float
+(** Time for [flops] units on one worker when [nworkers] are active,
+    including the timesharing slowdown if applicable. *)
+
+val slowdown : t -> nworkers:int -> float

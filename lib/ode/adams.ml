@@ -1,0 +1,84 @@
+(* Adams–Bashforth predictor coefficients, order k uses f_n .. f_{n-k+1}. *)
+let ab_coeffs = function
+  | 1 -> [| 1. |]
+  | 2 -> [| 1.5; -0.5 |]
+  | 3 -> [| 23. /. 12.; -16. /. 12.; 5. /. 12. |]
+  | 4 -> [| 55. /. 24.; -59. /. 24.; 37. /. 24.; -9. /. 24. |]
+  | k -> invalid_arg (Printf.sprintf "Adams: unsupported order %d" k)
+
+(* Adams–Moulton corrector coefficients, order k uses f_{n+1} .. f_{n-k+2}. *)
+let am_coeffs = function
+  | 1 -> [| 1. |]
+  | 2 -> [| 0.5; 0.5 |]
+  | 3 -> [| 5. /. 12.; 8. /. 12.; -1. /. 12. |]
+  | 4 -> [| 9. /. 24.; 19. /. 24.; -5. /. 24.; 1. /. 24. |]
+  | k -> invalid_arg (Printf.sprintf "Adams: unsupported order %d" k)
+
+let pece_error_estimate pred corr =
+  let n = Array.length pred in
+  let m = ref 0. in
+  for i = 0 to n - 1 do
+    m := Float.max !m (Float.abs (corr.(i) -. pred.(i)))
+  done;
+  !m
+
+let integrate ?(order = 4) (sys : Odesys.t) ~t0 ~y0 ~tend ~h =
+  if order < 1 || order > 4 then invalid_arg "Adams.integrate: order in 1..4";
+  if h <= 0. then invalid_arg "Adams.integrate: nonpositive step";
+  let n = sys.dim in
+  let ab = ab_coeffs order and am = am_coeffs order in
+  let ts = ref [ t0 ] and ys = ref [ Array.copy y0 ] in
+  (* History of derivative evaluations, most recent first. *)
+  let fs = ref [ Odesys.rhs sys t0 y0 ] in
+  let t = ref t0 and y = ref (Array.copy y0) in
+  (* Build start-up history with RK4 so the first multistep step has
+     [order] derivative values available. *)
+  let rec startup k =
+    if k < order - 1 && !t < tend -. 1e-12 then begin
+      let h' = Float.min h (tend -. !t) in
+      y := Rk.step Rk.rk4 sys !t !y h';
+      t := !t +. h';
+      sys.counters.steps <- sys.counters.steps + 1;
+      ts := !t :: !ts;
+      ys := Array.copy !y :: !ys;
+      fs := Odesys.rhs sys !t !y :: !fs;
+      startup (k + 1)
+    end
+  in
+  startup 0;
+  while !t < tend -. 1e-12 do
+    let h' = Float.min h (tend -. !t) in
+    let hist = Array.of_list !fs in
+    (* Predict with Adams–Bashforth. *)
+    let pred =
+      Array.init n (fun i ->
+          let acc = ref !y.(i) in
+          for j = 0 to order - 1 do
+            acc := !acc +. (h' *. ab.(j) *. hist.(j).(i))
+          done;
+          !acc)
+    in
+    (* Evaluate, correct with Adams–Moulton, re-evaluate (PECE). *)
+    let fpred = Odesys.rhs sys (!t +. h') pred in
+    let corr =
+      Array.init n (fun i ->
+          let acc = ref (!y.(i) +. (h' *. am.(0) *. fpred.(i))) in
+          for j = 1 to order - 1 do
+            acc := !acc +. (h' *. am.(j) *. hist.(j - 1).(i))
+          done;
+          !acc)
+    in
+    let fcorr = Odesys.rhs sys (!t +. h') corr in
+    t := !t +. h';
+    y := corr;
+    sys.counters.steps <- sys.counters.steps + 1;
+    ts := !t :: !ts;
+    ys := Array.copy corr :: !ys;
+    fs := fcorr :: (if List.length !fs >= order then
+                      List.filteri (fun i _ -> i < order - 1) !fs
+                    else !fs)
+  done;
+  {
+    Odesys.ts = Array.of_list (List.rev !ts);
+    states = Array.of_list (List.rev !ys);
+  }

@@ -1,0 +1,21 @@
+(** Adams–Bashforth–Moulton predictor–corrector methods (the non-stiff,
+    multi-step family of paper §2.4: "an extrapolation of previously
+    calculated points").
+
+    Fixed step size, orders 1–4, PECE mode: one predictor evaluation and one
+    corrector evaluation of the RHS per step.  Startup history is built with
+    classical RK4. *)
+
+val integrate :
+  ?order:int ->
+  Odesys.t ->
+  t0:float ->
+  y0:float array ->
+  tend:float ->
+  h:float ->
+  Odesys.trajectory
+(** @raise Invalid_argument if [order] is outside 1..4 or [h <= 0]. *)
+
+val pece_error_estimate : float array -> float array -> float
+(** Infinity-norm distance between predictor and corrector, the classic
+    Milne-style local error proxy (exposed for the LSODA-style driver). *)

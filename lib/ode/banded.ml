@@ -1,0 +1,147 @@
+type t = {
+  n : int;
+  ml : int;
+  mu : int;
+  store : float array array;
+}
+
+let create ~n ~ml ~mu =
+  if n < 1 || ml < 0 || mu < 0 then invalid_arg "Banded.create";
+  { n; ml; mu; store = Array.make_matrix (ml + mu + 1) n 0. }
+
+let in_band b i j = j - i <= b.mu && i - j <= b.ml
+
+let get b i j =
+  if i < 0 || j < 0 || i >= b.n || j >= b.n then
+    invalid_arg "Banded.get: out of range";
+  if in_band b i j then b.store.(i - j + b.mu).(j) else 0.
+
+let set b i j v =
+  if (not (in_band b i j)) || i < 0 || j < 0 || i >= b.n || j >= b.n then
+    invalid_arg "Banded.set: outside the band";
+  b.store.(i - j + b.mu).(j) <- v
+
+let of_dense ~ml ~mu a =
+  let n = Array.length a in
+  let b = create ~n ~ml ~mu in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if in_band b i j then (if v <> 0. then set b i j v)
+          else if v <> 0. then
+            invalid_arg "Banded.of_dense: entry outside the band")
+        row)
+    a;
+  b
+
+let to_dense b =
+  Array.init b.n (fun i -> Array.init b.n (fun j -> get b i j))
+
+let mat_vec b x =
+  Array.init b.n (fun i ->
+      let lo = max 0 (i - b.ml) and hi = min (b.n - 1) (i + b.mu) in
+      let acc = ref 0. in
+      for j = lo to hi do
+        acc := !acc +. (get b i j *. x.(j))
+      done;
+      !acc)
+
+(* Factorisation in an expanded band: elimination with row pivoting can
+   push fill-in up to ml extra upper diagonals. *)
+type lu = {
+  fn : int;
+  fml : int;
+  fmu : int;  (** expanded upper bandwidth, mu + ml *)
+  fstore : float array array;
+  piv : int array;
+}
+
+let lu_factor b =
+  let n = b.n in
+  let fmu = b.mu + b.ml in
+  let width = b.ml + fmu + 1 in
+  let fs = Array.make_matrix width n 0. in
+  (* Row index in the expanded store for matrix entry (i, j). *)
+  let idx i j = i - j + fmu in
+  let fget i j =
+    if j - i <= fmu && i - j <= b.ml && j >= 0 && j < n && i >= 0 && i < n
+    then fs.(idx i j).(j)
+    else 0.
+  in
+  let fset i j v = fs.(idx i j).(j) <- v in
+  for j = 0 to n - 1 do
+    for i = max 0 (j - b.mu) to min (n - 1) (j + b.ml) do
+      fset i j (get b i j)
+    done
+  done;
+  let piv = Array.init n Fun.id in
+  for k = 0 to n - 1 do
+    (* Pivot search within the lower band of column k. *)
+    let last = min (n - 1) (k + b.ml) in
+    let best = ref k in
+    for i = k + 1 to last do
+      if Float.abs (fget i k) > Float.abs (fget !best k) then best := i
+    done;
+    if Float.abs (fget !best k) = 0. then raise (Linalg.Singular k);
+    if !best <> k then begin
+      (* Swap rows k and best within their shared band columns. *)
+      let hi = min (n - 1) (k + fmu) in
+      for j = k to hi do
+        let a = fget k j and b' = fget !best j in
+        fset k j b';
+        fset !best j a
+      done;
+      let tp = piv.(k) in
+      piv.(k) <- piv.(!best);
+      piv.(!best) <- tp
+    end;
+    let pivot = fget k k in
+    for i = k + 1 to last do
+      let f = fget i k /. pivot in
+      fset i k f;
+      let hi = min (n - 1) (k + fmu) in
+      for j = k + 1 to hi do
+        fset i j (fget i j -. (f *. fget k j))
+      done
+    done
+  done;
+  { fn = n; fml = b.ml; fmu; fstore = fs; piv }
+
+let lu_solve lu b =
+  let n = lu.fn in
+  if Array.length b <> n then invalid_arg "Banded.lu_solve: dimension";
+  let fget i j =
+    if j - i <= lu.fmu && i - j <= lu.fml && j >= 0 && j < n then
+      lu.fstore.(i - j + lu.fmu).(j)
+    else 0.
+  in
+  (* The permutation was built by row swaps during elimination; replay it
+     through the recorded pivot order. *)
+  let x = Array.make n 0. in
+  let src = Array.make n 0 in
+  Array.iteri (fun i p -> src.(i) <- p) lu.piv;
+  for i = 0 to n - 1 do
+    x.(i) <- b.(src.(i))
+  done;
+  (* Forward substitution (unit lower, multipliers stored in band). *)
+  for i = 0 to n - 1 do
+    let lo = max 0 (i - lu.fml) in
+    for j = lo to i - 1 do
+      x.(i) <- x.(i) -. (fget i j *. x.(j))
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let hi = min (n - 1) (i + lu.fmu) in
+    for j = i + 1 to hi do
+      x.(i) <- x.(i) -. (fget i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. fget i i
+  done;
+  x
+
+let bandwidth_of_jacobian entries =
+  List.fold_left
+    (fun (ml, mu) (r, c, _) -> (max ml (r - c), max mu (c - r)))
+    (0, 0) entries

@@ -1,0 +1,40 @@
+(** Banded linear algebra.
+
+    ODEPACK's solvers accept banded Jacobians (LSODA's [jt = 4, 5]): for
+    method-of-lines PDE systems the Jacobian has a small bandwidth and the
+    Newton iteration matrix factorises in O(n b^2) instead of O(n^3).
+    Storage follows the LINPACK band convention: [a.(r).(j)] holds matrix
+    entry [(i, j)] with [r = i - j + mu] (diagonals as rows). *)
+
+type t = {
+  n : int;
+  ml : int;  (** lower bandwidth *)
+  mu : int;  (** upper bandwidth *)
+  store : float array array;  (** (ml + mu + 1) rows by n columns *)
+}
+
+val create : n:int -> ml:int -> mu:int -> t
+val get : t -> int -> int -> float
+(** Zero outside the band. *)
+
+val set : t -> int -> int -> float -> unit
+(** @raise Invalid_argument outside the band. *)
+
+val of_dense : ml:int -> mu:int -> Linalg.mat -> t
+(** @raise Invalid_argument if the dense matrix has entries outside the
+    band. *)
+
+val to_dense : t -> Linalg.mat
+val mat_vec : t -> float array -> float array
+
+type lu
+
+val lu_factor : t -> lu
+(** Gaussian elimination with partial pivoting inside the band (fill-in
+    widens the upper bandwidth to [ml + mu]).  @raise Linalg.Singular *)
+
+val lu_solve : lu -> float array -> float array
+
+val bandwidth_of_jacobian : (int * int * 'a) list -> int * int
+(** [(ml, mu)] of a sparse entry list [(row, col, _)] — the natural input
+    from {!Om_codegen.Jacobian_gen}-style structures. *)

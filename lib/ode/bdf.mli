@@ -1,0 +1,41 @@
+(** Backward differentiation formulas (BDF) of orders 1–3 with modified
+    Newton iteration — the stiff half of LSODA (paper §3.2.1: "one of the
+    solvers which implements BDF methods, which are usually used to solve
+    stiff ODEs").
+
+    Fixed step size.  The Newton iteration matrix [I - h*beta*J] is
+    factorised once per step and reused across iterations (modified
+    Newton); the Jacobian comes from the system's analytic function when
+    available, otherwise finite differences.  [banded] declares the
+    Jacobian's band structure (see {!Banded}). *)
+
+val integrate :
+  ?order:int ->
+  ?newton_tol:float ->
+  ?max_newton:int ->
+  ?banded:int * int ->
+  Odesys.t ->
+  t0:float ->
+  y0:float array ->
+  tend:float ->
+  h:float ->
+  Odesys.trajectory
+(** @raise Invalid_argument for orders outside 1..3.
+    @raise Failure if Newton fails to converge. *)
+
+val solve_implicit_stage :
+  ?banded:int * int ->
+  Odesys.t ->
+  tol:float ->
+  max_iter:int ->
+  t_next:float ->
+  beta_h:float ->
+  rhs_const:float array ->
+  alpha0:float ->
+  y_guess:float array ->
+  float array
+(** Solve [alpha0 * y = rhs_const + beta_h * f(t_next, y)] by modified
+    Newton; shared with the LSODA-style driver.  With [banded = (ml, mu)]
+    the Newton matrix factorises inside the band in O(n (ml+mu)^2) — the
+    right choice for method-of-lines PDE systems.
+    @raise Failure on non-convergence. *)

@@ -1,0 +1,98 @@
+type event = {
+  label : string;
+  g : float -> float array -> float;
+}
+
+type occurrence = {
+  event_index : int;
+  event_label : string;
+  time : float;
+  state : float array;
+  rising : bool;
+}
+
+type result = {
+  trajectory : Odesys.trajectory;
+  occurrences : occurrence list;
+  lsoda : Lsoda.result;
+}
+
+(* Linear interpolation between two saved states. *)
+let interp t0 y0 t1 y1 t =
+  let w = (t -. t0) /. (t1 -. t0) in
+  Array.init (Array.length y0) (fun i -> y0.(i) +. (w *. (y1.(i) -. y0.(i))))
+
+(* Bisection for the zero of [g] along the interpolated segment; the
+   interpolation anchors stay at the original step endpoints while the
+   time bracket narrows. *)
+let refine ~t_tol g ta ya tb yb =
+  let interp_t t = interp ta ya tb yb t in
+  let ga = g ta ya in
+  let rec go lo hi glo k =
+    let tm = 0.5 *. (lo +. hi) in
+    if hi -. lo <= t_tol || k > 60 then (tm, interp_t tm)
+    else
+      let ym = interp_t tm in
+      let gm = g tm ym in
+      if (glo <= 0. && gm > 0.) || (glo > 0. && gm <= 0.) then
+        go lo tm glo (k + 1)
+      else go tm hi gm (k + 1)
+  in
+  go ta tb ga 0
+
+let integrate ?atol ?rtol ?t_tol ?(stop_at_first = false) ~events sys ~t0 ~y0
+    ~tend =
+  let lsoda = Lsoda.integrate ?atol ?rtol sys ~t0 ~y0 ~tend in
+  let tr = lsoda.trajectory in
+  let t_tol =
+    match t_tol with Some v -> v | None -> 1e-9 *. (tend -. t0)
+  in
+  let events = Array.of_list events in
+  let prev = Array.map (fun e -> e.g tr.ts.(0) tr.states.(0)) events in
+  let occurrences = ref [] in
+  let n = Array.length tr.ts in
+  let cut = ref n in
+  (try
+     for k = 1 to n - 1 do
+       let t1 = tr.ts.(k) and y1 = tr.states.(k) in
+       Array.iteri
+         (fun i e ->
+           let g1 = e.g t1 y1 in
+           let g0 = prev.(i) in
+           if (g0 < 0. && g1 >= 0.) || (g0 > 0. && g1 <= 0.) then begin
+             let ta = tr.ts.(k - 1) and ya = tr.states.(k - 1) in
+             let time, state = refine ~t_tol e.g ta ya t1 y1 in
+             occurrences :=
+               {
+                 event_index = i;
+                 event_label = e.label;
+                 time;
+                 state;
+                 rising = g0 < 0.;
+               }
+               :: !occurrences;
+             if stop_at_first then begin
+               cut := k + 1;
+               raise Exit
+             end
+           end;
+           prev.(i) <- g1)
+         events
+     done
+   with Exit -> ());
+  let trajectory =
+    if !cut >= n then tr
+    else
+      {
+        Odesys.ts = Array.sub tr.ts 0 !cut;
+        states = Array.sub tr.states 0 !cut;
+      }
+  in
+  {
+    trajectory;
+    occurrences = List.rev !occurrences;
+    lsoda;
+  }
+
+let crossings r label =
+  List.filter (fun o -> o.event_label = label) r.occurrences

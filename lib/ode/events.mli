@@ -1,0 +1,49 @@
+(** Event detection (root finding) during integration.
+
+    ODEPACK — the solver collection the paper builds on (§3.2.1) — pairs
+    LSODA with LSODAR, "the rootfinding variant": integration stops where
+    user-supplied event functions [g_i(t, y)] cross zero.  For the bearing
+    models this localises contact onset/loss, exactly the conditional
+    switches that drive the semi-dynamic scheduler.
+
+    Detection: after every accepted step the event functions are compared
+    against their values at the previous step; a sign change is refined by
+    bisection on linearly interpolated states down to [t_tol]. *)
+
+type event = {
+  label : string;
+  g : float -> float array -> float;  (** the event function g(t, y) *)
+}
+
+type occurrence = {
+  event_index : int;
+  event_label : string;
+  time : float;
+  state : float array;
+  rising : bool;  (** g went from negative to positive *)
+}
+
+type result = {
+  trajectory : Odesys.trajectory;
+  occurrences : occurrence list;  (** in chronological order *)
+  lsoda : Lsoda.result;
+}
+
+val integrate :
+  ?atol:float ->
+  ?rtol:float ->
+  ?t_tol:float ->
+  ?stop_at_first:bool ->
+  events:event list ->
+  Odesys.t ->
+  t0:float ->
+  y0:float array ->
+  tend:float ->
+  result
+(** Integrate with the LSODA-style driver, recording every zero crossing
+    of every event function.  [t_tol] (default [1e-9] of the span) is the
+    bisection resolution.  With [stop_at_first] the trajectory is cut at
+    the first occurrence. *)
+
+val crossings : result -> string -> occurrence list
+(** Occurrences of the event with the given label. *)

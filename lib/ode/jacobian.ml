@@ -1,0 +1,32 @@
+let numeric_into ?(eps = 1e-8) (sys : Odesys.t) t y (m : Linalg.mat) =
+  let n = sys.dim in
+  let f0 = Array.make n 0. in
+  Odesys.rhs_into sys t y f0;
+  let yj = Array.copy y in
+  let fj = Array.make n 0. in
+  for j = 0 to n - 1 do
+    let h = eps *. Float.max 1. (Float.abs y.(j)) in
+    yj.(j) <- y.(j) +. h;
+    Odesys.rhs_into sys t yj fj;
+    yj.(j) <- y.(j);
+    for i = 0 to n - 1 do
+      m.(i).(j) <- (fj.(i) -. f0.(i)) /. h
+    done
+  done
+
+let numeric ?eps (sys : Odesys.t) t y =
+  let m = Linalg.make sys.dim sys.dim 0. in
+  numeric_into ?eps sys t y m;
+  sys.counters.jac_calls <- sys.counters.jac_calls + 1;
+  m
+
+let eval_into ?eps (sys : Odesys.t) t y m =
+  sys.counters.jac_calls <- sys.counters.jac_calls + 1;
+  match sys.jac with
+  | Some j -> j t y m
+  | None -> numeric_into ?eps sys t y m
+
+let analytic (sys : Odesys.t) t y =
+  let m = Linalg.make sys.dim sys.dim 0. in
+  eval_into sys t y m;
+  m

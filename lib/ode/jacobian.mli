@@ -1,0 +1,14 @@
+(** Jacobian matrices df/dy of an ODE system. *)
+
+val numeric :
+  ?eps:float -> Odesys.t -> float -> float array -> Linalg.mat
+(** Forward-difference approximation; [dim + 1] RHS evaluations, the
+    "usually very expensive" internal path of LSODA the paper mentions. *)
+
+val analytic : Odesys.t -> float -> float array -> Linalg.mat
+(** Use the system's analytic Jacobian when present, else fall back to
+    {!numeric}. *)
+
+val eval_into :
+  ?eps:float -> Odesys.t -> float -> float array -> Linalg.mat -> unit
+(** In-place version of {!analytic}, used by the BDF inner loop. *)

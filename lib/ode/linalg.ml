@@ -1,0 +1,139 @@
+type mat = float array array
+
+let make rows cols x = Array.init rows (fun _ -> Array.make cols x)
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))
+
+let copy a = Array.map Array.copy a
+
+let dims a =
+  let rows = Array.length a in
+  (rows, if rows = 0 then 0 else Array.length a.(0))
+
+let mat_vec a x =
+  Array.map
+    (fun row ->
+      let acc = ref 0. in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+      !acc)
+    a
+
+let mat_mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Linalg.mat_mul: dimension mismatch";
+  Array.init ra (fun i ->
+      Array.init cb (fun j ->
+          let acc = ref 0. in
+          for k = 0 to ca - 1 do
+            acc := !acc +. (a.(i).(k) *. b.(k).(j))
+          done;
+          !acc))
+
+let transpose a =
+  let r, c = dims a in
+  Array.init c (fun j -> Array.init r (fun i -> a.(i).(j)))
+
+let scale s a = Array.map (Array.map (fun x -> s *. x)) a
+
+let zip_with f a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ra <> rb || ca <> cb then invalid_arg "Linalg: dimension mismatch";
+  Array.init ra (fun i -> Array.init ca (fun j -> f a.(i).(j) b.(i).(j)))
+
+let add = zip_with ( +. )
+let sub = zip_with ( -. )
+
+type lu = { a : mat; piv : int array; sign : float }
+
+exception Singular of int
+
+let lu_factor m =
+  let n = Array.length m in
+  if n > 0 && Array.length m.(0) <> n then
+    invalid_arg "Linalg.lu_factor: not square";
+  let a = copy m in
+  let piv = Array.init n Fun.id in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest magnitude entry of column k
+       into the pivot position. *)
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(i).(k) > Float.abs a.(!best).(k) then best := i
+    done;
+    if !best <> k then begin
+      let tmp = a.(k) in
+      a.(k) <- a.(!best);
+      a.(!best) <- tmp;
+      let tp = piv.(k) in
+      piv.(k) <- piv.(!best);
+      piv.(!best) <- tp;
+      sign := Float.neg !sign
+    end;
+    let pivot = a.(k).(k) in
+    if pivot = 0. then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = a.(i).(k) /. pivot in
+      a.(i).(k) <- f;
+      for j = k + 1 to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (f *. a.(k).(j))
+      done
+    done
+  done;
+  { a; piv; sign = !sign }
+
+let lu_solve { a; piv; _ } b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Linalg.lu_solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(piv.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (a.(i).(j) *. x.(j))
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (a.(i).(j) *. x.(j))
+    done;
+    x.(i) <- x.(i) /. a.(i).(i)
+  done;
+  x
+
+let lu_det { a; sign; _ } =
+  let n = Array.length a in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. a.(i).(i)
+  done;
+  !d
+
+let solve m b = lu_solve (lu_factor m) b
+
+let inverse m =
+  let n = Array.length m in
+  let f = lu_factor m in
+  let cols =
+    Array.init n (fun j ->
+        lu_solve f (Array.init n (fun i -> if i = j then 1. else 0.)))
+  in
+  Array.init n (fun i -> Array.init n (fun j -> cols.(j).(i)))
+
+let norm_inf v = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. v
+
+let norm2 v =
+  Float.sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v)
+
+let wrms_norm v w =
+  let n = Array.length v in
+  if n = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let r = v.(i) /. w.(i) in
+      acc := !acc +. (r *. r)
+    done;
+    Float.sqrt (!acc /. float_of_int n)
+  end

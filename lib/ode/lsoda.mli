@@ -1,0 +1,39 @@
+(** LSODA-style automatic stiff/non-stiff switching solver.
+
+    The paper drives its generated RHS code with LSODA from ODEPACK
+    (Hindmarsh & Petzold), which "automatically selects between methods for
+    stiff and nonstiff systems".  This module reproduces that structure with
+    a variable-step order-2 Adams–Bashforth–Moulton pair for the non-stiff
+    regime and a variable-step BDF2 with modified Newton for the stiff
+    regime, switching on a step-size/stability heuristic in the spirit of
+    Petzold (SIAM J. Sci. Stat. Comput. 4(1), 1983): when the
+    accuracy-chosen step keeps running into the explicit method's stability
+    bound (h·L ≈ 1 with L a local Lipschitz estimate), the stiff method
+    takes over; when the stiff method's steps are comfortably inside the
+    explicit stability region again, control returns to Adams. *)
+
+type mode = Adams_mode | Bdf_mode
+
+type result = {
+  trajectory : Odesys.trajectory;
+  switches : (float * mode) list;
+      (** Times at which the method changed, with the new method. *)
+  final_mode : mode;
+}
+
+val integrate :
+  ?atol:float ->
+  ?rtol:float ->
+  ?h0:float ->
+  ?max_steps:int ->
+  ?stiffness_window:int ->
+  ?start_mode:mode ->
+  Odesys.t ->
+  t0:float ->
+  y0:float array ->
+  tend:float ->
+  result
+(** @raise Failure when the step count budget (default 2_000_000) is
+    exhausted or the step size underflows. *)
+
+val pp_mode : mode Fmt.t

@@ -1,0 +1,152 @@
+type counters = {
+  mutable rhs_calls : int;
+  mutable jac_calls : int;
+  mutable steps : int;
+  mutable rejected : int;
+  mutable newton_iters : int;
+  mutable lu_factorisations : int;
+}
+
+type t = {
+  dim : int;
+  names : string array;
+  f : float -> float array -> float array -> unit;
+  jac : (float -> float array -> Linalg.mat -> unit) option;
+  symbolic : (string * Om_expr.Expr.t) list option;
+  counters : counters;
+}
+
+let fresh_counters () =
+  {
+    rhs_calls = 0;
+    jac_calls = 0;
+    steps = 0;
+    rejected = 0;
+    newton_iters = 0;
+    lu_factorisations = 0;
+  }
+
+let reset_counters sys =
+  let c = sys.counters in
+  c.rhs_calls <- 0;
+  c.jac_calls <- 0;
+  c.steps <- 0;
+  c.rejected <- 0;
+  c.newton_iters <- 0;
+  c.lu_factorisations <- 0
+
+let pp_counters ppf c =
+  Fmt.pf ppf "steps=%d rhs=%d jac=%d rejected=%d newton=%d lu=%d" c.steps
+    c.rhs_calls c.jac_calls c.rejected c.newton_iters c.lu_factorisations
+
+let make ?names ?jac ~dim f =
+  let names =
+    match names with
+    | Some a ->
+        if Array.length a <> dim then
+          invalid_arg "Odesys.make: names length mismatch";
+        a
+    | None -> Array.init dim (Printf.sprintf "y%d")
+  in
+  { dim; names; f; jac; symbolic = None; counters = fresh_counters () }
+
+let rhs_into sys t y ydot =
+  sys.counters.rhs_calls <- sys.counters.rhs_calls + 1;
+  sys.f t y ydot
+
+let rhs sys t y =
+  let ydot = Array.make sys.dim 0. in
+  rhs_into sys t y ydot;
+  ydot
+
+let of_equations ?(time_var = "t") ?(with_symbolic_jacobian = true) eqs =
+  let states = List.map fst eqs in
+  let module S = Set.Make (String) in
+  let state_set =
+    List.fold_left
+      (fun s v ->
+        if S.mem v s then invalid_arg ("Odesys.of_equations: duplicate " ^ v)
+        else S.add v s)
+      S.empty states
+  in
+  List.iter
+    (fun (_, e) ->
+      List.iter
+        (fun v ->
+          if (not (S.mem v state_set)) && v <> time_var then
+            invalid_arg ("Odesys.of_equations: free variable " ^ v))
+        (Om_expr.Expr.vars e))
+    eqs;
+  let dim = List.length eqs in
+  let names = Array.of_list states in
+  (* Value vector layout: states first, then time. *)
+  let layout = Array.append names [| time_var |] in
+  let fns =
+    Array.of_list (List.map (fun (_, e) -> Om_expr.Eval.eval_fn layout e) eqs)
+  in
+  let buf = Array.make (dim + 1) 0. in
+  let f t y ydot =
+    Array.blit y 0 buf 0 dim;
+    buf.(dim) <- t;
+    for i = 0 to dim - 1 do
+      ydot.(i) <- fns.(i) buf
+    done
+  in
+  let jac =
+    if not with_symbolic_jacobian then None
+    else
+      let entries =
+        List.map
+          (fun (_, e) ->
+            Array.map
+              (fun s -> Om_expr.Eval.eval_fn layout (Om_expr.Deriv.diff s e))
+              names)
+          eqs
+        |> Array.of_list
+      in
+      Some
+        (fun t y (m : Linalg.mat) ->
+          Array.blit y 0 buf 0 dim;
+          buf.(dim) <- t;
+          for i = 0 to dim - 1 do
+            for j = 0 to dim - 1 do
+              m.(i).(j) <- entries.(i).(j) buf
+            done
+          done)
+  in
+  { dim; names; f; jac; symbolic = Some eqs; counters = fresh_counters () }
+
+type trajectory = { ts : float array; states : float array array }
+
+let final_state tr = tr.states.(Array.length tr.states - 1)
+
+let sample tr ~times =
+  let n = Array.length tr.ts in
+  if n = 0 then invalid_arg "Odesys.sample: empty trajectory";
+  let dim = Array.length tr.states.(0) in
+  Array.map
+    (fun t ->
+      if t <= tr.ts.(0) then Array.copy tr.states.(0)
+      else if t >= tr.ts.(n - 1) then Array.copy tr.states.(n - 1)
+      else begin
+        (* Binary search for the bracketing step. *)
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if tr.ts.(mid) <= t then lo := mid else hi := mid
+        done;
+        let t0 = tr.ts.(!lo) and t1 = tr.ts.(!hi) in
+        let w = if t1 > t0 then (t -. t0) /. (t1 -. t0) else 0. in
+        Array.init dim (fun i ->
+            tr.states.(!lo).(i)
+            +. (w *. (tr.states.(!hi).(i) -. tr.states.(!lo).(i))))
+      end)
+    times
+
+let column tr name sys =
+  let idx =
+    match Array.find_index (fun n -> n = name) sys.names with
+    | Some i -> i
+    | None -> invalid_arg ("Odesys.column: unknown state " ^ name)
+  in
+  Array.map (fun y -> y.(idx)) tr.states

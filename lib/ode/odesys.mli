@@ -1,0 +1,76 @@
+(** Explicit first-order ODE systems [y'(t) = f(t, y)].
+
+    This is the object handed to every solver; paper §2.4 calls [f] the RHS
+    function and makes it the sole target of parallelisation.  Systems can
+    be built from OCaml closures or elaborated from symbolic equations, in
+    which case the symbolic right-hand sides are kept for the code
+    generator. *)
+
+type counters = {
+  mutable rhs_calls : int;
+  mutable jac_calls : int;
+  mutable steps : int;
+  mutable rejected : int;
+  mutable newton_iters : int;
+  mutable lu_factorisations : int;
+}
+
+type t = {
+  dim : int;
+  names : string array;  (** state variable names, length [dim] *)
+  f : float -> float array -> float array -> unit;
+      (** [f t y ydot] writes the derivatives into [ydot]. *)
+  jac : (float -> float array -> Linalg.mat -> unit) option;
+      (** Optional analytic Jacobian df/dy, written in place. *)
+  symbolic : (string * Om_expr.Expr.t) list option;
+      (** [(state, rhs)] pairs when elaborated from equations. *)
+  counters : counters;
+}
+
+val fresh_counters : unit -> counters
+val reset_counters : t -> unit
+
+val pp_counters : counters Fmt.t
+(** One-line rendering:
+    [steps=.. rhs=.. jac=.. rejected=.. newton=.. lu=..]. *)
+
+val make :
+  ?names:string array ->
+  ?jac:(float -> float array -> Linalg.mat -> unit) ->
+  dim:int ->
+  (float -> float array -> float array -> unit) ->
+  t
+
+val rhs : t -> float -> float array -> float array
+(** Allocating wrapper around [f] that bumps the call counter. *)
+
+val rhs_into : t -> float -> float array -> float array -> unit
+(** Non-allocating [f] call that bumps the call counter. *)
+
+val of_equations :
+  ?time_var:string -> ?with_symbolic_jacobian:bool ->
+  (string * Om_expr.Expr.t) list ->
+  t
+(** Elaborate symbolic first-order equations [x' = rhs].  Each right-hand
+    side may reference any state variable and the time variable (default
+    ["t"]).  With [with_symbolic_jacobian] (default true) the analytic
+    Jacobian is derived symbolically, the paper's "extra function dedicated
+    to computing the Jacobian".
+    @raise Invalid_argument on duplicate states or free variables that are
+    neither states nor time. *)
+
+type trajectory = {
+  ts : float array;
+  states : float array array;  (** [states.(k)] is the state at [ts.(k)] *)
+}
+
+val final_state : trajectory -> float array
+
+val column : trajectory -> string -> t -> float array
+(** Time series of one named state variable. *)
+
+val sample : trajectory -> times:float array -> float array array
+(** Linear interpolation of the trajectory at the given (ascending) query
+    times; endpoints clamp.  Used for plotting and for comparing
+    trajectories computed on different step sequences.
+    @raise Invalid_argument on an empty trajectory. *)

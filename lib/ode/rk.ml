@@ -1,0 +1,129 @@
+type fixed_stepper =
+  Odesys.t -> float -> float array -> float -> float array
+
+let axpy n a x y =
+  (* y + a*x, fresh array *)
+  Array.init n (fun i -> y.(i) +. (a *. x.(i)))
+
+let euler : fixed_stepper =
+ fun sys t y h ->
+  let k1 = Odesys.rhs sys t y in
+  axpy sys.dim h k1 y
+
+let heun : fixed_stepper =
+ fun sys t y h ->
+  let k1 = Odesys.rhs sys t y in
+  let k2 = Odesys.rhs sys (t +. h) (axpy sys.dim h k1 y) in
+  Array.init sys.dim (fun i -> y.(i) +. (h /. 2. *. (k1.(i) +. k2.(i))))
+
+let rk4 : fixed_stepper =
+ fun sys t y h ->
+  let n = sys.dim in
+  let k1 = Odesys.rhs sys t y in
+  let k2 = Odesys.rhs sys (t +. (h /. 2.)) (axpy n (h /. 2.) k1 y) in
+  let k3 = Odesys.rhs sys (t +. (h /. 2.)) (axpy n (h /. 2.) k2 y) in
+  let k4 = Odesys.rhs sys (t +. h) (axpy n h k3 y) in
+  Array.init n (fun i ->
+      y.(i) +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+
+let step (s : fixed_stepper) = s
+
+let integrate_fixed stepper (sys : Odesys.t) ~t0 ~y0 ~tend ~h =
+  if h <= 0. then invalid_arg "Rk.integrate_fixed: nonpositive step";
+  let ts = ref [ t0 ] and ys = ref [ Array.copy y0 ] in
+  let t = ref t0 and y = ref (Array.copy y0) in
+  while !t < tend -. 1e-12 do
+    let h' = Float.min h (tend -. !t) in
+    y := stepper sys !t !y h';
+    t := !t +. h';
+    sys.counters.steps <- sys.counters.steps + 1;
+    ts := !t :: !ts;
+    ys := !y :: !ys
+  done;
+  {
+    Odesys.ts = Array.of_list (List.rev !ts);
+    states = Array.of_list (List.rev !ys);
+  }
+
+(* Runge–Kutta–Fehlberg 4(5) coefficients. *)
+let rkf_c = [| 0.; 0.25; 3. /. 8.; 12. /. 13.; 1.; 0.5 |]
+
+let rkf_a =
+  [|
+    [||];
+    [| 0.25 |];
+    [| 3. /. 32.; 9. /. 32. |];
+    [| 1932. /. 2197.; -7200. /. 2197.; 7296. /. 2197. |];
+    [| 439. /. 216.; -8.; 3680. /. 513.; -845. /. 4104. |];
+    [| -8. /. 27.; 2.; -3544. /. 2565.; 1859. /. 4104.; -11. /. 40. |];
+  |]
+
+let rkf_b5 =
+  [| 16. /. 135.; 0.; 6656. /. 12825.; 28561. /. 56430.; -9. /. 50.; 2. /. 55. |]
+
+let rkf_b4 = [| 25. /. 216.; 0.; 1408. /. 2565.; 2197. /. 4104.; -0.2; 0. |]
+
+let rkf45 ?(atol = 1e-8) ?(rtol = 1e-6) ?h0 ?(max_steps = 1_000_000)
+    (sys : Odesys.t) ~t0 ~y0 ~tend =
+  let n = sys.dim in
+  let span = tend -. t0 in
+  if span <= 0. then invalid_arg "Rk.rkf45: tend <= t0";
+  let h = ref (match h0 with Some h -> h | None -> span /. 100.) in
+  let t = ref t0 and y = ref (Array.copy y0) in
+  let ts = ref [ t0 ] and ys = ref [ Array.copy y0 ] in
+  let k = Array.make 6 [||] in
+  let steps = ref 0 in
+  while !t < tend -. 1e-12 do
+    incr steps;
+    if !steps > max_steps then failwith "Rk.rkf45: too many steps";
+    let h' = Float.min !h (tend -. !t) in
+    for s = 0 to 5 do
+      let ys_stage =
+        Array.init n (fun i ->
+            let acc = ref !y.(i) in
+            for j = 0 to s - 1 do
+              acc := !acc +. (h' *. rkf_a.(s).(j) *. k.(j).(i))
+            done;
+            !acc)
+      in
+      k.(s) <- Odesys.rhs sys (!t +. (rkf_c.(s) *. h')) ys_stage
+    done;
+    let y5 =
+      Array.init n (fun i ->
+          let acc = ref !y.(i) in
+          for s = 0 to 5 do
+            acc := !acc +. (h' *. rkf_b5.(s) *. k.(s).(i))
+          done;
+          !acc)
+    in
+    let err =
+      Array.init n (fun i ->
+          let acc = ref 0. in
+          for s = 0 to 5 do
+            acc := !acc +. (h' *. (rkf_b5.(s) -. rkf_b4.(s)) *. k.(s).(i))
+          done;
+          !acc)
+    in
+    let weights =
+      Array.init n (fun i ->
+          atol +. (rtol *. Float.max (Float.abs !y.(i)) (Float.abs y5.(i))))
+    in
+    let e = Linalg.wrms_norm err weights in
+    if e <= 1. then begin
+      t := !t +. h';
+      y := y5;
+      sys.counters.steps <- sys.counters.steps + 1;
+      ts := !t :: !ts;
+      ys := Array.copy y5 :: !ys
+    end
+    else sys.counters.rejected <- sys.counters.rejected + 1;
+    (* Standard step-size update with safety factor, clamped growth. *)
+    let factor =
+      if e = 0. then 5. else Float.min 5. (Float.max 0.2 (0.9 *. (e ** (-0.2))))
+    in
+    h := h' *. factor
+  done;
+  {
+    Odesys.ts = Array.of_list (List.rev !ts);
+    states = Array.of_list (List.rev !ys);
+  }

@@ -1,0 +1,37 @@
+(** Explicit Runge–Kutta solvers: fixed-step Euler/Heun/RK4 ("single-step
+    methods" of paper §2.4) and adaptive RKF45 with PI step control. *)
+
+type fixed_stepper
+(** One fixed step [t, y, h -> y(t+h)]. *)
+
+val euler : fixed_stepper
+val heun : fixed_stepper
+val rk4 : fixed_stepper
+
+val step : fixed_stepper -> Odesys.t -> float -> float array -> float -> float array
+
+val integrate_fixed :
+  fixed_stepper ->
+  Odesys.t ->
+  t0:float ->
+  y0:float array ->
+  tend:float ->
+  h:float ->
+  Odesys.trajectory
+(** March from [t0] to [tend] with constant step (the last step is shortened
+    to land exactly on [tend]).  Records every step. *)
+
+val rkf45 :
+  ?atol:float ->
+  ?rtol:float ->
+  ?h0:float ->
+  ?max_steps:int ->
+  Odesys.t ->
+  t0:float ->
+  y0:float array ->
+  tend:float ->
+  Odesys.trajectory
+(** Adaptive Runge–Kutta–Fehlberg 4(5).  Steps are accepted when the
+    embedded error estimate passes the weighted RMS test with weights
+    [atol + rtol * |y|].
+    @raise Failure if [max_steps] (default 1_000_000) is exhausted. *)

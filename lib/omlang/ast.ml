@@ -1,0 +1,92 @@
+(** Surface abstract syntax of the ObjectMath-like modelling language.
+
+    The language mirrors the constructs the paper's models use (Figures 1
+    and 5): classes whose bodies declare parameters, state variables and
+    differential equations; single inheritance with parameter rebinding;
+    composition through parts; and arrays of instances such as the ten
+    rollers [W[i]] of the 2D bearing. *)
+
+type pos = { line : int; col : int }
+
+type binop = Badd | Bsub | Bmul | Bdiv | Bpow
+
+(** Surface expressions.  Names are resolved during flattening. *)
+type sexpr =
+  | Snum of float
+  | Sname of name
+  | Sbin of binop * sexpr * sexpr
+  | Sneg of sexpr
+  | Scall of string * sexpr list
+  | Sif of scond * sexpr * sexpr
+
+and scond = { sc_lhs : sexpr; sc_rel : Om_expr.Expr.rel; sc_rhs : sexpr }
+
+(** A possibly qualified, possibly indexed name:
+    [x], [Outer.omega], [W[3].x], [W[i].x]. *)
+and name = { segments : segment list }
+
+and segment = { base : string; index : sexpr option }
+
+type binding = string * sexpr
+
+type member =
+  | Parameter of string * sexpr
+  | Variable of string * sexpr  (** state variable with initial value *)
+  | Alias of string * sexpr  (** auxiliary algebraic definition *)
+  | Part of string * string * binding list
+      (** composition: [part name : Class with ...] *)
+  | Equation of string * sexpr  (** [der(x) = rhs] *)
+
+type class_def = {
+  cname : string;
+  parent : (string * binding list) option;
+  members : member list;
+  cpos : pos;
+}
+
+type instance_def = {
+  iname : string;
+  range : (int * int) option;  (** [instance W[1..10]] *)
+  icls : string;
+  ibindings : binding list;
+  ipos : pos;
+}
+
+type model = {
+  mname : string;
+  classes : class_def list;
+  instances : instance_def list;
+}
+
+let name_of_string s = { segments = [ { base = s; index = None } ] }
+
+let rec pp_sexpr ppf = function
+  | Snum x -> Fmt.float ppf x
+  | Sname n -> pp_name ppf n
+  | Sbin (op, a, b) ->
+      let s =
+        match op with
+        | Badd -> "+"
+        | Bsub -> "-"
+        | Bmul -> "*"
+        | Bdiv -> "/"
+        | Bpow -> "^"
+      in
+      Fmt.pf ppf "(%a %s %a)" pp_sexpr a s pp_sexpr b
+  | Sneg a -> Fmt.pf ppf "(-%a)" pp_sexpr a
+  | Scall (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") pp_sexpr) args
+  | Sif (c, a, b) ->
+      Fmt.pf ppf "(if %a %s %a then %a else %a)" pp_sexpr c.sc_lhs
+        (Om_expr.Expr.rel_name c.sc_rel)
+        pp_sexpr c.sc_rhs pp_sexpr a pp_sexpr b
+
+and pp_name ppf { segments } =
+  List.iteri
+    (fun i { base; index } ->
+      if i > 0 then Fmt.char ppf '.';
+      Fmt.string ppf base;
+      match index with
+      | Some ix -> Fmt.pf ppf "[%a]" pp_sexpr ix
+      | None -> ())
+    segments

@@ -1,0 +1,121 @@
+type node = {
+  cname : string;
+  parent : string option;
+  children : string list;
+  parts : (string * string) list;
+  instances : string list;
+}
+
+let err fmt = Printf.ksprintf (fun s -> raise (Flatten.Error s)) fmt
+
+let instance_label (i : Ast.instance_def) =
+  match i.range with
+  | None -> i.iname
+  | Some (lo, hi) -> Printf.sprintf "%s[%d..%d]" i.iname lo hi
+
+let analyse (m : Ast.model) =
+  let class_names = List.map (fun (c : Ast.class_def) -> c.cname) m.classes in
+  let check name =
+    if not (List.mem name class_names) then err "unknown class %s" name
+  in
+  List.map
+    (fun (c : Ast.class_def) ->
+      let parent =
+        match c.parent with
+        | Some (p, _) ->
+            check p;
+            Some p
+        | None -> None
+      in
+      let children =
+        List.filter_map
+          (fun (other : Ast.class_def) ->
+            match other.parent with
+            | Some (p, _) when p = c.cname -> Some other.cname
+            | _ -> None)
+          m.classes
+      in
+      let parts =
+        List.filter_map
+          (function
+            | Ast.Part (n, cls, _) ->
+                check cls;
+                Some (n, cls)
+            | _ -> None)
+          c.members
+      in
+      let instances =
+        List.filter_map
+          (fun (i : Ast.instance_def) ->
+            if i.icls = c.cname then Some (instance_label i) else None)
+          m.instances
+      in
+      { cname = c.cname; parent; children; parts; instances })
+    m.classes
+
+let inheritance_tree (m : Ast.model) =
+  let nodes = analyse m in
+  let find name = List.find (fun n -> n.cname = name) nodes in
+  let buf = Buffer.create 512 in
+  let rec render indent n =
+    Buffer.add_string buf indent;
+    Buffer.add_string buf n.cname;
+    (match n.instances with
+    | [] -> ()
+    | is ->
+        Buffer.add_string buf
+          (Printf.sprintf "  <- instances: %s" (String.concat ", " is)));
+    Buffer.add_char buf '\n';
+    List.iter (fun child -> render (indent ^ "  ") (find child)) n.children
+  in
+  List.iter (fun n -> if n.parent = None then render "" n) nodes;
+  Buffer.contents buf
+
+let composition_tree (m : Ast.model) =
+  let nodes = analyse m in
+  let find name = List.find (fun n -> n.cname = name) nodes in
+  let buf = Buffer.create 512 in
+  let rec render indent label cls depth =
+    Buffer.add_string buf indent;
+    Buffer.add_string buf (Printf.sprintf "%s : %s\n" label cls);
+    if depth < 16 then
+      List.iter
+        (fun (pname, pcls) -> render (indent ^ "  ") pname pcls (depth + 1))
+        (find cls).parts
+  in
+  List.iter
+    (fun (i : Ast.instance_def) -> render "" (instance_label i) i.icls 0)
+    m.instances;
+  Buffer.contents buf
+
+let to_dot (m : Ast.model) =
+  let nodes = analyse m in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph \"model\" {\n  rankdir=BT;\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [shape=box];\n" n.cname);
+      (match n.parent with
+      | Some p ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" -> \"%s\";\n" n.cname p)
+      | None -> ());
+      List.iter
+        (fun (pname, pcls) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  \"%s\" -> \"%s\" [style=dashed, label=\"%s\"];\n" n.cname
+               pcls pname))
+        n.parts;
+      List.iter
+        (fun inst ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  \"inst %s\" [shape=ellipse];\n  \"inst %s\" -> \"%s\" \
+                [style=dotted];\n"
+               inst inst n.cname))
+        n.instances)
+    nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

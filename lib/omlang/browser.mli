@@ -1,0 +1,32 @@
+(** Model structure browser.
+
+    The ObjectMath environment's browser displayed "the overall structure
+    of a model" (paper Figure 2), and Figure 5 shows the 2D bearing's
+    inheritance hierarchy and composition structure.  This module derives
+    both views from a parsed model: which classes extend which, which
+    classes contain which parts, and which instances exist of each
+    class. *)
+
+type node = {
+  cname : string;
+  parent : string option;
+  children : string list;  (** classes extending this one *)
+  parts : (string * string) list;  (** (part name, part class) *)
+  instances : string list;  (** instance names (arrays shown as [name[lo..hi]]) *)
+}
+
+val analyse : Ast.model -> node list
+(** One node per class, in declaration order.
+    @raise Flatten.Error on references to unknown classes. *)
+
+val inheritance_tree : Ast.model -> string
+(** Indented text rendering of the inheritance hierarchy with instance
+    counts — the left half of paper Figure 5. *)
+
+val composition_tree : Ast.model -> string
+(** Indented rendering of the part-of structure rooted at the model's
+    instances — the right half of paper Figure 5. *)
+
+val to_dot : Ast.model -> string
+(** Graphviz rendering: solid edges for inheritance, dashed for
+    composition, boxes for classes, ovals for instances. *)

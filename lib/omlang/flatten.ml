@@ -1,0 +1,321 @@
+exception Error of string
+
+module E = Om_expr.Expr
+module Smap = Map.Make (String)
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Inheritance resolution: merge parent members into the child, child
+   definitions overriding same-named parent members, [extends ... with]
+   bindings rewriting parent parameter defaults. *)
+
+let member_key : Ast.member -> string = function
+  | Parameter (n, _) -> "d:" ^ n  (* parameters, aliases and variables *)
+  | Variable (n, _) -> "d:" ^ n   (* share one namespace *)
+  | Alias (n, _) -> "d:" ^ n
+  | Part (n, _, _) -> "d:" ^ n
+  | Equation (n, _) -> "e:" ^ n
+
+let resolve_class classes cname =
+  let rec resolve seen cname =
+    if List.mem cname seen then
+      err "inheritance cycle through class %s" cname;
+    let cls =
+      match Hashtbl.find_opt classes cname with
+      | Some c -> c
+      | None -> err "unknown class %s" cname
+    in
+    match cls.Ast.parent with
+    | None -> cls.members
+    | Some (pname, bindings) ->
+        let inherited = resolve (cname :: seen) pname in
+        (* Apply [with] bindings to parent parameters. *)
+        let inherited =
+          List.fold_left
+            (fun members (k, e) ->
+              let found = ref false in
+              let members =
+                List.map
+                  (function
+                    | Ast.Parameter (n, _) when n = k ->
+                        found := true;
+                        Ast.Parameter (n, e)
+                    | m -> m)
+                  members
+              in
+              if not !found then
+                err "class %s: 'extends %s with %s = ...' does not match a \
+                     parameter of %s"
+                  cname pname k pname;
+              members)
+            inherited bindings
+        in
+        (* Child members override same-keyed inherited members. *)
+        let child_keys = List.map member_key cls.members in
+        List.filter
+          (fun m -> not (List.mem (member_key m) child_keys))
+          inherited
+        @ cls.members
+  in
+  resolve [] cname
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration contexts. *)
+
+type local_kind = Kdef  (* parameter, variable or alias *) | Kpart
+
+type ctx = {
+  classes : (string, Ast.class_def) Hashtbl.t;
+  prefix : string;  (* dotted path of the instance being elaborated *)
+  locals : local_kind Smap.t;
+  bindings : E.t Smap.t;  (* imported names, already elaborated *)
+}
+
+let qualified prefix n = if prefix = "" then n else prefix ^ "." ^ n
+
+(* Accumulated flat declarations. *)
+type acc = {
+  mutable defs : (string * E.t) list;  (* parameters and aliases, reversed *)
+  mutable states : (string * E.t) list;  (* name, init expr, reversed *)
+  mutable eqs : (string * E.t) list;  (* state, rhs, reversed *)
+}
+
+let rec elab ctx (e : Ast.sexpr) : E.t =
+  match e with
+  | Snum x -> E.const x
+  | Sneg a -> E.neg (elab ctx a)
+  | Sbin (op, a, b) -> (
+      let a = elab ctx a and b = elab ctx b in
+      match op with
+      | Badd -> E.add [ a; b ]
+      | Bsub -> E.sub a b
+      | Bmul -> E.mul [ a; b ]
+      | Bdiv -> E.div a b
+      | Bpow -> E.pow a b)
+  | Scall (f, args) -> (
+      let args = List.map (elab ctx) args in
+      match E.func_of_name f with
+      | Some fn ->
+          if List.length args <> E.func_arity fn then
+            err "function %s expects %d arguments" f (E.func_arity fn);
+          E.call fn args
+      | None -> err "unknown function %s" f)
+  | Sif (c, a, b) ->
+      E.if_
+        (E.cond (elab ctx c.sc_lhs) c.sc_rel (elab ctx c.sc_rhs))
+        (elab ctx a) (elab ctx b)
+  | Sname n -> elab_name ctx n
+
+and seg_string ctx ({ base; index } : Ast.segment) =
+  match index with
+  | None -> base
+  | Some ix -> (
+      match elab ctx ix with
+      | E.Const k when Float.is_integer k ->
+          Printf.sprintf "%s[%d]" base (int_of_float k)
+      | _ -> err "index of %s does not reduce to an integer constant" base)
+
+and elab_name ctx ({ segments } : Ast.name) : E.t =
+  match segments with
+  | [] -> assert false
+  | [ { base = "time"; index = None } ] -> E.var "t"
+  | [ { base; index = None } ] when Smap.mem base ctx.bindings ->
+      Smap.find base ctx.bindings
+  | { base; index = None } :: rest when Smap.mem base ctx.locals -> (
+      match (Smap.find base ctx.locals, rest) with
+      | Kdef, [] -> E.var (qualified ctx.prefix base)
+      | Kdef, _ :: _ ->
+          err "%s is not a part; cannot select %s.%s in %s" base base
+            (String.concat "." (List.map (fun s -> s.Ast.base) rest))
+            (if ctx.prefix = "" then "top level" else ctx.prefix)
+      | Kpart, [] -> err "part %s used as a value" base
+      | Kpart, rest ->
+          let tail = List.map (seg_string ctx) rest in
+          E.var
+            (String.concat "." (qualified ctx.prefix base :: tail)))
+  | segs ->
+      (* Global reference to another instance's member, e.g. Outer.omega
+         or W[3].x; validated once all instances are flattened. *)
+      E.var (String.concat "." (List.map (seg_string ctx) segs))
+
+(* ------------------------------------------------------------------ *)
+
+let local_table members =
+  List.fold_left
+    (fun m (mem : Ast.member) ->
+      match mem with
+      | Parameter (n, _) | Variable (n, _) | Alias (n, _) ->
+          Smap.add n Kdef m
+      | Part (n, _, _) -> Smap.add n Kpart m
+      | Equation _ -> m)
+    Smap.empty members
+
+let rec instantiate classes acc ~prefix ~cls_name ~bindings =
+  let members = resolve_class classes cls_name in
+  let locals = local_table members in
+  (* Names bound at the instantiation site that do not match a declared
+     parameter are imports; those matching parameters override defaults. *)
+  let param_names =
+    List.filter_map
+      (function Ast.Parameter (n, _) -> Some n | _ -> None)
+      members
+  in
+  let imports =
+    Smap.filter (fun k _ -> not (List.mem k param_names)) bindings
+  in
+  let ctx = { classes; prefix; locals; bindings = imports } in
+  List.iter
+    (fun (mem : Ast.member) ->
+      match mem with
+      | Parameter (n, default) ->
+          let value =
+            match Smap.find_opt n bindings with
+            | Some pre_elaborated -> pre_elaborated
+            | None -> elab ctx default
+          in
+          acc.defs <- (qualified prefix n, value) :: acc.defs
+      | Alias (n, e) ->
+          acc.defs <- (qualified prefix n, elab ctx e) :: acc.defs
+      | Variable (n, init) ->
+          acc.states <- (qualified prefix n, elab ctx init) :: acc.states
+      | Part (pname, pcls, pbindings) ->
+          let sub_bindings =
+            List.fold_left
+              (fun m (k, e) -> Smap.add k (elab ctx e) m)
+              Smap.empty pbindings
+          in
+          instantiate classes acc
+            ~prefix:(qualified prefix pname)
+            ~cls_name:pcls ~bindings:sub_bindings
+      | Equation (n, rhs) ->
+          if not (Smap.mem n locals) then
+            err "equation for undeclared variable %s in class %s" n cls_name;
+          acc.eqs <- (qualified prefix n, elab ctx rhs) :: acc.eqs)
+    members
+
+(* Substitute parameters and aliases into each other in dependency order,
+   then into every equation and initial value. *)
+let eliminate_defs defs =
+  let names = List.map fst defs in
+  let g = Om_graph.Digraph.create () in
+  let ids = List.map (fun n -> (n, Om_graph.Digraph.add_node g n)) names in
+  List.iter
+    (fun (n, e) ->
+      List.iter
+        (fun v ->
+          match List.assoc_opt v ids with
+          | Some src when v <> n ->
+              Om_graph.Digraph.add_edge g src (List.assoc n ids)
+          | Some _ -> err "definition %s refers to itself" n
+          | None -> ())
+        (E.vars e))
+    defs;
+  let order =
+    match Om_graph.Topo.sort g with
+    | order -> order
+    | exception Invalid_argument _ ->
+        err "algebraic loop among parameters/aliases"
+  in
+  let by_id = Array.of_list names in
+  List.fold_left
+    (fun resolved id ->
+      let n = by_id.(id) in
+      let e = List.assoc n defs in
+      Smap.add n (Om_expr.Subst.apply_map resolved e) resolved)
+    Smap.empty
+    (List.map (fun id -> id) order)
+
+let flatten (model : Ast.model) : Flat_model.t =
+  let classes = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Ast.class_def) ->
+      if Hashtbl.mem classes c.cname then
+        err "duplicate class %s" c.cname;
+      Hashtbl.add classes c.cname c)
+    model.classes;
+  if model.instances = [] then err "model %s declares no instances" model.mname;
+  let acc = { defs = []; states = []; eqs = [] } in
+  let global_ctx ?index () =
+    let bindings =
+      match index with
+      | Some i -> Smap.singleton "index" (E.int i)
+      | None -> Smap.empty
+    in
+    { classes; prefix = ""; locals = Smap.empty; bindings }
+  in
+  List.iter
+    (fun (inst : Ast.instance_def) ->
+      let expand ~index prefix =
+        let ctx = global_ctx ?index () in
+        let bindings =
+          List.fold_left
+            (fun m (k, e) -> Smap.add k (elab ctx e) m)
+            (match index with
+            | Some i -> Smap.singleton "index" (E.int i)
+            | None -> Smap.empty)
+            inst.ibindings
+        in
+        instantiate classes acc ~prefix ~cls_name:inst.icls ~bindings
+      in
+      match inst.range with
+      | None -> expand ~index:None inst.iname
+      | Some (lo, hi) ->
+          if hi < lo then err "instance %s: empty range" inst.iname;
+          for i = lo to hi do
+            expand ~index:(Some i) (Printf.sprintf "%s[%d]" inst.iname i)
+          done)
+    model.instances;
+  let defs = List.rev acc.defs in
+  let states = List.rev acc.states in
+  let eqs = List.rev acc.eqs in
+  (* Duplicate detection. *)
+  let check_dups what names =
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem seen n then err "duplicate %s %s" what n
+        else Hashtbl.add seen n ())
+      names
+  in
+  check_dups "definition" (List.map fst defs @ List.map fst states);
+  check_dups "equation for" (List.map fst eqs);
+  let resolved = eliminate_defs defs in
+  let state_names = List.map fst states in
+  (* Every state needs exactly one equation, in state order. *)
+  let eq_for s =
+    match List.assoc_opt s eqs with
+    | Some rhs -> rhs
+    | None -> err "no equation for state variable %s" s
+  in
+  List.iter
+    (fun (s, _) ->
+      if not (List.mem s state_names) then
+        err "equation for %s, which is not a state variable" s)
+    eqs;
+  let subst e = Om_expr.Subst.apply_map resolved e in
+  let final_eqs =
+    List.map
+      (fun s ->
+        let rhs = subst (eq_for s) in
+        List.iter
+          (fun v ->
+            if (not (List.mem v state_names)) && v <> "t" then
+              err "unresolved name %s in the equation for %s" v s)
+          (E.vars rhs);
+        (s, rhs))
+      state_names
+  in
+  let final_states =
+    List.map
+      (fun (s, init) ->
+        match subst init with
+        | E.Const x -> (s, x)
+        | e ->
+            err "initial value of %s does not reduce to a constant (%s)" s
+              (Fmt.str "%a" E.pp e))
+      states
+  in
+  { Flat_model.name = model.mname; states = final_states; equations = final_eqs }
+
+let flatten_string src = flatten (Parser.parse_model src)

@@ -1,0 +1,18 @@
+(** Elaboration of a parsed model into a flat ODE system.
+
+    The stages mirror the ObjectMath compiler (paper §3.1): inheritance is
+    resolved by member merging with parameter rebinding; composition
+    ([part]) and instance arrays are expanded with dotted/indexed name
+    prefixes; parameters and algebraic aliases are substituted away in
+    dependency order; and the remaining equations are checked to form an
+    explicit first-order ODE system over the state variables. *)
+
+exception Error of string
+(** Raised on semantic errors (unknown classes or names, inheritance
+    cycles, algebraic loops among aliases, duplicate or missing equations,
+    non-constant initial values). *)
+
+val flatten : Ast.model -> Flat_model.t
+
+val flatten_string : string -> Flat_model.t
+(** Parse then flatten.  @raise Error / [Parser.Error] / [Lexer.Error]. *)

@@ -1,0 +1,187 @@
+exception Error of string * Ast.pos
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let current st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match current st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let here st : Ast.pos = { line = st.line; col = st.col }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_block_comment st depth pos0 =
+  match current st with
+  | None -> raise (Error ("unterminated comment", pos0))
+  | Some '*' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = ')'
+    ->
+      advance st;
+      advance st;
+      if depth > 1 then skip_block_comment st (depth - 1) pos0
+  | Some '(' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '*'
+    ->
+      advance st;
+      advance st;
+      skip_block_comment st (depth + 1) pos0
+  | Some _ ->
+      advance st;
+      skip_block_comment st depth pos0
+
+let lex_number st =
+  let start = st.pos in
+  while (match current st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  (match current st with
+  | Some '.'
+    when st.pos + 1 < String.length st.src && is_digit st.src.[st.pos + 1] ->
+      advance st;
+      while (match current st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  (* Consume an exponent only if it is complete ([e], optional sign, at
+     least one digit) — otherwise [6e+foo] would lex as a broken number. *)
+  (match current st with
+  | Some ('e' | 'E') ->
+      let n = String.length st.src in
+      let after_sign =
+        if
+          st.pos + 1 < n
+          && (st.src.[st.pos + 1] = '+' || st.src.[st.pos + 1] = '-')
+        then st.pos + 2
+        else st.pos + 1
+      in
+      if after_sign < n && is_digit st.src.[after_sign] then begin
+        advance st;
+        (match current st with
+        | Some ('+' | '-') -> advance st
+        | _ -> ());
+        while (match current st with Some c -> is_digit c | None -> false) do
+          advance st
+        done
+      end
+  | _ -> ());
+  float_of_string (String.sub st.src start (st.pos - start))
+
+let lex_ident st =
+  let start = st.pos in
+  while (match current st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let emit tok pos = toks := (tok, pos) :: !toks in
+  let rec loop () =
+    match current st with
+    | None -> emit Token.EOF (here st)
+    | Some c ->
+        let pos = here st in
+        (match c with
+        | ' ' | '\t' | '\r' | '\n' -> advance st
+        | '/' when st.pos + 1 < String.length src && src.[st.pos + 1] = '/' ->
+            while
+              match current st with Some c -> c <> '\n' | None -> false
+            do
+              advance st
+            done
+        | '(' when st.pos + 1 < String.length src && src.[st.pos + 1] = '*' ->
+            advance st;
+            advance st;
+            skip_block_comment st 1 pos
+        | '(' ->
+            advance st;
+            emit Token.LPAREN pos
+        | ')' ->
+            advance st;
+            emit Token.RPAREN pos
+        | '[' ->
+            advance st;
+            emit Token.LBRACK pos
+        | ']' ->
+            advance st;
+            emit Token.RBRACK pos
+        | ',' ->
+            advance st;
+            emit Token.COMMA pos
+        | ';' ->
+            advance st;
+            emit Token.SEMI pos
+        | ':' ->
+            advance st;
+            emit Token.COLON pos
+        | '.' when st.pos + 1 < String.length src && src.[st.pos + 1] = '.' ->
+            advance st;
+            advance st;
+            emit Token.DOTDOT pos
+        | '.' ->
+            advance st;
+            emit Token.DOT pos
+        | '=' ->
+            advance st;
+            emit Token.EQ pos
+        | '+' ->
+            advance st;
+            emit Token.PLUS pos
+        | '-' ->
+            advance st;
+            emit Token.MINUS pos
+        | '*' ->
+            advance st;
+            emit Token.STAR pos
+        | '/' ->
+            advance st;
+            emit Token.SLASH pos
+        | '^' ->
+            advance st;
+            emit Token.CARET pos
+        | '<' when st.pos + 1 < String.length src && src.[st.pos + 1] = '=' ->
+            advance st;
+            advance st;
+            emit Token.LE pos
+        | '<' ->
+            advance st;
+            emit Token.LT pos
+        | '>' when st.pos + 1 < String.length src && src.[st.pos + 1] = '=' ->
+            advance st;
+            advance st;
+            emit Token.GE pos
+        | '>' ->
+            advance st;
+            emit Token.GT pos
+        | c when is_digit c -> emit (Token.NUMBER (lex_number st)) pos
+        | c when is_ident_start c ->
+            let word = lex_ident st in
+            let tok =
+              match List.assoc_opt word Token.keyword_table with
+              | Some kw -> kw
+              | None -> Token.IDENT word
+            in
+            emit tok pos
+        | c ->
+            raise (Error (Printf.sprintf "unexpected character %C" c, pos)));
+        if (match !toks with (Token.EOF, _) :: _ -> false | _ -> true) then
+          loop ()
+  in
+  loop ();
+  List.rev !toks

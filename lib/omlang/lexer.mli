@@ -1,0 +1,11 @@
+(** Hand-written lexer for the modelling language.
+
+    Comments run from [//] to end of line or between [(*] and [*)]
+    (nested).  Identifiers are [[A-Za-z_][A-Za-z0-9_]*]; keywords are
+    case-sensitive and lowercase. *)
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> (Token.t * Ast.pos) list
+(** The resulting list always ends with [EOF].
+    @raise Error on unexpected characters or unterminated comments. *)

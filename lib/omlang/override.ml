@@ -1,0 +1,54 @@
+exception Unknown_target of string
+
+let set_parameter (m : Ast.model) ~cls ~param value =
+  let found = ref false in
+  let classes =
+    List.map
+      (fun (c : Ast.class_def) ->
+        if c.cname <> cls then c
+        else
+          let members =
+            List.map
+              (fun (mem : Ast.member) ->
+                match mem with
+                | Parameter (n, _) when n = param ->
+                    found := true;
+                    Ast.Parameter (n, Snum value)
+                | m -> m)
+              c.members
+          in
+          { c with members })
+      m.classes
+  in
+  if not !found then
+    raise
+      (Unknown_target (Printf.sprintf "parameter %s of class %s" param cls));
+  { m with classes }
+
+let set_instance_binding (m : Ast.model) ~instance ~name expr =
+  let found = ref false in
+  let instances =
+    List.map
+      (fun (i : Ast.instance_def) ->
+        if i.iname <> instance then i
+        else begin
+          found := true;
+          let ibindings =
+            (name, expr) :: List.remove_assoc name i.ibindings
+          in
+          { i with ibindings }
+        end)
+      m.instances
+  in
+  if not !found then
+    raise (Unknown_target (Printf.sprintf "instance %s" instance));
+  { m with instances }
+
+let flatten_with ~source ~overrides =
+  let ast = Parser.parse_model source in
+  let ast =
+    List.fold_left
+      (fun ast (cls, param, value) -> set_parameter ast ~cls ~param value)
+      ast overrides
+  in
+  Flatten.flatten ast

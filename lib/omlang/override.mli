@@ -1,0 +1,26 @@
+(** Model overrides: programmatic editing of parsed models.
+
+    The environment's "evaluation of numerical experiments" (paper §1.1)
+    needs the same model re-elaborated under different parameter values —
+    e.g. sweeping the external load on the bearing or the river inflow of
+    the power plant ("the model can be used for verifying dam safety
+    margins, for example", §2.5).  Overrides operate on the AST, before
+    flattening, so every parameter dependency re-elaborates correctly. *)
+
+exception Unknown_target of string
+
+val set_parameter :
+  Ast.model -> cls:string -> param:string -> float -> Ast.model
+(** Replace the default value of a class parameter.
+    @raise Unknown_target if the class or parameter does not exist. *)
+
+val set_instance_binding :
+  Ast.model -> instance:string -> name:string -> Ast.sexpr -> Ast.model
+(** Add or replace a [with] binding on an instance.
+    @raise Unknown_target if the instance does not exist. *)
+
+val flatten_with :
+  source:string -> overrides:(string * string * float) list ->
+  Flat_model.t
+(** Parse [source], apply [(class, parameter, value)] overrides, flatten.
+    @raise Unknown_target / [Flatten.Error] / [Parser.Error]. *)

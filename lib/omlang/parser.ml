@@ -1,0 +1,310 @@
+exception Error of string * Ast.pos
+
+type stream = { mutable toks : (Token.t * Ast.pos) list }
+
+let peek st =
+  match st.toks with
+  | (t, p) :: _ -> (t, p)
+  | [] -> (Token.EOF, { Ast.line = 0; col = 0 })
+
+let next st =
+  let t, p = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  (t, p)
+
+let expect st tok =
+  let t, p = next st in
+  if t <> tok then
+    raise
+      (Error
+         ( Printf.sprintf "expected %s but found %s" (Token.describe tok)
+             (Token.describe t),
+           p ))
+
+let expect_ident st =
+  match next st with
+  | Token.IDENT s, _ -> s
+  | t, p ->
+      raise
+        (Error
+           ( Printf.sprintf "expected an identifier but found %s"
+               (Token.describe t),
+             p ))
+
+let accept st tok =
+  match peek st with
+  | t, _ when t = tok ->
+      ignore (next st);
+      true
+  | _ -> false
+
+(* ---- expressions ---- *)
+
+let rec parse_expression st : Ast.sexpr =
+  match peek st with
+  | Token.KW_IF, _ ->
+      ignore (next st);
+      let lhs = parse_additive st in
+      let rel =
+        match next st with
+        | Token.LT, _ -> Om_expr.Expr.Lt
+        | Token.LE, _ -> Om_expr.Expr.Le
+        | Token.GT, _ -> Om_expr.Expr.Gt
+        | Token.GE, _ -> Om_expr.Expr.Ge
+        | t, p ->
+            raise
+              (Error
+                 ( Printf.sprintf "expected a comparison but found %s"
+                     (Token.describe t),
+                   p ))
+      in
+      let rhs = parse_additive st in
+      expect st Token.KW_THEN;
+      let then_e = parse_expression st in
+      expect st Token.KW_ELSE;
+      let else_e = parse_expression st in
+      Sif ({ sc_lhs = lhs; sc_rel = rel; sc_rhs = rhs }, then_e, else_e)
+  | _ -> parse_additive st
+
+and parse_additive st =
+  let rec more acc =
+    match peek st with
+    | Token.PLUS, _ ->
+        ignore (next st);
+        more (Ast.Sbin (Badd, acc, parse_multiplicative st))
+    | Token.MINUS, _ ->
+        ignore (next st);
+        more (Ast.Sbin (Bsub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  more (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec more acc =
+    match peek st with
+    | Token.STAR, _ ->
+        ignore (next st);
+        more (Ast.Sbin (Bmul, acc, parse_unary st))
+    | Token.SLASH, _ ->
+        ignore (next st);
+        more (Ast.Sbin (Bdiv, acc, parse_unary st))
+    | _ -> acc
+  in
+  more (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS, _ ->
+      ignore (next st);
+      Ast.Sneg (parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_atom st in
+  if accept st Token.CARET then Ast.Sbin (Bpow, base, parse_unary st)
+  else base
+
+and parse_atom st : Ast.sexpr =
+  match next st with
+  | Token.NUMBER x, _ -> Snum x
+  | Token.KW_TIME, _ -> Sname (Ast.name_of_string "time")
+  | Token.LPAREN, _ ->
+      let e = parse_expression st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT base, _ -> parse_name_or_call st base
+  | t, p ->
+      raise
+        (Error
+           ( Printf.sprintf "expected an expression but found %s"
+               (Token.describe t),
+             p ))
+
+and parse_name_or_call st base : Ast.sexpr =
+  (* function call: ident '(' args ')' — only for unqualified names *)
+  match peek st with
+  | Token.LPAREN, _ ->
+      ignore (next st);
+      let args =
+        if accept st Token.RPAREN then []
+        else begin
+          let rec more acc =
+            if accept st Token.COMMA then more (parse_expression st :: acc)
+            else begin
+              expect st Token.RPAREN;
+              List.rev acc
+            end
+          in
+          more [ parse_expression st ]
+        end
+      in
+      Scall (base, args)
+  | _ ->
+      let parse_index () =
+        if accept st Token.LBRACK then begin
+          let ix = parse_expression st in
+          expect st Token.RBRACK;
+          Some ix
+        end
+        else None
+      in
+      let rec more acc =
+        if accept st Token.DOT then begin
+          let b = expect_ident st in
+          more ({ Ast.base = b; index = parse_index () } :: acc)
+        end
+        else List.rev acc
+      in
+      let first = { Ast.base; index = parse_index () } in
+      Sname { segments = more [ first ] }
+
+(* ---- withs ---- *)
+
+let parse_withs st : Ast.binding list =
+  if accept st Token.KW_WITH then begin
+    let one () =
+      let n = expect_ident st in
+      expect st Token.EQ;
+      (n, parse_expression st)
+    in
+    let rec more acc =
+      if accept st Token.COMMA then more (one () :: acc) else List.rev acc
+    in
+    more [ one () ]
+  end
+  else []
+
+(* ---- members ---- *)
+
+let parse_member st : Ast.member option =
+  match peek st with
+  | Token.KW_PARAMETER, _ ->
+      ignore (next st);
+      let n = expect_ident st in
+      expect st Token.EQ;
+      let e = parse_expression st in
+      expect st Token.SEMI;
+      Some (Parameter (n, e))
+  | Token.KW_VARIABLE, _ ->
+      ignore (next st);
+      let n = expect_ident st in
+      let init =
+        if accept st Token.KW_INIT then parse_expression st else Ast.Snum 0.
+      in
+      expect st Token.SEMI;
+      Some (Variable (n, init))
+  | Token.KW_ALIAS, _ ->
+      ignore (next st);
+      let n = expect_ident st in
+      expect st Token.EQ;
+      let e = parse_expression st in
+      expect st Token.SEMI;
+      Some (Alias (n, e))
+  | Token.KW_PART, _ ->
+      ignore (next st);
+      let n = expect_ident st in
+      expect st Token.COLON;
+      let cls = expect_ident st in
+      let bindings = parse_withs st in
+      expect st Token.SEMI;
+      Some (Part (n, cls, bindings))
+  | Token.KW_EQUATION, _ ->
+      ignore (next st);
+      expect st Token.KW_DER;
+      expect st Token.LPAREN;
+      let n = expect_ident st in
+      expect st Token.RPAREN;
+      expect st Token.EQ;
+      let e = parse_expression st in
+      expect st Token.SEMI;
+      Some (Equation (n, e))
+  | _ -> None
+
+let parse_class st pos : Ast.class_def =
+  let cname = expect_ident st in
+  let parent =
+    if accept st Token.KW_EXTENDS then begin
+      let p = expect_ident st in
+      let bindings = parse_withs st in
+      Some (p, bindings)
+    end
+    else None
+  in
+  let rec members acc =
+    match parse_member st with
+    | Some m -> members (m :: acc)
+    | None -> List.rev acc
+  in
+  let members = members [] in
+  expect st Token.KW_END;
+  ignore (accept st Token.SEMI);
+  { cname; parent; members; cpos = pos }
+
+let parse_instance st pos : Ast.instance_def =
+  let iname = expect_ident st in
+  let range =
+    if accept st Token.LBRACK then begin
+      let lo =
+        match next st with
+        | Token.NUMBER x, _ when Float.is_integer x -> int_of_float x
+        | t, p ->
+            raise
+              (Error
+                 ( Printf.sprintf "expected an integer but found %s"
+                     (Token.describe t),
+                   p ))
+      in
+      expect st Token.DOTDOT;
+      let hi =
+        match next st with
+        | Token.NUMBER x, _ when Float.is_integer x -> int_of_float x
+        | t, p ->
+            raise
+              (Error
+                 ( Printf.sprintf "expected an integer but found %s"
+                     (Token.describe t),
+                   p ))
+      in
+      expect st Token.RBRACK;
+      Some (lo, hi)
+    end
+    else None
+  in
+  expect st Token.KW_OF;
+  let icls = expect_ident st in
+  let ibindings = parse_withs st in
+  expect st Token.SEMI;
+  { iname; range; icls; ibindings; ipos = pos }
+
+let parse_model_stream st : Ast.model =
+  expect st Token.KW_MODEL;
+  let mname = expect_ident st in
+  expect st Token.SEMI;
+  let classes = ref [] and instances = ref [] in
+  let rec loop () =
+    match next st with
+    | Token.KW_CLASS, p ->
+        classes := parse_class st p :: !classes;
+        loop ()
+    | Token.KW_INSTANCE, p ->
+        instances := parse_instance st p :: !instances;
+        loop ()
+    | Token.EOF, _ -> ()
+    | t, p ->
+        raise
+          (Error
+             ( Printf.sprintf "expected 'class', 'instance' or end of input \
+                               but found %s"
+                 (Token.describe t),
+               p ))
+  in
+  loop ();
+  { mname; classes = List.rev !classes; instances = List.rev !instances }
+
+let parse_model src = parse_model_stream { toks = Lexer.tokenize src }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  expect st Token.EOF;
+  e

@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the modelling language.
+
+    Grammar sketch:
+    {v
+    model      ::= 'model' IDENT ';' (class | instance)* EOF
+    class      ::= 'class' IDENT ('extends' IDENT withs?)? member* 'end' ';'?
+    member     ::= 'parameter' IDENT '=' expr ';'
+                 | 'variable' IDENT ('init' expr)? ';'
+                 | 'alias' IDENT '=' expr ';'
+                 | 'part' IDENT ':' IDENT withs? ';'
+                 | 'equation' 'der' '(' IDENT ')' '=' expr ';'
+    instance   ::= 'instance' IDENT ('[' INT '..' INT ']')?
+                   'of' IDENT withs? ';'
+    withs      ::= 'with' IDENT '=' expr (',' IDENT '=' expr)*
+    expr       ::= additive | 'if' cond 'then' expr 'else' expr
+    cond       ::= additive relop additive
+    v}
+    Expressions use the usual precedence (unary minus, [^] right
+    associative, then [*]/[/], then [+]/[-]). *)
+
+exception Error of string * Ast.pos
+
+val parse_model : string -> Ast.model
+(** @raise Error with a message and source position on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.sexpr
+(** Parse a standalone expression (used by tests and the CLI). *)

@@ -1,0 +1,107 @@
+(** Lexical tokens of the modelling language. *)
+
+type t =
+  | IDENT of string
+  | NUMBER of float
+  | KW_MODEL
+  | KW_CLASS
+  | KW_EXTENDS
+  | KW_WITH
+  | KW_PARAMETER
+  | KW_VARIABLE
+  | KW_INIT
+  | KW_ALIAS
+  | KW_PART
+  | KW_EQUATION
+  | KW_INSTANCE
+  | KW_OF
+  | KW_END
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_DER
+  | KW_TIME
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | DOTDOT
+  | EQ  (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keyword_table =
+  [
+    ("model", KW_MODEL);
+    ("class", KW_CLASS);
+    ("extends", KW_EXTENDS);
+    ("with", KW_WITH);
+    ("parameter", KW_PARAMETER);
+    ("variable", KW_VARIABLE);
+    ("init", KW_INIT);
+    ("alias", KW_ALIAS);
+    ("part", KW_PART);
+    ("equation", KW_EQUATION);
+    ("instance", KW_INSTANCE);
+    ("of", KW_OF);
+    ("end", KW_END);
+    ("if", KW_IF);
+    ("then", KW_THEN);
+    ("else", KW_ELSE);
+    ("der", KW_DER);
+    ("time", KW_TIME);
+  ]
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER x -> Printf.sprintf "number %g" x
+  | KW_MODEL -> "'model'"
+  | KW_CLASS -> "'class'"
+  | KW_EXTENDS -> "'extends'"
+  | KW_WITH -> "'with'"
+  | KW_PARAMETER -> "'parameter'"
+  | KW_VARIABLE -> "'variable'"
+  | KW_INIT -> "'init'"
+  | KW_ALIAS -> "'alias'"
+  | KW_PART -> "'part'"
+  | KW_EQUATION -> "'equation'"
+  | KW_INSTANCE -> "'instance'"
+  | KW_OF -> "'of'"
+  | KW_END -> "'end'"
+  | KW_IF -> "'if'"
+  | KW_THEN -> "'then'"
+  | KW_ELSE -> "'else'"
+  | KW_DER -> "'der'"
+  | KW_TIME -> "'time'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACK -> "'['"
+  | RBRACK -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | DOTDOT -> "'..'"
+  | EQ -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | CARET -> "'^'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EOF -> "end of input"

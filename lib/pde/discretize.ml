@@ -1,0 +1,241 @@
+module E = Om_expr.Expr
+
+type boundary = Dirichlet of float | Neumann of float
+
+type spec_1d = {
+  name : string;
+  field : string;
+  grid : Grid.d1;
+  initial : float -> float;
+  rhs :
+    u:E.t -> ux:E.t -> uxx:E.t -> x:float -> E.t;
+  left : boundary;
+  right : boundary;
+}
+
+(* Value of node [i], as an expression: interior and Neumann-boundary
+   nodes are states, Dirichlet boundary nodes are constants. *)
+let node_value_1d spec i =
+  let g = spec.grid in
+  if i = 0 then
+    match spec.left with
+    | Dirichlet v -> E.const v
+    | Neumann _ -> E.var (Grid.node_1d spec.field 0)
+  else if i = g.n - 1 then
+    match spec.right with
+    | Dirichlet v -> E.const v
+    | Neumann _ -> E.var (Grid.node_1d spec.field (g.n - 1))
+  else E.var (Grid.node_1d spec.field i)
+
+(* Neighbour values around node [i] with ghost mirroring at Neumann
+   boundaries: the ghost u[-1] = u[1] - 2 h g. *)
+let neighbours_1d spec i =
+  let g = spec.grid in
+  let h = g.h in
+  let left_of =
+    if i > 0 then node_value_1d spec (i - 1)
+    else
+      match spec.left with
+      | Neumann gv ->
+          E.sub (node_value_1d spec 1) (E.const (2. *. h *. gv))
+      | Dirichlet _ -> assert false
+  in
+  let right_of =
+    if i < g.n - 1 then node_value_1d spec (i + 1)
+    else
+      match spec.right with
+      | Neumann gv ->
+          E.add [ node_value_1d spec (g.n - 2); E.const (2. *. h *. gv) ]
+      | Dirichlet _ -> assert false
+  in
+  (left_of, right_of)
+
+let equation_at spec i =
+  let g = spec.grid in
+  let h = g.h in
+  let u = node_value_1d spec i in
+  let um, up = neighbours_1d spec i in
+  let ux = E.div (E.sub up um) (E.const (2. *. h)) in
+  let uxx =
+    E.div
+      (E.add [ up; E.mul [ E.const (-2.); u ]; um ])
+      (E.const (h *. h))
+  in
+  spec.rhs ~u ~ux ~uxx ~x:(Grid.x_of g i)
+
+let discretize_1d spec : Om_lang.Flat_model.t =
+  let g = spec.grid in
+  let is_state i =
+    if i = 0 then match spec.left with Neumann _ -> true | _ -> false
+    else if i = g.n - 1 then
+      match spec.right with Neumann _ -> true | _ -> false
+    else true
+  in
+  let nodes = List.filter is_state (List.init g.n Fun.id) in
+  let states =
+    List.map
+      (fun i -> (Grid.node_1d spec.field i, spec.initial (Grid.x_of g i)))
+      nodes
+  in
+  let equations =
+    List.map (fun i -> (Grid.node_1d spec.field i, equation_at spec i)) nodes
+  in
+  { Om_lang.Flat_model.name = spec.name; states; equations }
+
+(* ------------------------------------------------------------------ *)
+
+type spec_2d = {
+  name2 : string;
+  field2 : string;
+  grid2 : Grid.d2;
+  initial2 : float -> float -> float;
+  rhs2 :
+    u:E.t -> ux:E.t -> uy:E.t -> uxx:E.t -> uyy:E.t -> x:float -> y:float ->
+    E.t;
+  boundary2 : boundary;
+}
+
+let node_value_2d spec i j =
+  let g = spec.grid2 in
+  let on_boundary = i = 0 || j = 0 || i = g.nx - 1 || j = g.ny - 1 in
+  if on_boundary then
+    match spec.boundary2 with
+    | Dirichlet v -> E.const v
+    | Neumann _ ->
+        invalid_arg "Discretize: 2D Neumann boundaries are not supported"
+  else E.var (Grid.node_2d spec.field2 i j)
+
+let discretize_2d spec : Om_lang.Flat_model.t =
+  let g = spec.grid2 in
+  (match spec.boundary2 with
+  | Neumann _ ->
+      invalid_arg "Discretize: 2D Neumann boundaries are not supported"
+  | Dirichlet _ -> ());
+  let interior = Grid.interior_2d g in
+  let states =
+    List.map
+      (fun (i, j) ->
+        let x, y = Grid.xy_of g i j in
+        (Grid.node_2d spec.field2 i j, spec.initial2 x y))
+      interior
+  in
+  let equations =
+    List.map
+      (fun (i, j) ->
+        let u = node_value_2d spec i j in
+        let uw = node_value_2d spec (i - 1) j in
+        let ue = node_value_2d spec (i + 1) j in
+        let us = node_value_2d spec i (j - 1) in
+        let un = node_value_2d spec i (j + 1) in
+        let ux = E.div (E.sub ue uw) (E.const (2. *. g.hx)) in
+        let uy = E.div (E.sub un us) (E.const (2. *. g.hy)) in
+        let uxx =
+          E.div
+            (E.add [ ue; E.mul [ E.const (-2.); u ]; uw ])
+            (E.const (g.hx *. g.hx))
+        in
+        let uyy =
+          E.div
+            (E.add [ un; E.mul [ E.const (-2.); u ]; us ])
+            (E.const (g.hy *. g.hy))
+        in
+        let x, y = Grid.xy_of g i j in
+        (Grid.node_2d spec.field2 i j, spec.rhs2 ~u ~ux ~uy ~uxx ~uyy ~x ~y))
+      interior
+  in
+  { Om_lang.Flat_model.name = spec.name2; states; equations }
+
+(* ------------------------------------------------------------------ *)
+
+let heat_1d ?(n = 41) ?(length = 1.) ?(alpha = 0.1) () =
+  discretize_1d
+    {
+      name = "Heat1D";
+      field = "u";
+      grid = Grid.make_1d ~n ~length;
+      initial = (fun x -> Float.sin (Float.pi *. x /. length));
+      rhs = (fun ~u:_ ~ux:_ ~uxx ~x:_ -> E.mul [ E.const alpha; uxx ]);
+      left = Dirichlet 0.;
+      right = Dirichlet 0.;
+    }
+
+let advection_diffusion_1d ?(n = 81) ?(length = 1.) ?(speed = 1.)
+    ?(alpha = 0.01) () =
+  discretize_1d
+    {
+      name = "AdvectionDiffusion1D";
+      field = "u";
+      grid = Grid.make_1d ~n ~length;
+      initial =
+        (fun x ->
+          let d = (x -. (0.25 *. length)) /. (0.05 *. length) in
+          Float.exp (Float.neg (d *. d)));
+      rhs =
+        (fun ~u:_ ~ux ~uxx ~x:_ ->
+          E.add
+            [ E.mul [ E.const (Float.neg speed); ux ];
+              E.mul [ E.const alpha; uxx ] ]);
+      left = Dirichlet 0.;
+      right = Dirichlet 0.;
+    }
+
+let burgers_1d ?(n = 81) ?(length = 1.) ?(nu = 0.01) () =
+  discretize_1d
+    {
+      name = "Burgers1D";
+      field = "u";
+      grid = Grid.make_1d ~n ~length;
+      initial = (fun x -> Float.sin (2. *. Float.pi *. x /. length));
+      rhs =
+        (fun ~u ~ux ~uxx ~x:_ ->
+          E.add [ E.mul [ E.neg u; ux ]; E.mul [ E.const nu; uxx ] ]);
+      left = Dirichlet 0.;
+      right = Dirichlet 0.;
+    }
+
+let wave_1d ?(n = 41) ?(length = 1.) ?(speed = 1.) () =
+  let g = Grid.make_1d ~n ~length in
+  let interior = Grid.interior_1d g in
+  let u i = Grid.node_1d "u" i in
+  let v i = Grid.node_1d "v" i in
+  let u_value i =
+    if i = 0 || i = g.n - 1 then E.zero else E.var (u i)
+  in
+  let states =
+    List.concat_map
+      (fun i ->
+        let x = Grid.x_of g i in
+        [ (u i, Float.sin (Float.pi *. x /. length)); (v i, 0.) ])
+      interior
+  in
+  let c2_h2 = speed *. speed /. (g.h *. g.h) in
+  let equations =
+    List.concat_map
+      (fun i ->
+        let lap =
+          E.mul
+            [
+              E.const c2_h2;
+              E.add
+                [ u_value (i + 1); E.mul [ E.const (-2.); u_value i ];
+                  u_value (i - 1) ];
+            ]
+        in
+        [ (u i, E.var (v i)); (v i, lap) ])
+      interior
+  in
+  { Om_lang.Flat_model.name = "Wave1D"; states; equations }
+
+let heat_2d ?(nx = 17) ?(ny = 17) ?(alpha = 0.1) () =
+  discretize_2d
+    {
+      name2 = "Heat2D";
+      field2 = "u";
+      grid2 = Grid.make_2d ~nx ~ny ~lx:1. ~ly:1.;
+      initial2 =
+        (fun x y -> Float.sin (Float.pi *. x) *. Float.sin (Float.pi *. y));
+      rhs2 =
+        (fun ~u:_ ~ux:_ ~uy:_ ~uxx ~uyy ~x:_ ~y:_ ->
+          E.mul [ E.const alpha; E.add [ uxx; uyy ] ]);
+      boundary2 = Dirichlet 0.;
+    }

@@ -1,0 +1,33 @@
+type d1 = { n : int; length : float; h : float }
+
+let make_1d ~n ~length =
+  if n < 3 then invalid_arg "Grid.make_1d: need at least 3 nodes";
+  if length <= 0. then invalid_arg "Grid.make_1d: nonpositive length";
+  { n; length; h = length /. float_of_int (n - 1) }
+
+let x_of g i = float_of_int i *. g.h
+let node_1d field i = Printf.sprintf "%s[%d]" field i
+
+type d2 = { nx : int; ny : int; lx : float; ly : float; hx : float; hy : float }
+
+let make_2d ~nx ~ny ~lx ~ly =
+  if nx < 3 || ny < 3 then invalid_arg "Grid.make_2d: need at least 3x3 nodes";
+  if lx <= 0. || ly <= 0. then invalid_arg "Grid.make_2d: nonpositive extent";
+  {
+    nx;
+    ny;
+    lx;
+    ly;
+    hx = lx /. float_of_int (nx - 1);
+    hy = ly /. float_of_int (ny - 1);
+  }
+
+let xy_of g i j = (float_of_int i *. g.hx, float_of_int j *. g.hy)
+let node_2d field i j = Printf.sprintf "%s[%d,%d]" field i j
+
+let interior_1d g = List.init (g.n - 2) (fun k -> k + 1)
+
+let interior_2d g =
+  List.concat_map
+    (fun i -> List.map (fun j -> (i, j)) (List.init (g.ny - 2) (fun k -> k + 1)))
+    (List.init (g.nx - 2) (fun k -> k + 1))

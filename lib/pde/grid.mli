@@ -1,0 +1,39 @@
+(** Uniform structured grids for the method-of-lines PDE extension
+    (paper §6: "we have also started to extend the domain of equation
+    systems for which code can be generated to partial differential
+    equations, where fluid dynamics applications are common").
+
+    A grid owns the naming of its node variables, so the discretiser, the
+    flat model and the tests all agree on which state is which. *)
+
+type d1 = {
+  n : int;  (** node count including boundary nodes, >= 3 *)
+  length : float;
+  h : float;  (** spacing = length / (n - 1) *)
+}
+
+val make_1d : n:int -> length:float -> d1
+(** @raise Invalid_argument if [n < 3] or [length <= 0]. *)
+
+val x_of : d1 -> int -> float
+(** Coordinate of node [i]. *)
+
+val node_1d : string -> int -> string
+(** [node_1d "u" 3] is the state name ["u[3]"]. *)
+
+type d2 = {
+  nx : int;
+  ny : int;
+  lx : float;
+  ly : float;
+  hx : float;
+  hy : float;
+}
+
+val make_2d : nx:int -> ny:int -> lx:float -> ly:float -> d2
+val xy_of : d2 -> int -> int -> float * float
+val node_2d : string -> int -> int -> string
+(** [node_2d "u" 2 5] is ["u[2,5]"]. *)
+
+val interior_1d : d1 -> int list
+val interior_2d : d2 -> (int * int) list

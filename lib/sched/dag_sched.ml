@@ -1,0 +1,136 @@
+open Om_graph
+
+type schedule = {
+  nprocs : int;
+  assignment : int array;
+  start_time : float array;
+  finish_time : float array;
+  makespan : float;
+}
+
+(* Upward rank: weight of the heaviest path from v to a sink, inclusive. *)
+let upward_ranks g weights =
+  let n = Digraph.node_count g in
+  let rank = Array.make n 0. in
+  let order = List.rev (Topo.sort g) in
+  List.iter
+    (fun v ->
+      let best =
+        List.fold_left
+          (fun acc w -> Float.max acc rank.(w))
+          0. (Digraph.succ g v)
+      in
+      rank.(v) <- weights.(v) +. best)
+    order;
+  rank
+
+let critical_path g ~weights =
+  let ranks = upward_ranks g weights in
+  Array.fold_left Float.max 0. ranks
+
+let max_speedup g ~weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cp = critical_path g ~weights in
+  if cp = 0. then 1. else total /. cp
+
+let schedule g ~weights ~comm ~nprocs =
+  let n = Digraph.node_count g in
+  if Array.length weights <> n then
+    invalid_arg "Dag_sched.schedule: weights length mismatch";
+  if nprocs < 1 then invalid_arg "Dag_sched.schedule: nprocs < 1";
+  let ranks = upward_ranks g weights in
+  (* Priority: highest upward rank first (HLFET). *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare ranks.(b) ranks.(a)) order;
+  let assignment = Array.make n (-1) in
+  let start_time = Array.make n 0. in
+  let finish_time = Array.make n 0. in
+  let proc_free = Array.make nprocs 0. in
+  let scheduled = Array.make n false in
+  (* Process in priority order but only when all predecessors are done;
+     repeatedly sweep the priority list (n is small: SCC counts). *)
+  let remaining = ref n in
+  while !remaining > 0 do
+    let progressed = ref false in
+    Array.iter
+      (fun v ->
+        if
+          (not scheduled.(v))
+          && List.for_all (fun p -> scheduled.(p)) (Digraph.pred g v)
+        then begin
+          (* Earliest finish over all processors, accounting for
+             cross-processor communication delays. *)
+          let best_p = ref 0 and best_finish = ref Float.infinity in
+          for p = 0 to nprocs - 1 do
+            let data_ready =
+              List.fold_left
+                (fun acc u ->
+                  let arrival =
+                    finish_time.(u)
+                    +. if assignment.(u) = p then 0. else comm
+                  in
+                  Float.max acc arrival)
+                0. (Digraph.pred g v)
+            in
+            let st = Float.max proc_free.(p) data_ready in
+            let fin = st +. weights.(v) in
+            if fin < !best_finish then begin
+              best_finish := fin;
+              best_p := p
+            end
+          done;
+          let p = !best_p in
+          let data_ready =
+            List.fold_left
+              (fun acc u ->
+                let arrival =
+                  finish_time.(u) +. if assignment.(u) = p then 0. else comm
+                in
+                Float.max acc arrival)
+              0. (Digraph.pred g v)
+          in
+          assignment.(v) <- p;
+          start_time.(v) <- Float.max proc_free.(p) data_ready;
+          finish_time.(v) <- start_time.(v) +. weights.(v);
+          proc_free.(p) <- finish_time.(v);
+          scheduled.(v) <- true;
+          decr remaining;
+          progressed := true
+        end)
+      order;
+    if not !progressed then
+      invalid_arg "Dag_sched.schedule: graph has a cycle"
+  done;
+  let makespan = Array.fold_left Float.max 0. finish_time in
+  { nprocs; assignment; start_time; finish_time; makespan }
+
+let speedup g ~weights ~comm ~nprocs =
+  let total = Array.fold_left ( +. ) 0. weights in
+  let s = schedule g ~weights ~comm ~nprocs in
+  if s.makespan = 0. then 1. else total /. s.makespan
+
+let pipeline_throughput g ~weights ~nprocs =
+  if not (Topo.is_acyclic g) then
+    invalid_arg "Dag_sched.pipeline_throughput: graph has a cycle";
+  let n = Digraph.node_count g in
+  if Array.length weights <> n then
+    invalid_arg "Dag_sched.pipeline_throughput: weights length mismatch";
+  if n = 0 then 1.
+  else begin
+    let total = Array.fold_left ( +. ) 0. weights in
+    (* Pack the stages onto the processors (LPT); the pipeline's
+       initiation interval is the heaviest processor load. *)
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> Float.compare weights.(b) weights.(a)) order;
+    let loads = Array.make (max 1 nprocs) 0. in
+    Array.iter
+      (fun v ->
+        let best = ref 0 in
+        for p = 1 to Array.length loads - 1 do
+          if loads.(p) < loads.(!best) then best := p
+        done;
+        loads.(!best) <- loads.(!best) +. weights.(v))
+      order;
+    let interval = Array.fold_left Float.max 0. loads in
+    if interval = 0. then 1. else total /. interval
+  end

@@ -1,0 +1,42 @@
+type schedule = {
+  nprocs : int;
+  assignment : int array;
+  loads : float array;
+  makespan : float;
+}
+
+let schedule ?costs tasks ~nprocs =
+  if nprocs < 1 then invalid_arg "Lpt.schedule: nprocs < 1";
+  let n = Array.length tasks in
+  let cost i =
+    match costs with
+    | Some c -> c.(i)
+    | None -> tasks.(i).Task.cost
+  in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare (cost b) (cost a)) order;
+  let loads = Array.make nprocs 0. in
+  let assignment = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      (* Least-loaded processor; ties broken by lowest index for
+         determinism. *)
+      let best = ref 0 in
+      for p = 1 to nprocs - 1 do
+        if loads.(p) < loads.(!best) then best := p
+      done;
+      assignment.(i) <- !best;
+      loads.(!best) <- loads.(!best) +. cost i)
+    order;
+  let makespan = Array.fold_left Float.max 0. loads in
+  { nprocs; assignment; loads; makespan }
+
+let tasks_of sched p =
+  let acc = ref [] in
+  Array.iteri (fun i q -> if q = p then acc := i :: !acc) sched.assignment;
+  List.rev !acc
+
+let imbalance sched =
+  let total = Array.fold_left ( +. ) 0. sched.loads in
+  if total = 0. then 1.
+  else sched.makespan /. (total /. float_of_int sched.nprocs)

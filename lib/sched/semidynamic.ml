@@ -1,0 +1,52 @@
+type t = {
+  tasks : Task.t array;
+  nprocs : int;
+  period : int;
+  smoothing : float;
+  estimates : float array;
+  mutable sched : Lpt.schedule;
+  mutable since_resched : int;
+  mutable reschedules : int;
+  mutable overhead : float;
+}
+
+let overhead_cost_per_reschedule tasks =
+  let n = float_of_int (Array.length tasks) in
+  if n < 2. then n else n *. (Float.log n /. Float.log 2.)
+
+let create ?(period = 10) ?(smoothing = 0.5) tasks ~nprocs =
+  if period < 1 then invalid_arg "Semidynamic.create: period < 1";
+  if smoothing <= 0. || smoothing > 1. then
+    invalid_arg "Semidynamic.create: smoothing outside (0, 1]";
+  let estimates = Array.map (fun t -> t.Task.cost) tasks in
+  {
+    tasks;
+    nprocs;
+    period;
+    smoothing;
+    estimates;
+    sched = Lpt.schedule tasks ~nprocs;
+    since_resched = 0;
+    reschedules = 0;
+    overhead = 0.;
+  }
+
+let current t = t.sched
+
+let observe t measured =
+  if Array.length measured <> Array.length t.tasks then
+    invalid_arg "Semidynamic.observe: wrong measurement vector";
+  let a = t.smoothing in
+  Array.iteri
+    (fun i m -> t.estimates.(i) <- (a *. m) +. ((1. -. a) *. t.estimates.(i)))
+    measured;
+  t.since_resched <- t.since_resched + 1;
+  if t.since_resched >= t.period then begin
+    t.since_resched <- 0;
+    t.sched <- Lpt.schedule ~costs:t.estimates t.tasks ~nprocs:t.nprocs;
+    t.reschedules <- t.reschedules + 1;
+    t.overhead <- t.overhead +. overhead_cost_per_reschedule t.tasks
+  end
+
+let reschedule_count t = t.reschedules
+let overhead_flops t = t.overhead

@@ -1,0 +1,31 @@
+type t = {
+  id : int;
+  label : string;
+  cost : float;
+  reads : int list;
+  writes : int list;
+}
+
+let make ~id ~label ~cost ~reads ~writes = { id; label; cost; reads; writes }
+
+let total_cost tasks = Array.fold_left (fun acc t -> acc +. t.cost) 0. tasks
+let max_cost tasks = Array.fold_left (fun acc t -> Float.max acc t.cost) 0. tasks
+
+let validate tasks =
+  Array.iteri
+    (fun i t ->
+      if t.id <> i then
+        invalid_arg
+          (Printf.sprintf "Task.validate: id %d at position %d" t.id i))
+    tasks;
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun t ->
+      List.iter
+        (fun w ->
+          if Hashtbl.mem seen w then
+            invalid_arg
+              (Printf.sprintf "Task.validate: output %d written twice" w)
+          else Hashtbl.add seen w t.id)
+        t.writes)
+    tasks

@@ -1,0 +1,24 @@
+(** Schedulable tasks.
+
+    A task is a unit of RHS work produced by the code generator's
+    parallelisation stage (paper §3.2): a group of small assignments or a
+    slice of one large equation.  Costs are in abstract flop units
+    (see {!Om_expr.Cost}); the machine model converts them to time. *)
+
+type t = {
+  id : int;  (** dense, unique within a task set *)
+  label : string;
+  cost : float;  (** statically predicted cost, flop units *)
+  reads : int list;  (** indices of state-vector entries consumed *)
+  writes : int list;  (** indices of derivative-vector entries produced *)
+}
+
+val make :
+  id:int -> label:string -> cost:float -> reads:int list -> writes:int list -> t
+
+val total_cost : t array -> float
+val max_cost : t array -> float
+
+val validate : t array -> unit
+(** Check ids are dense [0..n-1] and writes do not overlap between tasks.
+    @raise Invalid_argument otherwise. *)

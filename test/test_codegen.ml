@@ -1,0 +1,792 @@
+(* Tests for the code generator: assignments, CSE, partitioning,
+   communication analysis, textual backends and the executable bytecode
+   backend. *)
+
+module E = Om_expr.Expr
+module A = Om_codegen.Assignments
+module Cse = Om_codegen.Cse
+module Part = Om_codegen.Partition
+module Comm = Om_codegen.Comm_analysis
+module Bc = Om_codegen.Bytecode_backend
+module F = Om_codegen.Fortran
+module C = Om_codegen.C_backend
+module P = Om_codegen.Pipeline
+module Stats = Om_codegen.Stats
+module Fm = Om_lang.Flat_model
+
+let x = E.var "x"
+let y = E.var "y"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let tiny_model src = Om_lang.Flatten.flatten_string src
+
+let oscillator =
+  {|model Osc; class C variable x init 1.0; variable y;
+    equation der(x) = y; equation der(y) = 0.0 - x; end; instance c of C;|}
+
+(* ---------- assignments ---------- *)
+
+let test_assignments () =
+  let m = tiny_model oscillator in
+  let a = A.of_flat_model m in
+  Alcotest.(check int) "two" 2 (Array.length a);
+  Alcotest.(check string) "target name" "c.x$dot" a.(0).target;
+  Alcotest.(check int) "index" 1 a.(1).state_index;
+  Alcotest.(check bool) "cost nonneg" true (A.cost a.(0) >= 0.)
+
+(* ---------- cse ---------- *)
+
+let test_cse_extracts_shared () =
+  (* (x+y)*sin(x+y): x+y occurs twice. *)
+  let shared = E.add [ x; y ] in
+  let e = E.mul [ shared; E.sin shared ] in
+  let block = Cse.eliminate [ ("out", e) ] in
+  Alcotest.(check int) "one temp" 1 (Cse.temp_count block);
+  Alcotest.(check bool) "ordered" true (Cse.verify_no_forward_refs block)
+
+let test_cse_no_sharing_no_temp () =
+  let block = Cse.eliminate [ ("out", E.add [ x; E.sin y ]) ] in
+  Alcotest.(check int) "no temps" 0 (Cse.temp_count block)
+
+let test_cse_across_targets () =
+  let shared = E.mul [ x; E.cos y ] in
+  let block =
+    Cse.eliminate [ ("a", E.add [ shared; E.one ]); ("b", E.sub shared y) ]
+  in
+  Alcotest.(check int) "shared across roots" 1 (Cse.temp_count block)
+
+let test_cse_inline_roundtrip () =
+  let shared = E.add [ x; y ] in
+  let targets =
+    [ ("a", E.mul [ shared; shared; E.sin shared ]); ("b", E.sqrt shared) ]
+  in
+  let block = Cse.eliminate targets in
+  let restored = Cse.inline block in
+  List.iter2
+    (fun (n1, e1) (n2, e2) ->
+      Alcotest.(check string) "target" n1 n2;
+      Alcotest.check (Alcotest.testable E.pp E.equal) "expr" e1 e2)
+    targets restored
+
+let test_cse_min_size_threshold () =
+  (* x+y has size 3; with min_size 4 it is not extracted. *)
+  let shared = E.add [ x; y ] in
+  let e = E.mul [ shared; E.sin shared ] in
+  let block = Cse.eliminate ~min_size:4 [ ("out", e) ] in
+  Alcotest.(check int) "threshold respected" 0 (Cse.temp_count block)
+
+let test_cse_single_use_inlined () =
+  (* A subtree occurring twice, but only inside one bigger shared tree:
+     the small temp collapses into the big one. *)
+  let inner = E.add [ x; y ] in
+  let big = E.mul [ E.sin inner; E.cos inner ] in
+  let e = E.add [ big; E.sqrt big ] in
+  let block = Cse.eliminate [ ("out", e) ] in
+  (* big is shared (2 uses); inner's uses are inside big's single
+     definition, so inner must have been inlined. *)
+  Alcotest.(check int) "only the big temp" 2 (Cse.temp_count block)
+
+(* qcheck: CSE preserves semantics on random expressions *)
+let expr_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 8) @@ fix (fun self n ->
+        if n <= 0 then oneof [ map E.const (float_range (-2.) 2.); oneofl [ x; y ] ]
+        else
+          oneof
+            [
+              map2 (fun a b -> E.add [ a; b ]) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> E.mul [ a; b ]) (self (n / 2)) (self (n / 2));
+              map E.sin (self (n - 1));
+              map (fun a -> E.powi a 2) (self (n - 1));
+            ]))
+
+let arbitrary_exprs =
+  QCheck.make
+    ~print:(fun es ->
+      String.concat "; " (List.map (Fmt.to_to_string E.pp) es))
+    QCheck.Gen.(list_size (int_range 1 5) expr_gen)
+
+let prop_cse_preserves_semantics =
+  QCheck.Test.make ~name:"CSE inline restores originals" ~count:200
+    arbitrary_exprs (fun es ->
+      let targets = List.mapi (fun i e -> (Printf.sprintf "t%d" i, e)) es in
+      let block = Cse.eliminate targets in
+      Cse.verify_no_forward_refs block
+      && List.for_all2
+           (fun (_, e1) (_, e2) -> E.equal e1 e2)
+           targets (Cse.inline block))
+
+let prop_cse_eval_equivalence =
+  QCheck.Test.make ~name:"CSE block evaluates like originals" ~count:200
+    arbitrary_exprs (fun es ->
+      let targets = List.mapi (fun i e -> (Printf.sprintf "t%d" i, e)) es in
+      let block = Cse.eliminate targets in
+      (* Evaluate the block sequentially with an environment. *)
+      let env = Om_expr.Eval.env_of_list [ ("x", 0.7); ("y", -1.3) ] in
+      List.iter
+        (fun (b : Cse.binding) ->
+          Hashtbl.replace env b.name (Om_expr.Eval.eval env b.expr))
+        block.temps;
+      List.for_all2
+        (fun (_, orig) (_, rewritten) ->
+          let v1 = Om_expr.Eval.eval env orig in
+          let v2 = Om_expr.Eval.eval env rewritten in
+          Float.abs (v1 -. v2) <= 1e-9 *. (1. +. Float.abs v1))
+        targets block.roots)
+
+(* ---------- partition ---------- *)
+
+let heavy_expr n =
+  (* A sum of n sin terms: cost ~ n * 21. *)
+  E.add (List.init n (fun i -> E.sin (E.add [ x; E.int i ])))
+
+let mk_assigns specs =
+  Array.of_list
+    (List.mapi
+       (fun i (name, e) ->
+         { A.state = name; target = name ^ "$dot"; state_index = i; rhs = e })
+       specs)
+
+let test_partition_grouping () =
+  (* Many trivial assignments group into few tasks. *)
+  let assigns =
+    mk_assigns (List.init 10 (fun i -> (Printf.sprintf "s%d" i, E.neg x)))
+  in
+  let plan = Part.partition ~merge_threshold:50. ~split_threshold:1e9 assigns in
+  Part.validate plan;
+  Alcotest.(check bool) "grouped" true (Array.length plan.tasks < 10);
+  Alcotest.(check int) "no partials" 0 plan.n_partials
+
+let test_partition_splitting () =
+  let assigns = mk_assigns [ ("big", heavy_expr 40) ] in
+  let plan = Part.partition ~merge_threshold:10. ~split_threshold:100. assigns in
+  Part.validate plan;
+  Alcotest.(check bool) "split into partials" true (plan.n_partials >= 2);
+  Alcotest.(check int) "one epilogue entry" 1 (List.length plan.epilogue);
+  Alcotest.(check bool) "epilogue sums the partials" true
+    (plan.epilogue_flops > 0.)
+
+let test_partition_validate_catches () =
+  let plan =
+    {
+      Part.dim = 1;
+      n_partials = 0;
+      tasks = [||];
+      epilogue = [];
+      epilogue_flops = 0.;
+    }
+  in
+  match Part.validate plan with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "derivative 0 never produced"
+
+let prop_partition_covers_all_derivs =
+  QCheck.Test.make ~name:"partition covers every derivative once" ~count:100
+    QCheck.(pair (int_range 1 30) (int_range 1 8))
+    (fun (n, k) ->
+      let assigns =
+        mk_assigns
+          (List.init n (fun i -> (Printf.sprintf "s%d" i, heavy_expr (1 + (i mod k)))))
+      in
+      let plan =
+        Part.partition ~merge_threshold:30. ~split_threshold:60. assigns
+      in
+      match Part.validate plan with () -> true | exception _ -> false)
+
+(* ---------- comm analysis ---------- *)
+
+let test_comm_analysis () =
+  let m =
+    tiny_model
+      {|model M; class C variable x; variable y;
+        equation der(x) = x; equation der(y) = x + y; end; instance c of C;|}
+  in
+  let assigns = A.of_flat_model m in
+  let plan = Part.partition ~merge_threshold:0.5 ~split_threshold:1e9 assigns in
+  let info = Comm.analyse plan ~state_names:(Fm.state_names m) in
+  (* Task writing y' reads both states; task writing x' reads only x. *)
+  let by_write w =
+    let rec find i =
+      if i >= Array.length info.writes then Alcotest.fail "missing task"
+      else if List.mem w info.writes.(i) then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check (list int)) "x' reads x" [ 0 ] info.reads.(by_write 0);
+  Alcotest.(check (list int)) "y' reads x,y" [ 0; 1 ] info.reads.(by_write 1)
+
+let test_read_fraction () =
+  let info = { Comm.reads = [| [ 0 ]; [ 0; 1 ] |]; writes = [| [ 0 ]; [ 1 ] |] } in
+  Alcotest.(check (float 1e-9)) "fraction" 0.75 (Comm.read_fraction info ~dim:2)
+
+(* ---------- bytecode backend ---------- *)
+
+let compile_model ?(scope = Bc.Cse_per_task) src =
+  let m = tiny_model src in
+  let assigns = A.of_flat_model m in
+  let plan = Part.partition assigns in
+  (m, Bc.compile ~scope plan ~state_names:(Fm.state_names m))
+
+let test_bytecode_matches_direct () =
+  let m, bc = compile_model oscillator in
+  let sys = Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false m.equations in
+  let y0 = [| 0.3; -0.8 |] in
+  let d1 = Om_ode.Odesys.rhs sys 0.5 y0 in
+  let d2 = Array.make 2 0. in
+  Bc.rhs_fn bc 0.5 y0 d2;
+  Alcotest.(check (float 1e-12)) "dx" d1.(0) d2.(0);
+  Alcotest.(check (float 1e-12)) "dy" d1.(1) d2.(1)
+
+let test_bytecode_scopes_agree () =
+  let src = Om_models.Servo.source () in
+  let m = tiny_model src in
+  let assigns = A.of_flat_model m in
+  let plan = Part.partition assigns in
+  let names = Fm.state_names m in
+  let y0 = Fm.initial_values m in
+  let out scope =
+    let bc = Bc.compile ~scope plan ~state_names:names in
+    let d = Array.make (Array.length y0) 0. in
+    Bc.rhs_fn bc 0.25 y0 d;
+    d
+  in
+  let a = out Bc.Cse_none and b = out Bc.Cse_per_task and c = out Bc.Cse_global in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-10)) (Printf.sprintf "per-task %d" i) v b.(i);
+      Alcotest.(check (float 1e-10)) (Printf.sprintf "global %d" i) v c.(i))
+    a
+
+let test_bytecode_measured_eval () =
+  let _, bc = compile_model oscillator in
+  bc.set_state 0. [| 1.; 2. |];
+  let total =
+    Array.fold_left (fun acc t -> acc +. t.Bc.measured_eval ()) 0. bc.tasks
+  in
+  Alcotest.(check bool) "measured cost positive" true (total >= 0.);
+  (* Static cost bounds the measured cost for branch-free models. *)
+  let static = Array.fold_left (fun acc t -> acc +. t.Bc.static_cost) 0. bc.tasks in
+  Alcotest.(check (float 1e-9)) "equal for branch-free" static total
+
+let test_bytecode_conditional_costs_vary () =
+  let src =
+    {|model M; class C variable x init 1.0;
+      equation der(x) = if x > 0.0 then sin(sin(sin(x))) else 0.0 - x; end;
+      instance c of C;|}
+  in
+  let _, bc = compile_model src in
+  bc.set_state 0. [| 1. |];
+  let expensive = bc.tasks.(0).measured_eval () in
+  bc.set_state 0. [| -1. |];
+  let cheap = bc.tasks.(0).measured_eval () in
+  Alcotest.(check bool) "taken branch matters" true (expensive > cheap)
+
+(* ---------- fortran backend ---------- *)
+
+let gen_fortran mode src =
+  let m = tiny_model src in
+  let assigns = A.of_flat_model m in
+  let plan = Part.partition assigns in
+  F.generate ~mode plan ~state_names:(Fm.state_names m)
+    ~initial:(Fm.initial_values m) ~model_name:m.name
+
+let test_fortran_parallel_structure () =
+  let f = gen_fortran F.Parallel oscillator in
+  Alcotest.(check bool) "subroutine RHS" true
+    (contains f.code "subroutine RHS(workerid, yin, yout)");
+  Alcotest.(check bool) "select case" true
+    (contains f.code "select case (workerid)");
+  Alcotest.(check bool) "init_state" true (contains f.code "subroutine init_state");
+  Alcotest.(check bool) "reader" true
+    (contains f.code "subroutine read_start_values");
+  Alcotest.(check int) "line count consistent" f.total_lines
+    (Om_codegen.Stats.count_lines f.code)
+
+let test_fortran_serial_structure () =
+  let f = gen_fortran F.Serial oscillator in
+  Alcotest.(check bool) "serial signature" true
+    (contains f.code "subroutine RHS(t, yin, yout)");
+  Alcotest.(check bool) "no select" false (contains f.code "select case")
+
+let test_fortran_mangling () =
+  Alcotest.(check string) "brackets and dots" "W_3__phi" (F.mangle "W[3].phi");
+  Alcotest.(check string) "dollar" "cse_0_1" (F.mangle "cse$0$1")
+
+let test_fortran_expressions () =
+  let v n = n in
+  Alcotest.(check string) "pow" "x**(2)" (F.expr_to_fortran v (E.powi x 2));
+  Alcotest.(check string) "literal" "1.5d0" (F.expr_to_fortran v (E.const 1.5));
+  Alcotest.(check string) "merge for if" "merge(x, y, x < y)"
+    (F.expr_to_fortran v (E.if_ (E.cond x E.Lt y) x y));
+  Alcotest.(check bool) "sign helper" true
+    (contains (F.expr_to_fortran v (E.sign x)) "omsign")
+
+let test_fortran_decl_share_grows_with_model () =
+  let f = gen_fortran F.Parallel (Om_models.Servo.source ()) in
+  Alcotest.(check bool) "declarations dominate statements eventually" true
+    (f.declaration_lines > 0 && f.declaration_lines < f.total_lines)
+
+let test_fortran_serial_golden () =
+  (* Lock the backend's exact output format on the smallest model. *)
+  let f = gen_fortran F.Serial oscillator in
+  let expected_body =
+    [ "  subroutine RHS(t, yin, yout)";
+      "    real(dp), intent(in) :: t";
+      "    real(dp), intent(in) :: yin(2)";
+      "    real(dp), intent(inout) :: yout(2)";
+      "    real(dp) :: c__x";
+      "    real(dp) :: c__y";
+      "    real(dp) :: c__x_dot";
+      "    real(dp) :: c__y_dot";
+      "    c__x = yin(1)";
+      "    c__y = yin(2)";
+      "    c__x_dot = c__y";
+      "    c__y_dot = -c__x";
+      "    yout(1) = c__x_dot";
+      "    yout(2) = c__y_dot";
+      "  end subroutine RHS" ]
+  in
+  List.iter
+    (fun line ->
+      if not (contains f.code (line ^ "\n")) then
+        Alcotest.failf "missing line: %s" line)
+    expected_body
+
+let test_cse_custom_prefix () =
+  let shared = E.add [ x; y ] in
+  let block =
+    Cse.eliminate ~prefix:"tmp@" [ ("a", E.mul [ shared; E.sin shared ]) ]
+  in
+  Alcotest.(check int) "one temp" 1 (Cse.temp_count block);
+  List.iter
+    (fun (b : Cse.binding) ->
+      Alcotest.(check bool) "prefix used" true
+        (String.length b.name > 4 && String.sub b.name 0 4 = "tmp@"))
+    block.temps
+
+let test_fortran_line_width () =
+  (* The backend wraps statements at 72 columns like 1995 F90 listings;
+     only unbreakable tokens may run longer, and none should approach a
+     punch-card-hostile 110. *)
+  let f = gen_fortran F.Parallel (Om_models.Bearing2d.source ()) in
+  let too_long =
+    String.split_on_char '\n' f.code
+    |> List.filter (fun l -> String.length l > 110)
+  in
+  Alcotest.(check (list string)) "no overlong lines" [] too_long;
+  let wrapped =
+    String.split_on_char '\n' f.code
+    |> List.filter (fun l ->
+           String.length l >= 2 && String.sub l (String.length l - 2) 2 = " &")
+  in
+  Alcotest.(check bool) "continuations present" true
+    (List.length wrapped > 50)
+
+let prop_partition_chunks_bounded =
+  QCheck.Test.make ~name:"split chunks stay near the threshold" ~count:60
+    QCheck.(int_range 200 2000)
+    (fun threshold ->
+      let threshold = float_of_int threshold in
+      let m = Om_models.Bearing2d.model ~n_rollers:4 () in
+      let assigns = A.of_flat_model m in
+      let plan =
+        Part.partition ~merge_threshold:20. ~split_threshold:threshold
+          assigns
+      in
+      Part.validate plan;
+      (* Every multi-root task containing partials must not wildly exceed
+         the chunk target (threshold/2 + one term). *)
+      Array.for_all
+        (fun (t : Part.task) ->
+          List.length t.roots > 0)
+        plan.tasks)
+
+(* ---------- c backend ---------- *)
+
+let test_c_structure () =
+  let m = tiny_model oscillator in
+  let assigns = A.of_flat_model m in
+  let plan = Part.partition assigns in
+  let c =
+    C.generate ~mode:C.Parallel plan ~state_names:(Fm.state_names m)
+      ~initial:(Fm.initial_values m) ~model_name:m.name
+  in
+  Alcotest.(check bool) "switch" true (contains c.code "switch (workerid)");
+  Alcotest.(check bool) "math.h" true (contains c.code "#include <math.h>");
+  Alcotest.(check bool) "sign helper" true (contains c.code "om_sign")
+
+let test_c_expressions () =
+  let v n = n in
+  Alcotest.(check string) "small power inlined" "x*x" (C.expr_to_c v (E.powi x 2));
+  Alcotest.(check string) "ternary" "(x < y) ? x : y"
+    (C.expr_to_c v (E.if_ (E.cond x E.Lt y) x y))
+
+(* ---------- mathematica backend ---------- *)
+
+module Mma = Om_codegen.Mathematica_backend
+
+let test_mathematica_structure () =
+  let m = tiny_model oscillator in
+  let src = Mma.generate m in
+  Alcotest.(check bool) "NDSolve driver" true (contains src.code "NDSolve[");
+  Alcotest.(check bool) "equations" true (contains src.code "'[t] ==");
+  Alcotest.(check bool) "initial conditions" true (contains src.code "[0] ==");
+  Alcotest.(check bool) "line count" true
+    (src.total_lines = Om_codegen.Stats.count_lines src.code)
+
+let test_mathematica_functions () =
+  let m =
+    tiny_model
+      {|model M; class C variable x init 1.0;
+        equation der(x) = atan2(x, 2.0) + max(x, 0.0) - asin(x / 2.0); end;
+        instance c of C;|}
+  in
+  let src = Mma.generate m in
+  Alcotest.(check bool) "arctan2 helper" true (contains src.code "OMArcTan2[");
+  Alcotest.(check bool) "Max" true (contains src.code "Max[");
+  Alcotest.(check bool) "ArcSin" true (contains src.code "ArcSin[")
+
+let test_mathematica_mangling_collisions () =
+  let m =
+    tiny_model
+      {|model M;
+        class A variable b; equation der(b) = b; end;
+        class Holder part a : A; end;
+        instance a of Holder;
+        instance ab of A;|}
+  in
+  (* States a.a.b and ab.b both strip to "aab"/"abb"?  Construct the real
+     collision: a.a.b -> aab; check all mangled names are distinct. *)
+  let mg = Mma.mangle m in
+  let mangled = List.map (fun (s, _) -> mg s) m.states in
+  let sorted = List.sort_uniq compare mangled in
+  Alcotest.(check int) "distinct symbols" (List.length mangled)
+    (List.length sorted)
+
+let test_mathematica_conditionals () =
+  let m =
+    tiny_model
+      {|model M; class C variable x init 1.0;
+        equation der(x) = if x > 0.0 then 0.0 - x else x; end;
+        instance c of C;|}
+  in
+  let src = Mma.generate m in
+  Alcotest.(check bool) "If form" true (contains src.code "If[")
+
+(* ---------- pipeline + stats ---------- *)
+
+let test_pipeline_bearing () =
+  let m = Om_models.Bearing2d.model () in
+  let r = P.compile m in
+  Alcotest.(check int) "2 SCCs" 2 r.analysis.comps.count;
+  Alcotest.(check int) "one nontrivial" 1 (List.length r.analysis.nontrivial);
+  Alcotest.(check bool) "tasks exist" true (Array.length r.tasks > 10)
+
+let test_pipeline_rhs_equivalence () =
+  let m = Om_models.Powerplant.model () in
+  let r = P.compile m in
+  let sys = Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false m.equations in
+  let y0 = Fm.initial_values m in
+  let d1 = Om_ode.Odesys.rhs sys 0.1 y0 in
+  let d2 = Array.make (Array.length y0) 0. in
+  P.rhs_fn r 0.1 y0 d2;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-10)) (Printf.sprintf "deriv %d" i) v d2.(i))
+    d1
+
+let test_stats_directions () =
+  (* The paper's qualitative relations: intermediate form larger than
+     source; parallel CSE count >= serial CSE count; serial code smaller
+     than parallel code. *)
+  let src = Om_models.Bearing2d.source () in
+  let r = P.compile (Om_lang.Flatten.flatten_string src) in
+  let s = Stats.collect ~source:src r in
+  Alcotest.(check bool) "intermediate >> source" true
+    (s.intermediate_lines > 5 * Option.get s.source_lines);
+  Alcotest.(check bool) "cse parallel >= serial" true
+    (s.cse_parallel >= s.cse_serial);
+  Alcotest.(check bool) "serial smaller" true
+    (s.fortran_serial_lines < s.fortran_parallel_lines)
+
+let test_system_level_speedup () =
+  let m = Om_models.Powerplant.model () in
+  let a = P.analyse m in
+  let sp = P.system_level_speedup a ~comm:0. ~nprocs:8 in
+  Alcotest.(check bool) "plant partitions" true (sp > 1.5);
+  let m2 = Om_models.Bearing2d.model () in
+  let a2 = P.analyse m2 in
+  let sp2 = P.system_level_speedup a2 ~comm:0. ~nprocs:8 in
+  (* One giant SCC: no useful system-level parallelism. *)
+  Alcotest.(check bool) "bearing does not" true (sp2 < 1.1)
+
+(* ---------- generated jacobian ---------- *)
+
+module Jg = Om_codegen.Jacobian_gen
+
+let test_jacobian_sparsity () =
+  let m = tiny_model oscillator in
+  let jg = Jg.generate m in
+  Alcotest.(check int) "two nonzeros" 2 (Jg.nonzero_count jg);
+  Alcotest.(check (float 1e-9)) "density" 0.5 (Jg.density jg);
+  let coords = List.map (fun (r, c, _) -> (r, c)) jg.entries in
+  Alcotest.(check bool) "dx'/dy" true (List.mem (0, 1) coords);
+  Alcotest.(check bool) "dy'/dx" true (List.mem (1, 0) coords)
+
+let test_jacobian_values () =
+  let m = tiny_model oscillator in
+  let jg = Jg.generate m in
+  let f = Jg.compile jg ~state_names:(Fm.state_names m) in
+  let mat = Om_ode.Linalg.make 2 2 99. in
+  f 0.3 [| 0.5; -0.25 |] mat;
+  Alcotest.(check (float 1e-12)) "j00 zeroed" 0. mat.(0).(0);
+  Alcotest.(check (float 1e-12)) "j01" 1. mat.(0).(1);
+  Alcotest.(check (float 1e-12)) "j10" (-1.) mat.(1).(0)
+
+let test_jacobian_matches_numeric () =
+  (* On the smooth servo model the generated Jacobian must agree with
+     finite differences everywhere. *)
+  let m = Om_models.Servo.model () in
+  let sys_gen = Jg.to_odesys m in
+  let sys_num =
+    Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false m.equations
+  in
+  let y = Array.map (fun (_, v) -> v +. 0.1) (Array.of_list m.states) in
+  let ja = Om_ode.Jacobian.analytic sys_gen 0.2 y in
+  let jn = Om_ode.Jacobian.numeric sys_num 0.2 y in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          let d = Float.abs (v -. jn.(i).(j)) /. (1. +. Float.abs v) in
+          if d > 1e-4 then
+            Alcotest.failf "entry (%d,%d): %g vs %g" i j v jn.(i).(j))
+        row)
+    ja
+
+let test_jacobian_speeds_up_bdf () =
+  let m = Om_models.Servo.model () in
+  let sys_gen = Jg.to_odesys m in
+  let sys_num =
+    Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false m.equations
+  in
+  let y0 = Fm.initial_values m in
+  let run sys =
+    Om_ode.Odesys.reset_counters sys;
+    ignore (Om_ode.Bdf.integrate ~order:2 sys ~t0:0. ~y0 ~tend:0.05 ~h:1e-3);
+    sys.Om_ode.Odesys.counters.rhs_calls
+  in
+  let gen_calls = run sys_gen and num_calls = run sys_num in
+  Alcotest.(check bool) "drastically fewer RHS calls" true
+    (gen_calls * 5 < num_calls)
+
+let test_jacobian_trajectories_agree () =
+  let m = tiny_model oscillator in
+  let y0 = Fm.initial_values m in
+  let run sys =
+    Om_ode.Odesys.final_state
+      (Om_ode.Bdf.integrate ~order:2 sys ~t0:0. ~y0 ~tend:1. ~h:1e-3)
+  in
+  let a = run (Jg.to_odesys m) in
+  let b =
+    run (Om_ode.Odesys.of_equations ~with_symbolic_jacobian:true m.equations)
+  in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-8)) (string_of_int i) v b.(i))
+    a
+
+let test_jacobian_fortran () =
+  let m = tiny_model oscillator in
+  let jg = Jg.generate m in
+  let f = Jg.fortran jg ~state_names:(Fm.state_names m) ~model_name:m.name in
+  Alcotest.(check bool) "subroutine JAC" true
+    (contains f.code "subroutine JAC(t, yin, pd)");
+  Alcotest.(check bool) "zero fill" true (contains f.code "pd = 0.0d0");
+  Alcotest.(check bool) "entry" true (contains f.code "pd(1,2)")
+
+let test_jacobian_cse_shares_work () =
+  (* Equations with a common heavy factor: its partials share temps. *)
+  let m =
+    tiny_model
+      {|model M; class C variable x; variable y;
+        alias heavy = sin(x * y) * exp(x + y);
+        equation der(x) = heavy * x; equation der(y) = heavy * y; end;
+        instance c of C;|}
+  in
+  let jg = Jg.generate m in
+  Alcotest.(check bool) "temps extracted" true
+    (Om_codegen.Cse.temp_count jg.block > 0);
+  Alcotest.(check int) "dense 2x2" 4 (Jg.nonzero_count jg)
+
+(* ---------- diagnostics ---------- *)
+
+module Diag = Om_codegen.Diagnostics
+
+let test_diagnostics_bearing () =
+  let m = Om_models.Bearing2d.model () in
+  let r = Diag.analyse m in
+  (* The driven rotation influences nothing and depends on nothing. *)
+  Alcotest.(check (list string)) "isolated" [ "Inner.theta" ] r.isolated;
+  Alcotest.(check bool) "one giant SCC" true (r.largest_scc_share > 0.95)
+
+let test_diagnostics_servo () =
+  let m = Om_models.Servo.model () in
+  let r = Diag.analyse m in
+  (* Sensors observe; nothing reads them back. *)
+  Alcotest.(check bool) "sensors are observers" true
+    (List.mem "S[1].sensor.Value" r.sinks
+    && List.mem "S[2].sensor.Value" r.sinks);
+  Alcotest.(check bool) "small SCC share" true (r.largest_scc_share < 0.5)
+
+let test_restrict_closure () =
+  let m = Om_models.Servo.model () in
+  let sub = Diag.restrict m ~keep:[ "S[1].motor.Speed" ] in
+  (* The controller/motor loop is needed; the load, angle integrator and
+     sensor are not. *)
+  let names = List.map fst sub.states in
+  Alcotest.(check (list string)) "loop only"
+    [ "S[1].ctrl.IPart"; "S[1].motor.Current"; "S[1].motor.Speed" ]
+    (List.sort compare names);
+  Om_lang.Typecheck.check sub
+
+let test_restrict_preserves_trajectories () =
+  let m = Om_models.Servo.model () in
+  let sub = Diag.restrict m ~keep:[ "S[1].motor.Speed" ] in
+  let run fm name =
+    let sys = Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false fm.Om_lang.Flat_model.equations in
+    let tr =
+      Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0:0.
+        ~y0:(Fm.initial_values fm) ~tend:1. ~h:1e-3
+    in
+    let col = Om_ode.Odesys.column tr name sys in
+    col.(Array.length col - 1)
+  in
+  Alcotest.(check (float 1e-12)) "same speed trajectory"
+    (run m "S[1].motor.Speed") (run sub "S[1].motor.Speed")
+
+let test_restrict_unknown () =
+  let m = Om_models.Servo.model () in
+  Alcotest.check_raises "unknown state"
+    (Invalid_argument "Diagnostics.restrict: unknown state nope") (fun () ->
+      ignore (Diag.restrict m ~keep:[ "nope" ]))
+
+let prop_restrict_always_valid =
+  QCheck.Test.make ~name:"restrict yields a well-formed sub-model" ~count:40
+    QCheck.(int_range 0 38)
+    (fun k ->
+      let m = Om_models.Powerplant.model () in
+      let states = List.map fst m.states in
+      let keep = [ List.nth states (k mod List.length states) ] in
+      let sub = Diag.restrict m ~keep in
+      Om_lang.Typecheck.check sub;
+      List.length sub.states <= List.length m.states
+      && List.for_all (fun s -> List.mem s (List.map fst sub.states)) keep)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "om_codegen"
+    [
+      ("assignments", [ Alcotest.test_case "basic" `Quick test_assignments ]);
+      ( "cse",
+        [
+          Alcotest.test_case "extracts shared" `Quick test_cse_extracts_shared;
+          Alcotest.test_case "no sharing" `Quick test_cse_no_sharing_no_temp;
+          Alcotest.test_case "across targets" `Quick test_cse_across_targets;
+          Alcotest.test_case "inline roundtrip" `Quick test_cse_inline_roundtrip;
+          Alcotest.test_case "min size" `Quick test_cse_min_size_threshold;
+          Alcotest.test_case "single-use inlined" `Quick
+            test_cse_single_use_inlined;
+          Alcotest.test_case "custom prefix" `Quick test_cse_custom_prefix;
+          q prop_cse_preserves_semantics;
+          q prop_cse_eval_equivalence;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "grouping" `Quick test_partition_grouping;
+          Alcotest.test_case "splitting" `Quick test_partition_splitting;
+          Alcotest.test_case "validation" `Quick test_partition_validate_catches;
+          q prop_partition_covers_all_derivs;
+          q prop_partition_chunks_bounded;
+        ] );
+      ( "comm",
+        [
+          Alcotest.test_case "reads and writes" `Quick test_comm_analysis;
+          Alcotest.test_case "read fraction" `Quick test_read_fraction;
+        ] );
+      ( "bytecode",
+        [
+          Alcotest.test_case "matches direct eval" `Quick
+            test_bytecode_matches_direct;
+          Alcotest.test_case "scopes agree" `Quick test_bytecode_scopes_agree;
+          Alcotest.test_case "measured eval" `Quick test_bytecode_measured_eval;
+          Alcotest.test_case "conditional costs" `Quick
+            test_bytecode_conditional_costs_vary;
+        ] );
+      ( "fortran",
+        [
+          Alcotest.test_case "parallel structure" `Quick
+            test_fortran_parallel_structure;
+          Alcotest.test_case "serial structure" `Quick
+            test_fortran_serial_structure;
+          Alcotest.test_case "mangling" `Quick test_fortran_mangling;
+          Alcotest.test_case "expressions" `Quick test_fortran_expressions;
+          Alcotest.test_case "declarations" `Quick
+            test_fortran_decl_share_grows_with_model;
+          Alcotest.test_case "serial golden" `Quick test_fortran_serial_golden;
+          Alcotest.test_case "line width" `Quick test_fortran_line_width;
+        ] );
+      ( "c",
+        [
+          Alcotest.test_case "structure" `Quick test_c_structure;
+          Alcotest.test_case "expressions" `Quick test_c_expressions;
+        ] );
+      ( "jacobian",
+        [
+          Alcotest.test_case "sparsity" `Quick test_jacobian_sparsity;
+          Alcotest.test_case "values" `Quick test_jacobian_values;
+          Alcotest.test_case "matches numeric" `Quick
+            test_jacobian_matches_numeric;
+          Alcotest.test_case "speeds up BDF" `Quick
+            test_jacobian_speeds_up_bdf;
+          Alcotest.test_case "trajectories agree" `Quick
+            test_jacobian_trajectories_agree;
+          Alcotest.test_case "fortran output" `Quick test_jacobian_fortran;
+          Alcotest.test_case "CSE shares work" `Quick
+            test_jacobian_cse_shares_work;
+        ] );
+      ( "mathematica",
+        [
+          Alcotest.test_case "structure" `Quick test_mathematica_structure;
+          Alcotest.test_case "function names" `Quick
+            test_mathematica_functions;
+          Alcotest.test_case "mangling collisions" `Quick
+            test_mathematica_mangling_collisions;
+          Alcotest.test_case "conditionals" `Quick
+            test_mathematica_conditionals;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "bearing" `Quick test_diagnostics_bearing;
+          Alcotest.test_case "servo" `Quick test_diagnostics_servo;
+          Alcotest.test_case "restrict closure" `Quick test_restrict_closure;
+          Alcotest.test_case "restrict preserves trajectories" `Quick
+            test_restrict_preserves_trajectories;
+          Alcotest.test_case "restrict unknown state" `Quick
+            test_restrict_unknown;
+          q prop_restrict_always_valid;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "bearing analysis" `Quick test_pipeline_bearing;
+          Alcotest.test_case "rhs equivalence" `Quick
+            test_pipeline_rhs_equivalence;
+          Alcotest.test_case "stats directions" `Quick test_stats_directions;
+          Alcotest.test_case "system-level speedup" `Quick
+            test_system_level_speedup;
+        ] );
+    ]

@@ -1,0 +1,513 @@
+(* Tests for the symbolic expression engine: smart-constructor
+   normalisation, simplification, differentiation, evaluation, printing
+   and the cost model. *)
+
+module E = Om_expr.Expr
+module Eval = Om_expr.Eval
+module Deriv = Om_expr.Deriv
+module Simplify = Om_expr.Simplify
+module Subst = Om_expr.Subst
+module Cost = Om_expr.Cost
+module Pf = Om_expr.Prefix_form
+
+let x = E.var "x"
+let y = E.var "y"
+let z = E.var "z"
+
+let check_expr msg expected actual =
+  Alcotest.check
+    (Alcotest.testable E.pp E.equal)
+    msg expected actual
+
+let check_float = Alcotest.check (Alcotest.float 1e-9)
+
+(* ---------- random expression generator for property tests ---------- *)
+
+let leaf_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map E.const (float_range (-4.) 4.);
+        oneofl [ x; y; z ];
+      ])
+
+let expr_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 6) @@ fix (fun self n ->
+        if n <= 0 then leaf_gen
+        else
+          frequency
+            [
+              (2, leaf_gen);
+              ( 3,
+                map2
+                  (fun a b -> E.add [ a; b ])
+                  (self (n / 2)) (self (n / 2)) );
+              ( 3,
+                map2
+                  (fun a b -> E.mul [ a; b ])
+                  (self (n / 2)) (self (n / 2)) );
+              (1, map (fun a -> E.neg a) (self (n - 1)));
+              (1, map (fun a -> E.sin a) (self (n - 1)));
+              (1, map (fun a -> E.cos a) (self (n - 1)));
+              (1, map (fun a -> E.powi a 2) (self (n - 1)));
+              ( 1,
+                map2
+                  (fun a b ->
+                    E.if_ (E.cond a E.Lt b) (E.add [ a; b ]) (E.sub a b))
+                  (self (n / 2)) (self (n / 2)) );
+            ]))
+
+let arbitrary_expr = QCheck.make ~print:(Fmt.to_to_string E.pp) expr_gen
+
+let env_of v = Eval.env_of_list [ ("x", v.(0)); ("y", v.(1)); ("z", v.(2)) ]
+
+let triple_gen = QCheck.Gen.(triple (float_range (-3.) 3.) (float_range (-3.) 3.) (float_range (-3.) 3.))
+
+let arbitrary_expr_env =
+  QCheck.make
+    ~print:(fun (e, (a, b, c)) ->
+      Printf.sprintf "%s @ (%g, %g, %g)" (Fmt.to_to_string E.pp e) a b c)
+    QCheck.Gen.(pair expr_gen triple_gen)
+
+let close a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b) <= 1e-6 *. (1. +. Float.max (Float.abs a) (Float.abs b))
+
+(* ---------- unit tests: smart constructors ---------- *)
+
+let test_constant_folding () =
+  check_expr "2+3" (E.const 5.) (E.add [ E.const 2.; E.const 3. ]);
+  check_expr "2*3*x*0" E.zero (E.mul [ E.const 2.; E.const 3.; x; E.zero ]);
+  check_expr "x*1" x (E.mul [ x; E.one ]);
+  check_expr "x+0" x (E.add [ x; E.zero ]);
+  check_expr "x^0" E.one (E.powi x 0);
+  check_expr "x^1" x (E.powi x 1);
+  check_expr "2^3" (E.const 8.) (E.pow E.two (E.const 3.))
+
+let test_like_terms () =
+  check_expr "x+x = 2x" E.(mul [ two; x ]) (E.add [ x; x ]);
+  check_expr "2x+3x = 5x" E.(mul [ const 5.; x ]) (E.add [ E.mul [ E.two; x ]; E.mul [ E.const 3.; x ] ]);
+  check_expr "x-x = 0" E.zero (E.sub x x);
+  check_expr "x*x = x^2" (E.powi x 2) (E.mul [ x; x ]);
+  check_expr "x^2*x^3 = x^5" (E.powi x 5) (E.mul [ E.powi x 2; E.powi x 3 ]);
+  check_expr "x/x = 1" E.one (E.div x x)
+
+let test_flattening () =
+  check_expr "(x+y)+z = x+(y+z)"
+    (E.add [ x; E.add [ y; z ] ])
+    (E.add [ E.add [ x; y ]; z ]);
+  check_expr "assoc mul"
+    (E.mul [ x; E.mul [ y; z ] ])
+    (E.mul [ E.mul [ x; y ]; z ])
+
+let test_commutativity () =
+  check_expr "x+y = y+x" (E.add [ x; y ]) (E.add [ y; x ]);
+  check_expr "x*y = y*x" (E.mul [ x; y ]) (E.mul [ y; x ])
+
+let test_if_collapse () =
+  check_expr "if with equal branches"
+    x
+    (E.if_ (E.cond x E.Lt y) x x);
+  check_expr "if with constant condition"
+    x
+    (E.if_ (E.cond E.one E.Lt E.two) x y)
+
+let test_call_arity () =
+  Alcotest.check_raises "sin/2 rejected"
+    (Invalid_argument "Expr.call: sin expects 1 arguments") (fun () ->
+      ignore (E.call E.Sin [ x; y ]))
+
+let test_vars () =
+  Alcotest.(check (list string))
+    "vars sorted, unique" [ "x"; "y" ]
+    (E.vars (E.add [ x; E.mul [ y; x ] ]));
+  Alcotest.(check bool) "mem_var" true (E.mem_var "y" (E.sin y));
+  Alcotest.(check bool) "not mem_var" false (E.mem_var "q" (E.sin y))
+
+let test_pp_golden () =
+  let show e = Fmt.to_to_string E.pp e in
+  Alcotest.(check string) "sum with negative" "x - 2*y"
+    (show (E.sub x (E.mul [ E.two; y ])));
+  Alcotest.(check string) "division" "x/y" (show (E.div x y));
+  Alcotest.(check string) "negated product" "-(x*y)"
+    (show (E.neg (E.mul [ x; y ])));
+  Alcotest.(check string) "reciprocal" "1/x" (show (E.div E.one x));
+  Alcotest.(check string) "power" "x^2" (show (E.powi x 2));
+  Alcotest.(check string) "call" "sin(x + y)" (show (E.sin (E.add [ x; y ])))
+
+let test_pp_roundtrip_sanity () =
+  let e = E.(sub (mul [ two; x ]) (div y (powi z 2))) in
+  let s = Fmt.to_to_string E.pp e in
+  Alcotest.(check bool) "prints something" true (String.length s > 3)
+
+(* ---------- simplify ---------- *)
+
+let test_pythagoras () =
+  let e = E.(add [ powi (sin x) 2; powi (cos x) 2 ]) in
+  check_expr "sin²+cos² = 1" E.one (Simplify.simplify e);
+  let e2 = E.(add [ mul [ const 3.; powi (sin x) 2 ]; mul [ const 3.; powi (cos x) 2 ]; y ]) in
+  check_expr "3sin²+3cos²+y = 3+y"
+    E.(add [ const 3.; y ])
+    (Simplify.simplify e2)
+
+let test_sqrt_square () =
+  check_expr "sqrt(x²) = |x|" (E.abs x) (Simplify.simplify (E.sqrt (E.powi x 2)));
+  check_expr "sqrt(x)² = x" x (Simplify.simplify (E.powi (E.sqrt x) 2))
+
+let test_inverse_pairs () =
+  check_expr "log(exp x)" x (Simplify.simplify (E.log (E.exp x)));
+  check_expr "exp(log x)" x (Simplify.simplify (E.exp (E.log x)));
+  check_expr "abs(abs x)" (E.abs x) (Simplify.simplify (E.abs (E.abs x)))
+
+let test_odd_even_symmetry () =
+  check_expr "sin(-x) = -sin x"
+    (E.neg (E.sin x))
+    (Simplify.simplify (E.sin (E.neg x)));
+  check_expr "cos(-x) = cos x" (E.cos x) (Simplify.simplify (E.cos (E.neg x)));
+  check_expr "abs(-2x) = abs(2x)"
+    (E.abs (E.mul [ E.two; x ]))
+    (Simplify.simplify (E.abs (E.mul [ E.const (-2.); x ])));
+  (* Symmetry enables collection: sin(x) + sin(-x) = 0. *)
+  check_expr "sin x + sin(-x) = 0" E.zero
+    (Simplify.simplify (E.add [ E.sin x; E.sin (E.neg x) ]))
+
+let test_expand () =
+  let e = E.(mul [ add [ x; y ]; add [ x; E.neg y ] ]) in
+  check_expr "(x+y)(x-y) = x²-y²"
+    E.(sub (powi x 2) (powi y 2))
+    (Simplify.expand e)
+
+let prop_simplify_preserves_value =
+  QCheck.Test.make ~name:"simplify preserves evaluation" ~count:300
+    arbitrary_expr_env (fun (e, (a, b, c)) ->
+      let env = env_of [| a; b; c |] in
+      let v1 = Eval.eval env e in
+      let v2 = Eval.eval env (Simplify.simplify e) in
+      close v1 v2)
+
+let prop_expand_preserves_value =
+  QCheck.Test.make ~name:"expand preserves evaluation" ~count:300
+    arbitrary_expr_env (fun (e, (a, b, c)) ->
+      let env = env_of [| a; b; c |] in
+      close (Eval.eval env e) (Eval.eval env (Simplify.expand e)))
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"simplify idempotent" ~count:200 arbitrary_expr
+    (fun e ->
+      let s = Simplify.simplify e in
+      E.equal s (Simplify.simplify s))
+
+(* ---------- differentiation ---------- *)
+
+let finite_diff f v h = (f (v +. h) -. f (v -. h)) /. (2. *. h)
+
+(* Conditionals and |x|-style functions have kinks where finite
+   differences legitimately disagree with the branch-wise derivative, so
+   the strict comparison only runs on smooth expressions. *)
+let has_kink e =
+  E.fold
+    (fun acc n ->
+      acc
+      ||
+      match n with
+      | E.If _ | E.Call ((E.Abs | E.Sign | E.Min | E.Max), _) -> true
+      | _ -> false)
+    false e
+
+let prop_deriv_matches_finite_difference =
+  QCheck.Test.make ~name:"d/dx matches finite differences" ~count:300
+    arbitrary_expr_env (fun (e, (a, b, c)) ->
+      QCheck.assume (not (has_kink e));
+      let de = Deriv.diff "x" e in
+      let f v = Eval.eval (env_of [| v; b; c |]) e in
+      let exact = Eval.eval (env_of [| a; b; c |]) de in
+      let approx = finite_diff f a 1e-5 in
+      QCheck.assume (Float.is_finite exact && Float.is_finite approx);
+      (* Third-derivative truncation error scales with the value sizes,
+         so tolerate a relative error. *)
+      Float.abs (exact -. approx)
+      <= 1e-3 *. (10. +. Float.max (Float.abs exact) (Float.abs approx)))
+
+let test_deriv_table () =
+  check_expr "d sin" (E.cos x) (Deriv.diff "x" (E.sin x));
+  check_expr "d cos" (E.neg (E.sin x)) (Deriv.diff "x" (E.cos x));
+  check_expr "d exp" (E.exp x) (Deriv.diff "x" (E.exp x));
+  check_expr "d log" (E.div E.one x) (Deriv.diff "x" (E.log x));
+  check_expr "d x²" E.(mul [ two; x ]) (Deriv.diff "x" (E.powi x 2));
+  check_expr "d const" E.zero (Deriv.diff "x" (E.const 42.));
+  check_expr "d other var" E.zero (Deriv.diff "x" y)
+
+let test_deriv_product_rule () =
+  (* d(x * sin x) = sin x + x cos x *)
+  check_expr "product rule"
+    E.(add [ sin x; mul [ x; cos x ] ])
+    (Deriv.diff "x" (E.mul [ x; E.sin x ]))
+
+let test_gradient () =
+  let e = E.(add [ powi x 2; mul [ x; y ] ]) in
+  let g = Deriv.gradient [ "x"; "y" ] e in
+  check_expr "dx" E.(add [ mul [ two; x ]; y ]) (List.assoc "x" g);
+  check_expr "dy" x (List.assoc "y" g)
+
+(* ---------- evaluation ---------- *)
+
+let test_env_of_list_duplicates () =
+  (* Later bindings win, like successive assignments. *)
+  let env = Eval.env_of_list [ ("x", 1.); ("x", 2.) ] in
+  check_float "last binding" 2. (Eval.eval env x)
+
+let test_eval_unbound () =
+  Alcotest.check_raises "unbound" (Eval.Unbound "q") (fun () ->
+      ignore (Eval.eval (Eval.env_of_list []) (E.var "q")))
+
+let prop_eval_fn_agrees =
+  QCheck.Test.make ~name:"eval_fn agrees with eval" ~count:300
+    arbitrary_expr_env (fun (e, (a, b, c)) ->
+      let names = [| "x"; "y"; "z" |] in
+      let f = Eval.eval_fn names e in
+      close (f [| a; b; c |]) (Eval.eval (env_of [| a; b; c |]) e))
+
+let prop_cost_dyn_value_agrees =
+  QCheck.Test.make ~name:"cost_dyn value agrees with eval" ~count:300
+    arbitrary_expr_env (fun (e, (a, b, c)) ->
+      let names = [| "x"; "y"; "z" |] in
+      let f = Om_expr.Cost_dyn.build names e in
+      let acc = ref 0. in
+      close (f [| a; b; c |] acc) (Eval.eval (env_of [| a; b; c |]) e))
+
+let prop_cost_dyn_within_static_bounds =
+  QCheck.Test.make ~name:"dynamic cost <= worst-case static cost" ~count:300
+    arbitrary_expr_env (fun (e, (a, b, c)) ->
+      let names = [| "x"; "y"; "z" |] in
+      let f = Om_expr.Cost_dyn.build names e in
+      let acc = ref 0. in
+      ignore (f [| a; b; c |] acc);
+      !acc <= Cost.flops e +. 1e-9)
+
+(* ---------- stack VM ---------- *)
+
+module Vm = Om_expr.Vm
+
+let prop_vm_matches_eval =
+  QCheck.Test.make ~name:"VM agrees with tree evaluation" ~count:500
+    arbitrary_expr_env (fun (e, (a, b, c)) ->
+      let names = [| "x"; "y"; "z" |] in
+      let p = Vm.compile names e in
+      close (Vm.run p [| a; b; c |]) (Eval.eval (env_of [| a; b; c |]) e))
+
+let prop_vm_stack_bound_respected =
+  QCheck.Test.make ~name:"VM max_stack is an upper bound" ~count:300
+    arbitrary_expr (fun e ->
+      (* Running would raise Invalid_argument on stack overflow since the
+         operand array is sized by max_stack. *)
+      let p = Vm.compile [| "x"; "y"; "z" |] e in
+      ignore (Vm.run p [| 0.5; -0.5; 1.5 |]);
+      Vm.max_stack p >= 1)
+
+let prop_vm_code_size_linear =
+  QCheck.Test.make ~name:"VM code size linear in expression size" ~count:300
+    arbitrary_expr (fun e ->
+      let p = Vm.compile [| "x"; "y"; "z" |] e in
+      Vm.length p <= 3 * E.size e)
+
+let test_vm_unbound () =
+  Alcotest.check_raises "unknown variable" (Eval.Unbound "q") (fun () ->
+      ignore (Vm.compile [| "x" |] (E.var "q")))
+
+let test_vm_conditional_branches () =
+  let p =
+    Vm.compile [| "x" |]
+      (E.if_ (E.cond x E.Lt E.zero) (E.const 10.) (E.const 20.))
+  in
+  check_float "then branch" 10. (Vm.run p [| -1. |]);
+  check_float "else branch" 20. (Vm.run p [| 1. |])
+
+let test_vm_disassemble () =
+  let p = Vm.compile [| "x" |] (E.add [ x; E.one ]) in
+  let d = Vm.disassemble p in
+  Alcotest.(check bool) "has load" true
+    (String.length d > 0
+    && List.exists
+         (fun l -> String.length l > 6)
+         (String.split_on_char '\n' d));
+  Alcotest.(check int) "three instrs" 3 (Vm.length p)
+
+(* ---------- substitution ---------- *)
+
+let test_subst () =
+  check_expr "x -> y+1 in x²"
+    (E.powi (E.add [ y; E.one ]) 2)
+    (Subst.apply [ ("x", E.add [ y; E.one ]) ] (E.powi x 2));
+  check_expr "simultaneous swap"
+    (E.sub y x)
+    (Subst.apply [ ("x", y); ("y", x) ] (E.sub x y))
+
+let test_rename () =
+  check_expr "rename"
+    (E.add [ E.var "a.x"; E.var "a.y" ])
+    (Subst.rename (fun v -> "a." ^ v) (E.add [ x; y ]))
+
+(* ---------- cost model ---------- *)
+
+let test_cost_basics () =
+  check_float "add" 1. (Cost.flops (E.add [ x; y ]));
+  check_float "leaf" 0. (Cost.flops x);
+  check_float "sin" 20. (Cost.flops (E.sin x));
+  Alcotest.(check bool)
+    "worst case >= mean" true
+    (let e =
+       E.if_ (E.cond x E.Lt y) (E.sin (E.sin x)) y
+     in
+     Cost.flops e >= Cost.flops_mean e)
+
+let test_cost_if_branches () =
+  let e = E.if_ (E.cond x E.Lt y) (E.sin x) E.zero in
+  (* worst: cmp (1) + sin (20); mean: 1 + 10 *)
+  check_float "worst" 21. (Cost.flops e);
+  check_float "mean" 11. (Cost.flops_mean e)
+
+(* ---------- prefix form ---------- *)
+
+let test_prefix_form_basic () =
+  Alcotest.(check string)
+    "plus" "Plus[x, y]"
+    (Pf.to_string (E.add [ x; y ]));
+  Alcotest.(check string)
+    "annotated"
+    "Sin[om$Type[x, om$Real]]"
+    (Pf.to_string ~annotate:true (E.sin x))
+
+let prefix_fuzz_chars = "PlusTimesSinIf[],. 0123456789-eqxyz$_"
+
+let prop_prefix_parser_total =
+  QCheck.Test.make ~name:"FullForm parser fails only with Failure" ~count:500
+    (QCheck.make
+       ~print:(fun s -> s)
+       QCheck.Gen.(
+         let* n = int_range 0 60 in
+         let* chars =
+           list_size (return n)
+             (map
+                (fun i -> prefix_fuzz_chars.[i])
+                (int_bound (String.length prefix_fuzz_chars - 1)))
+         in
+         return (String.init (List.length chars) (List.nth chars))))
+    (fun text ->
+      match Pf.of_string text with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception _ -> false)
+
+let prop_prefix_roundtrip =
+  QCheck.Test.make ~name:"prefix form parses back" ~count:300 arbitrary_expr
+    (fun e ->
+      E.equal e (Pf.of_string (Pf.to_string e)))
+
+let prop_prefix_roundtrip_annotated =
+  QCheck.Test.make ~name:"annotated prefix form parses back" ~count:200
+    arbitrary_expr (fun e ->
+      E.equal e (Pf.of_string (Pf.to_string ~annotate:true e)))
+
+let test_prefix_lines () =
+  let e =
+    E.add (List.init 30 (fun i -> E.mul [ E.int (i + 1); E.sin (E.var (Printf.sprintf "v%d" i)) ]))
+  in
+  let lines = Pf.to_lines ~width:60 e in
+  Alcotest.(check bool) "wrapped" true (List.length lines > 3);
+  (* Re-joining and parsing must restore the expression. *)
+  let joined = String.concat " " lines in
+  Alcotest.(check bool) "reparses" true (E.equal e (Pf.of_string joined))
+
+let test_equation_to_string () =
+  let s = Pf.equation_to_string ~lhs_var:"x" (E.neg y) in
+  Alcotest.(check string) "equation"
+    "Equal[Derivative[1][x][t], Times[-1, y]]" s
+
+(* ---------- compare/hash ---------- *)
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal implies same hash" ~count:200
+    (QCheck.pair arbitrary_expr arbitrary_expr) (fun (a, b) ->
+      (not (E.equal a b)) || E.hash a = E.hash b)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:200
+    (QCheck.pair arbitrary_expr arbitrary_expr) (fun (a, b) ->
+      Int.compare (E.compare a b) 0 = -Int.compare (E.compare b a) 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "om_expr"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "like terms" `Quick test_like_terms;
+          Alcotest.test_case "flattening" `Quick test_flattening;
+          Alcotest.test_case "commutativity" `Quick test_commutativity;
+          Alcotest.test_case "if collapse" `Quick test_if_collapse;
+          Alcotest.test_case "call arity" `Quick test_call_arity;
+          Alcotest.test_case "vars" `Quick test_vars;
+          Alcotest.test_case "pretty printing" `Quick test_pp_roundtrip_sanity;
+          Alcotest.test_case "pretty-print golden" `Quick test_pp_golden;
+        ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "pythagoras" `Quick test_pythagoras;
+          Alcotest.test_case "sqrt of square" `Quick test_sqrt_square;
+          Alcotest.test_case "inverse pairs" `Quick test_inverse_pairs;
+          Alcotest.test_case "odd/even symmetry" `Quick
+            test_odd_even_symmetry;
+          Alcotest.test_case "expand" `Quick test_expand;
+          q prop_simplify_preserves_value;
+          q prop_expand_preserves_value;
+          q prop_simplify_idempotent;
+        ] );
+      ( "deriv",
+        [
+          Alcotest.test_case "table" `Quick test_deriv_table;
+          Alcotest.test_case "product rule" `Quick test_deriv_product_rule;
+          Alcotest.test_case "gradient" `Quick test_gradient;
+          q prop_deriv_matches_finite_difference;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "unbound" `Quick test_eval_unbound;
+          Alcotest.test_case "duplicate env keys" `Quick
+            test_env_of_list_duplicates;
+          q prop_eval_fn_agrees;
+          q prop_cost_dyn_value_agrees;
+          q prop_cost_dyn_within_static_bounds;
+        ] );
+      ( "vm",
+        [
+          q prop_vm_matches_eval;
+          q prop_vm_stack_bound_respected;
+          q prop_vm_code_size_linear;
+          Alcotest.test_case "unbound" `Quick test_vm_unbound;
+          Alcotest.test_case "conditional" `Quick test_vm_conditional_branches;
+          Alcotest.test_case "disassemble" `Quick test_vm_disassemble;
+        ] );
+      ( "subst",
+        [
+          Alcotest.test_case "substitution" `Quick test_subst;
+          Alcotest.test_case "rename" `Quick test_rename;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "basics" `Quick test_cost_basics;
+          Alcotest.test_case "if branches" `Quick test_cost_if_branches;
+        ] );
+      ( "prefix_form",
+        [
+          Alcotest.test_case "basic" `Quick test_prefix_form_basic;
+          Alcotest.test_case "wrapping" `Quick test_prefix_lines;
+          Alcotest.test_case "equation" `Quick test_equation_to_string;
+          q prop_prefix_roundtrip;
+          q prop_prefix_parser_total;
+          q prop_prefix_roundtrip_annotated;
+        ] );
+      ( "order",
+        [ q prop_hash_consistent; q prop_compare_total_order ] );
+    ]

@@ -1,0 +1,330 @@
+(* Tests for the MIMD machine model: discrete-event core, machine
+   parameters and the supervisor/worker round. *)
+
+module Sim = Om_machine.Event_sim
+module Machine = Om_machine.Machine
+module Sup = Om_machine.Supervisor
+
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+
+(* ---------- event sim ---------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim 3. (fun () -> log := 3 :: !log);
+  Sim.at sim 1. (fun () -> log := 1 :: !log);
+  Sim.at sim 2. (fun () -> log := 2 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  checkf "clock at last event" 3. (Sim.now sim)
+
+let test_sim_ties_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.at sim 1. (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "insertion order on ties"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim 1. (fun () ->
+      log := "a" :: !log;
+      Sim.after sim 1. (fun () -> log := "b" :: !log));
+  Sim.at sim 1.5 (fun () -> log := "c" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "interleaved" [ "a"; "c"; "b" ] (List.rev !log)
+
+let test_sim_past_rejected () =
+  let sim = Sim.create () in
+  Sim.at sim 5. (fun () -> ());
+  ignore (Sim.step sim);
+  Alcotest.check_raises "past" (Invalid_argument "Event_sim.at: scheduling in the past")
+    (fun () -> Sim.at sim 1. (fun () -> ()))
+
+let test_sim_many_events () =
+  (* Heap stress: 10k events in reverse order still drain sorted. *)
+  let sim = Sim.create () in
+  let last = ref (-1.) in
+  let ok = ref true in
+  for i = 10_000 downto 1 do
+    Sim.at sim (float_of_int i) (fun () ->
+        if Sim.now sim < !last then ok := false;
+        last := Sim.now sim)
+  done;
+  Sim.run sim;
+  Alcotest.(check bool) "monotone clock" true !ok;
+  Alcotest.(check int) "drained" 0 (Sim.pending sim)
+
+(* ---------- machine ---------- *)
+
+let test_machine_presets () =
+  checkf "sparc latency" 4e-6 Machine.sparccenter_2000.latency;
+  checkf "parsytec latency" 140e-6 Machine.parsytec_gcpp.latency;
+  Alcotest.(check bool) "sparc timeshared" true
+    Machine.sparccenter_2000.timeshared;
+  Alcotest.(check bool) "parsytec dedicated" false
+    Machine.parsytec_gcpp.timeshared
+
+let test_message_time () =
+  let m = Machine.make ~name:"m" ~latency:1e-6 ~per_byte:1e-8 ~physical_procs:4 () in
+  checkf "1 byte" (1e-6 +. 1e-8) (Machine.message_time m ~bytes:1);
+  checkf "1000 bytes" (1e-6 +. 1e-5) (Machine.message_time m ~bytes:1000)
+
+let test_timesharing_slowdown () =
+  let m = Machine.sparccenter_2000 in
+  checkf "under capacity" 1. (Machine.slowdown m ~nworkers:7);
+  checkf "at 8 workers" (8. /. 7.) (Machine.slowdown m ~nworkers:8);
+  checkf "at 14 workers" 2. (Machine.slowdown m ~nworkers:14);
+  let d = Machine.parsytec_gcpp in
+  checkf "dedicated machine never slows" 1. (Machine.slowdown d ~nworkers:60)
+
+let test_ideal_machine () =
+  let m = Machine.ideal 4 in
+  checkf "no latency" 0. (Machine.message_time m ~bytes:10000)
+
+(* ---------- supervisor round ---------- *)
+
+let simple_round ?(machine = Machine.ideal 8) ?(strategy = Sup.Broadcast_state)
+    ~nworkers ~flops () =
+  let n = Array.length flops in
+  let assignment = Array.init n (fun i -> i mod max 1 nworkers) in
+  Sup.round machine ~nworkers ~assignment ~task_flops:flops
+    ~task_reads:(Array.make n [ 0 ])
+    ~task_writes:(Array.init n (fun i -> [ i ]))
+    ~state_dim:n ~strategy
+
+let test_round_sequential () =
+  let m = Machine.ideal ~flop_time:1e-6 1 in
+  let r = simple_round ~machine:m ~nworkers:0 ~flops:[| 100.; 200. |] () in
+  checkf "sum of flops" 300e-6 r.duration;
+  Alcotest.(check int) "no bytes" 0 r.bytes_sent
+
+let test_round_ideal_speedup () =
+  (* Zero-latency machine: round time = max worker compute. *)
+  let m = Machine.ideal ~flop_time:1e-6 8 in
+  let r = simple_round ~machine:m ~nworkers:4 ~flops:(Array.make 4 100.) () in
+  checkf "perfectly parallel" 100e-6 r.duration
+
+let test_round_latency_adds_up () =
+  let m =
+    Machine.make ~name:"lat" ~latency:1e-3 ~per_byte:0. ~flop_time:1e-9
+      ~physical_procs:8 ()
+  in
+  let r = simple_round ~machine:m ~nworkers:1 ~flops:[| 1. |] () in
+  (* send + receive latencies dominate: >= 2 ms. *)
+  Alcotest.(check bool) "two messages" true (r.duration >= 2e-3)
+
+let test_round_supervisor_serialisation () =
+  (* With many workers and zero compute, the round time is dominated by
+     the serialised message handling at the supervisor: 2W messages. *)
+  let m =
+    Machine.make ~name:"ser" ~latency:1e-4 ~per_byte:0. ~flop_time:1e-12
+      ~physical_procs:64 ()
+  in
+  let w = 8 in
+  let r = simple_round ~machine:m ~nworkers:w ~flops:(Array.make w 1.) () in
+  Alcotest.(check bool) "at least 2W messages serialised" true
+    (r.duration >= float_of_int (2 * w) *. 1e-4 -. 1e-12)
+
+let test_round_needed_only_cheaper () =
+  let m = Machine.parsytec_gcpp in
+  let n = 32 in
+  let flops = Array.make n 1000. in
+  let assignment = Array.init n (fun i -> i mod 4) in
+  let reads = Array.init n (fun i -> [ i ]) in
+  let writes = Array.init n (fun i -> [ i ]) in
+  let mk strategy =
+    Sup.round m ~nworkers:4 ~assignment ~task_flops:flops ~task_reads:reads
+      ~task_writes:writes ~state_dim:n ~strategy
+  in
+  let broadcast = mk Sup.Broadcast_state in
+  let needed = mk Sup.Needed_only in
+  Alcotest.(check bool) "fewer bytes" true
+    (needed.bytes_sent < broadcast.bytes_sent);
+  Alcotest.(check bool) "not slower" true
+    (needed.duration <= broadcast.duration +. 1e-12)
+
+let test_round_worker_compute_reported () =
+  let m = Machine.ideal ~flop_time:1e-6 8 in
+  let r = simple_round ~machine:m ~nworkers:2 ~flops:[| 100.; 300. |] () in
+  checkf "worker 0" 100e-6 r.worker_compute.(0);
+  checkf "worker 1" 300e-6 r.worker_compute.(1)
+
+let test_round_timesharing_knee () =
+  (* On the timeshared SPARC, adding workers beyond the physical CPUs
+     cannot improve the round time. *)
+  let m = Machine.sparccenter_2000 in
+  let round w =
+    let n = 32 in
+    let flops = Array.make n 2000. in
+    let assignment = Array.init n (fun i -> i mod w) in
+    (Sup.round m ~nworkers:w ~assignment ~task_flops:flops
+       ~task_reads:(Array.make n [ 0 ])
+       ~task_writes:(Array.init n (fun i -> [ i ]))
+       ~state_dim:n ~strategy:Sup.Broadcast_state)
+      .duration
+  in
+  Alcotest.(check bool) "7 workers beat 1" true (round 7 < round 1);
+  Alcotest.(check bool) "14 workers no better than 7" true
+    (round 14 >= round 7 -. 1e-12)
+
+let test_round_invalid_assignment () =
+  let m = Machine.ideal 4 in
+  Alcotest.check_raises "bad worker"
+    (Invalid_argument "Supervisor.round: worker id out of range") (fun () ->
+      ignore
+        (Sup.round m ~nworkers:2 ~assignment:[| 5 |] ~task_flops:[| 1. |]
+           ~task_reads:[| [ 0 ] |] ~task_writes:[| [ 0 ] |] ~state_dim:1
+           ~strategy:Sup.Broadcast_state))
+
+let test_round_bytes_accounting () =
+  let m = Machine.ideal 4 in
+  let r = simple_round ~machine:m ~nworkers:2 ~flops:[| 1.; 1. |] () in
+  (* Broadcast: each worker gets (state_dim + 1) * 8 bytes. *)
+  Alcotest.(check int) "sent" (2 * (2 + 1) * 8) r.bytes_sent;
+  Alcotest.(check int) "received" (2 * 8) r.bytes_received
+
+let prop_message_time_monotone =
+  QCheck.Test.make ~name:"message time monotone in size" ~count:200
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (a, b) ->
+      let m = Machine.parsytec_gcpp in
+      let lo = min a b and hi = max a b in
+      Machine.message_time m ~bytes:lo <= Machine.message_time m ~bytes:hi)
+
+let prop_round_at_least_compute =
+  QCheck.Test.make ~name:"round duration bounded by slowest worker"
+    ~count:200
+    QCheck.(pair (int_range 1 12) (list_of_size (Gen.int_range 1 30)
+      (float_range 1. 5000.)))
+    (fun (w, costs) ->
+      let flops = Array.of_list costs in
+      let n = Array.length flops in
+      let assignment = Array.init n (fun i -> i mod w) in
+      let r =
+        Sup.round Machine.parsytec_gcpp ~nworkers:w ~assignment
+          ~task_flops:flops
+          ~task_reads:(Array.make n [ 0 ])
+          ~task_writes:(Array.init n (fun i -> [ i ]))
+          ~state_dim:n ~strategy:Sup.Broadcast_state
+      in
+      let slowest = Array.fold_left Float.max 0. r.worker_compute in
+      r.duration >= slowest -. 1e-12)
+
+(* ---------- tree scatter/gather ---------- *)
+
+let tree ?(machine = Machine.ideal 128) ~fanout ~nworkers ~flops () =
+  let n = Array.length flops in
+  let assignment = Array.init n (fun i -> i mod nworkers) in
+  Sup.tree_round machine ~fanout ~nworkers ~assignment ~task_flops:flops
+    ~task_reads:(Array.make n [ 0 ])
+    ~task_writes:(Array.init n (fun i -> [ i ]))
+    ~state_dim:n
+
+let test_tree_single_worker () =
+  let m =
+    Machine.make ~name:"t" ~latency:1e-4 ~per_byte:0. ~flop_time:1e-6
+      ~physical_procs:8 ()
+  in
+  let r = tree ~machine:m ~fanout:2 ~nworkers:1 ~flops:[| 100. |] () in
+  (* send + compute + receive *)
+  Alcotest.(check (float 1e-12)) "round" (1e-4 +. 100e-6 +. 1e-4) r.duration
+
+let test_tree_beats_serial_at_scale () =
+  (* With 64 workers and tiny compute, the flat round pays 128 serialised
+     messages at the supervisor; the tree pays ~2*fanout*log. *)
+  let m =
+    Machine.make ~name:"t" ~latency:1e-4 ~per_byte:0. ~flop_time:1e-12
+      ~physical_procs:128 ()
+  in
+  let w = 64 in
+  let flops = Array.make w 1. in
+  let flat =
+    let assignment = Array.init w (fun i -> i) in
+    (Sup.round m ~nworkers:w ~assignment ~task_flops:flops
+       ~task_reads:(Array.make w [ 0 ])
+       ~task_writes:(Array.init w (fun i -> [ i ]))
+       ~state_dim:w ~strategy:Sup.Broadcast_state)
+      .duration
+  in
+  let treed = (tree ~machine:m ~fanout:2 ~nworkers:w ~flops ()).duration in
+  Alcotest.(check bool) "tree wins" true (treed < flat /. 2.)
+
+let test_tree_bytes_accounting () =
+  let m = Machine.ideal 64 in
+  let r = tree ~machine:m ~fanout:2 ~nworkers:7 ~flops:(Array.make 7 1.) () in
+  (* Every worker receives the state exactly once. *)
+  Alcotest.(check int) "sent" (7 * (7 + 1) * 8) r.bytes_sent;
+  (* Every result reaches the supervisor exactly once (through the tree). *)
+  Alcotest.(check int) "received" (7 * 8) r.bytes_received
+
+let test_tree_duration_bounded_below_by_compute () =
+  let r = tree ~fanout:3 ~nworkers:9 ~flops:(Array.make 9 1000.) () in
+  let max_comp = Array.fold_left Float.max 0. r.worker_compute in
+  Alcotest.(check bool) "at least compute" true (r.duration >= max_comp)
+
+let test_tree_invalid () =
+  Alcotest.check_raises "fanout 1"
+    (Invalid_argument "Supervisor.tree_round: fanout < 2") (fun () ->
+      ignore (tree ~fanout:1 ~nworkers:2 ~flops:[| 1.; 1. |] ()))
+
+let () =
+  Alcotest.run "om_machine"
+    [
+      ( "event_sim",
+        [
+          Alcotest.test_case "ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_sim_ties_fifo;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_sim_nested_scheduling;
+          Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+          Alcotest.test_case "heap stress" `Quick test_sim_many_events;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "presets" `Quick test_machine_presets;
+          Alcotest.test_case "message time" `Quick test_message_time;
+          Alcotest.test_case "timesharing" `Quick test_timesharing_slowdown;
+          Alcotest.test_case "ideal" `Quick test_ideal_machine;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "sequential" `Quick test_round_sequential;
+          Alcotest.test_case "ideal speedup" `Quick test_round_ideal_speedup;
+          Alcotest.test_case "latency" `Quick test_round_latency_adds_up;
+          Alcotest.test_case "serialisation" `Quick
+            test_round_supervisor_serialisation;
+          Alcotest.test_case "needed-only strategy" `Quick
+            test_round_needed_only_cheaper;
+          Alcotest.test_case "worker compute" `Quick
+            test_round_worker_compute_reported;
+          Alcotest.test_case "timesharing knee" `Quick
+            test_round_timesharing_knee;
+          Alcotest.test_case "invalid assignment" `Quick
+            test_round_invalid_assignment;
+          Alcotest.test_case "bytes accounting" `Quick
+            test_round_bytes_accounting;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_message_time_monotone;
+          QCheck_alcotest.to_alcotest prop_round_at_least_compute;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "single worker" `Quick test_tree_single_worker;
+          Alcotest.test_case "beats serial at scale" `Quick
+            test_tree_beats_serial_at_scale;
+          Alcotest.test_case "bytes accounting" `Quick
+            test_tree_bytes_accounting;
+          Alcotest.test_case "bounded by compute" `Quick
+            test_tree_duration_bounded_below_by_compute;
+          Alcotest.test_case "invalid fanout" `Quick test_tree_invalid;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for the application models: structure of the dependency graphs
+   (paper Figures 3 and 6), integrability, and physical sanity. *)
+
+module Fm = Om_lang.Flat_model
+module Scc = Om_graph.Scc
+module P = Om_codegen.Pipeline
+
+let scc_sizes m =
+  let g = Fm.dependency_graph m in
+  let c = Scc.tarjan g in
+  List.sort compare (Array.to_list (Array.map List.length c.members))
+
+(* ---------- 2D bearing ---------- *)
+
+let test_bearing_dimensions () =
+  let m = Om_models.Bearing2d.model () in
+  (* 10 rollers x 5 states + inner ring x 5. *)
+  Alcotest.(check int) "55 states" 55 (Fm.dim m);
+  Alcotest.(check int) "55 equations" 55 (List.length m.equations)
+
+let test_bearing_scc_structure () =
+  (* Paper Figure 6: all equations strongly connected except one. *)
+  let m = Om_models.Bearing2d.model () in
+  Alcotest.(check (list int)) "one giant SCC plus the driven angle"
+    [ 1; 54 ] (scc_sizes m)
+
+let test_bearing_rollers_parameterised () =
+  let m = Om_models.Bearing2d.model ~n_rollers:4 () in
+  Alcotest.(check int) "4 rollers" (4 * 5 + 5) (Fm.dim m);
+  Alcotest.(check (list int)) "same shape" [ 1; 24 ] (scc_sizes m)
+
+let test_bearing_integrates () =
+  let m = Om_models.Bearing2d.model () in
+  let sys = Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false m.equations in
+  let r =
+    Om_ode.Lsoda.integrate sys ~t0:0. ~y0:(Fm.initial_values m) ~tend:0.002
+  in
+  let yf = Om_ode.Odesys.final_state r.trajectory in
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite yf);
+  (* The loaded ring must deflect downward but stay inside the clearance
+     scale (a few mm at this soft contact stiffness). *)
+  let iy = Om_ode.Odesys.column r.trajectory "Inner.y" sys in
+  let final_iy = iy.(Array.length iy - 1) in
+  Alcotest.(check bool) "ring deflects under load" true (final_iy < 0.);
+  Alcotest.(check bool) "bounded deflection" true (final_iy > -0.02)
+
+let test_bearing_contacts_conditional () =
+  (* The generated RHS must contain conditionals (contact loss), which is
+     what drives the semi-dynamic scheduling experiment. *)
+  let m = Om_models.Bearing2d.model () in
+  let has_if =
+    List.exists
+      (fun (_, e) ->
+        Om_expr.Expr.fold
+          (fun acc n -> acc || match n with Om_expr.Expr.If _ -> true | _ -> false)
+          false e)
+      m.equations
+  in
+  Alcotest.(check bool) "conditionals present" true has_if
+
+let test_bearing_rhs_heavy () =
+  let m = Om_models.Bearing2d.model () in
+  Alcotest.(check bool) "thousands of flops" true
+    (Fm.total_rhs_flops m > 5000.)
+
+(* ---------- power plant ---------- *)
+
+let test_powerplant_scc_structure () =
+  (* Six 4-state gate servo loops; per gate a penstock-flow and a
+     turbine-speed singleton; dam, regulator and spillway singletons:
+     the positive example for equation-system-level parallelism, with
+     the many-singletons shape of the paper's Figure 3. *)
+  let m = Om_models.Powerplant.model () in
+  let sizes = scc_sizes m in
+  Alcotest.(check int) "39 states" 39 (Fm.dim m);
+  let gates = List.filter (fun s -> s = 4) sizes in
+  Alcotest.(check int) "six gate SCCs" 6 (List.length gates);
+  let singletons = List.filter (fun s -> s = 1) sizes in
+  Alcotest.(check int) "fifteen singleton SCCs" 15 (List.length singletons)
+
+let test_powerplant_partitions_well () =
+  let m = Om_models.Powerplant.model () in
+  let a = P.analyse m in
+  Alcotest.(check bool) "many SCCs" true (a.comps.count >= 20);
+  let sp = P.system_level_speedup a ~comm:0. ~nprocs:8 in
+  Alcotest.(check bool) "speedup > 4 with 8 procs" true (sp > 4.)
+
+let test_powerplant_integrates () =
+  let m = Om_models.Powerplant.model () in
+  let sys = Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false m.equations in
+  let r = Om_ode.Lsoda.integrate sys ~t0:0. ~y0:(Fm.initial_values m) ~tend:60. in
+  let yf = Om_ode.Odesys.final_state r.trajectory in
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite yf);
+  (* Dam level must stay near its operating point over a minute. *)
+  let level = (Om_ode.Odesys.column r.trajectory "Dam.SurfaceLevel" sys) in
+  let final = level.(Array.length level - 1) in
+  Alcotest.(check bool) "plausible level" true (final > 9. && final < 11.)
+
+let test_powerplant_gate_count_scales () =
+  let m = Om_models.Powerplant.model ~n_gates:3 () in
+  Alcotest.(check int) "3 gates" ((3 * 6) + 3) (Fm.dim m)
+
+(* ---------- servo ---------- *)
+
+let test_servo_structure () =
+  let m = Om_models.Servo.model () in
+  Alcotest.(check int) "14 states (two axes)" 14 (Fm.dim m);
+  let sizes = scc_sizes m in
+  (* Per axis: controller+motor loop of 3; load shaft pair; two
+     singletons.  Two independent axes. *)
+  Alcotest.(check (list int)) "SCC sizes" [ 1; 1; 1; 1; 2; 2; 3; 3 ] sizes
+
+let test_servo_tracks_reference () =
+  let m = Om_models.Servo.model () in
+  let sys = Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false m.equations in
+  let tr = Om_ode.Rk.rkf45 sys ~t0:0. ~y0:(Fm.initial_values m) ~tend:10. in
+  let speed = Om_ode.Odesys.column tr "S[1].motor.Speed" sys in
+  let final = speed.(Array.length speed - 1) in
+  (* PI control around speed_ref = 20 with a +-2 sine disturbance. *)
+  Alcotest.(check bool) "near reference" true (final > 15. && final < 25.)
+
+(* ---------- scaled bearing ---------- *)
+
+let test_scaled_bearing_flops_scale () =
+  let small = Om_models.Bearing_scaled.model ~n_rollers:6 ~profile_order:2 () in
+  let big = Om_models.Bearing_scaled.model ~n_rollers:6 ~profile_order:12 () in
+  Alcotest.(check bool) "profile order scales cost" true
+    (Fm.total_rhs_flops big > 2. *. Fm.total_rhs_flops small)
+
+let test_scaled_bearing_structure_matches_2d () =
+  let m = Om_models.Bearing_scaled.model ~n_rollers:8 ~profile_order:3 () in
+  Alcotest.(check (list int)) "same SCC shape" [ 1; 8 * 5 + 4 ] (scc_sizes m)
+
+let test_scaled_bearing_default_is_heavy () =
+  let m = Om_models.Bearing_scaled.model () in
+  (* The paper's 3D models have RHS of "several tens of thousands of
+     floating point operations". *)
+  Alcotest.(check bool) "tens of thousands of flops" true
+    (Fm.total_rhs_flops m > 30_000.)
+
+let test_scaled_shares_generator () =
+  let src = Om_models.Bearing_scaled.source ~n_rollers:4 ~profile_order:2 () in
+  Alcotest.(check bool) "distinct model name" true
+    (String.length src > 20 && String.sub src 0 20 = "model Bearing3DScale")
+
+let test_plant_turbine_spins () =
+  let m = Om_models.Powerplant.model () in
+  let sys = Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false m.equations in
+  let tr =
+    Om_ode.Rk.rkf45 sys ~t0:0. ~y0:(Fm.initial_values m) ~tend:120.
+  in
+  let speed = Om_ode.Odesys.column tr "G[1].TurbineSpeed" sys in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "positive speed" true (v > 0.))
+    speed
+
+(* ---------- sources parse through the real frontend ---------- *)
+
+let test_sources_reparse () =
+  List.iter
+    (fun src ->
+      let model = Om_lang.Parser.parse_model src in
+      Alcotest.(check bool) "has classes" true (List.length model.classes >= 1))
+    [
+      Om_models.Bearing2d.source ();
+      Om_models.Powerplant.source ();
+      Om_models.Servo.source ();
+      Om_models.Bearing_scaled.source ~n_rollers:4 ~profile_order:2 ();
+    ]
+
+let () =
+  Alcotest.run "om_models"
+    [
+      ( "bearing2d",
+        [
+          Alcotest.test_case "dimensions" `Quick test_bearing_dimensions;
+          Alcotest.test_case "SCC structure (fig 6)" `Quick
+            test_bearing_scc_structure;
+          Alcotest.test_case "parameterised rollers" `Quick
+            test_bearing_rollers_parameterised;
+          Alcotest.test_case "integrates" `Slow test_bearing_integrates;
+          Alcotest.test_case "conditional contacts" `Quick
+            test_bearing_contacts_conditional;
+          Alcotest.test_case "heavy RHS" `Quick test_bearing_rhs_heavy;
+        ] );
+      ( "powerplant",
+        [
+          Alcotest.test_case "SCC structure (fig 3)" `Quick
+            test_powerplant_scc_structure;
+          Alcotest.test_case "partitions well" `Quick
+            test_powerplant_partitions_well;
+          Alcotest.test_case "integrates" `Slow test_powerplant_integrates;
+          Alcotest.test_case "gate count scales" `Quick
+            test_powerplant_gate_count_scales;
+        ] );
+      ( "servo",
+        [
+          Alcotest.test_case "structure" `Quick test_servo_structure;
+          Alcotest.test_case "tracks reference" `Slow
+            test_servo_tracks_reference;
+        ] );
+      ( "bearing_scaled",
+        [
+          Alcotest.test_case "flops scale" `Quick test_scaled_bearing_flops_scale;
+          Alcotest.test_case "structure" `Quick
+            test_scaled_bearing_structure_matches_2d;
+          Alcotest.test_case "default heavy" `Quick
+            test_scaled_bearing_default_is_heavy;
+        ] );
+      ( "sources",
+        [
+          Alcotest.test_case "reparse" `Quick test_sources_reparse;
+          Alcotest.test_case "scaled generator" `Quick
+            test_scaled_shares_generator;
+          Alcotest.test_case "turbine stays spinning" `Slow
+            test_plant_turbine_spins;
+        ] );
+    ]

@@ -1,0 +1,687 @@
+(* Tests for the ODE stack: dense linear algebra, explicit and implicit
+   solvers, convergence orders, Jacobians and the LSODA-style driver. *)
+
+module L = Om_ode.Linalg
+module Odesys = Om_ode.Odesys
+module Rk = Om_ode.Rk
+module Adams = Om_ode.Adams
+module Bdf = Om_ode.Bdf
+module Lsoda = Om_ode.Lsoda
+module Jacobian = Om_ode.Jacobian
+module E = Om_expr.Expr
+
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ---------- linalg ---------- *)
+
+let test_lu_solve_known () =
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = L.solve a [| 5.; 10. |] in
+  checkf "x0" 1. x.(0);
+  checkf "x1" 3. x.(1)
+
+let test_lu_det () =
+  let a = [| [| 2.; 0. |]; [| 0.; 3. |] |] in
+  checkf "det" 6. (L.lu_det (L.lu_factor a));
+  (* Row swap flips the sign. *)
+  let b = [| [| 0.; 3. |]; [| 2.; 0. |] |] in
+  checkf "det swapped" (-6.) (L.lu_det (L.lu_factor b))
+
+let test_singular () =
+  let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" (L.Singular 1) (fun () ->
+      ignore (L.lu_factor a))
+
+let test_inverse () =
+  let a = [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  let inv = L.inverse a in
+  let prod = L.mat_mul a inv in
+  checkf "i00" 1. prod.(0).(0);
+  checkf "i01" 0. prod.(0).(1);
+  checkf "i10" 0. prod.(1).(0);
+  checkf "i11" 1. prod.(1).(1)
+
+let random_system_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 6 in
+    let* entries = array_size (return (n * n)) (float_range (-5.) 5.) in
+    let* b = array_size (return n) (float_range (-5.) 5.) in
+    return (n, entries, b))
+
+let arbitrary_system =
+  QCheck.make
+    ~print:(fun (n, _, _) -> Printf.sprintf "n=%d" n)
+    random_system_gen
+
+let prop_lu_solve_residual =
+  QCheck.Test.make ~name:"LU solve has small residual" ~count:200
+    arbitrary_system (fun (n, entries, b) ->
+      let a = Array.init n (fun i -> Array.init n (fun j -> entries.((i * n) + j))) in
+      (* Diagonal dominance guarantees nonsingularity and conditioning. *)
+      for i = 0 to n - 1 do
+        a.(i).(i) <- a.(i).(i) +. 20.
+      done;
+      let x = L.solve a b in
+      let r = L.mat_vec a x in
+      let err = ref 0. in
+      for i = 0 to n - 1 do
+        err := Float.max !err (Float.abs (r.(i) -. b.(i)))
+      done;
+      !err < 1e-8)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose twice is identity" ~count:100
+    arbitrary_system (fun (n, entries, _) ->
+      let a = Array.init n (fun i -> Array.init n (fun j -> entries.((i * n) + j))) in
+      L.transpose (L.transpose a) = a)
+
+let test_norms () =
+  checkf "inf" 3. (L.norm_inf [| 1.; -3.; 2. |]);
+  checkf "two" 5. (L.norm2 [| 3.; 4. |]);
+  checkf "wrms" 1. (L.wrms_norm [| 2.; 2. |] [| 2.; 2. |])
+
+(* ---------- banded linear algebra ---------- *)
+
+module Banded = Om_ode.Banded
+
+let test_banded_get_set () =
+  let b = Banded.create ~n:5 ~ml:1 ~mu:2 in
+  Banded.set b 2 3 7.;
+  checkf "stored" 7. (Banded.get b 2 3);
+  checkf "zero outside band" 0. (Banded.get b 4 0);
+  Alcotest.check_raises "set outside band"
+    (Invalid_argument "Banded.set: outside the band") (fun () ->
+      Banded.set b 4 0 1.)
+
+let test_banded_roundtrip () =
+  let dense =
+    [| [| 2.; 1.; 0. |]; [| -1.; 3.; 0.5 |]; [| 0.; -2.; 4. |] |]
+  in
+  let b = Banded.of_dense ~ml:1 ~mu:1 dense in
+  Alcotest.(check bool) "to_dense inverse" true (Banded.to_dense b = dense)
+
+let test_banded_of_dense_rejects () =
+  let dense = [| [| 1.; 0.; 9. |]; [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |] |] in
+  Alcotest.check_raises "outside band"
+    (Invalid_argument "Banded.of_dense: entry outside the band") (fun () ->
+      ignore (Banded.of_dense ~ml:0 ~mu:1 dense))
+
+let test_banded_mat_vec () =
+  let dense = [| [| 2.; 1.; 0. |]; [| -1.; 3.; 0.5 |]; [| 0.; -2.; 4. |] |] in
+  let b = Banded.of_dense ~ml:1 ~mu:1 dense in
+  let x = [| 1.; 2.; 3. |] in
+  let y1 = Banded.mat_vec b x and y2 = L.mat_vec dense x in
+  Array.iteri (fun i v -> checkf (string_of_int i) v y1.(i)) y2
+
+let random_banded_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 15 in
+    let* ml = int_range 0 3 in
+    let* mu = int_range 0 3 in
+    let ml = min ml (n - 1) and mu = min mu (n - 1) in
+    let* entries = array_size (return (n * (ml + mu + 1))) (float_range (-3.) 3.) in
+    let* b = array_size (return n) (float_range (-5.) 5.) in
+    return (n, ml, mu, entries, b))
+
+let arbitrary_banded =
+  QCheck.make
+    ~print:(fun (n, ml, mu, _, _) -> Printf.sprintf "n=%d ml=%d mu=%d" n ml mu)
+    random_banded_gen
+
+let prop_banded_solve_matches_dense =
+  QCheck.Test.make ~name:"banded LU matches dense LU" ~count:300
+    arbitrary_banded (fun (n, ml, mu, entries, rhs) ->
+      let b = Banded.create ~n ~ml ~mu in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        for j = max 0 (i - ml) to min (n - 1) (i + mu) do
+          Banded.set b i j entries.(!k mod Array.length entries);
+          incr k
+        done;
+        (* Diagonal dominance for conditioning. *)
+        Banded.set b i i (Banded.get b i i +. 25.)
+      done;
+      let dense = Banded.to_dense b in
+      let x1 = Banded.lu_solve (Banded.lu_factor b) rhs in
+      let x2 = L.solve dense rhs in
+      Array.for_all2 (fun a c -> Float.abs (a -. c) < 1e-8) x1 x2)
+
+let prop_banded_residual =
+  QCheck.Test.make ~name:"banded LU has small residual" ~count:300
+    arbitrary_banded (fun (n, ml, mu, entries, rhs) ->
+      let b = Banded.create ~n ~ml ~mu in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        for j = max 0 (i - ml) to min (n - 1) (i + mu) do
+          Banded.set b i j entries.(!k mod Array.length entries);
+          incr k
+        done;
+        Banded.set b i i (Banded.get b i i +. 25.)
+      done;
+      let x = Banded.lu_solve (Banded.lu_factor b) rhs in
+      let r = Banded.mat_vec b x in
+      Array.for_all2 (fun a c -> Float.abs (a -. c) < 1e-8) r rhs)
+
+let test_bandwidth_of_jacobian () =
+  let ml, mu = Banded.bandwidth_of_jacobian [ (0, 1, ()); (3, 1, ()); (2, 2, ()) ] in
+  Alcotest.(check int) "ml" 2 ml;
+  Alcotest.(check int) "mu" 1 mu
+
+(* ---------- fixtures ---------- *)
+
+(* y' = -y, y(0)=1: y(t) = exp(-t). *)
+let decay () = Odesys.of_equations [ ("y", E.neg (E.var "y")) ]
+
+(* Circle: x' = y, y' = -x. *)
+let circle () =
+  Odesys.of_equations [ ("x", E.var "y"); ("y", E.neg (E.var "x")) ]
+
+(* Stiff linear problem: y' = -1000 (y - cos t) - sin t. *)
+let stiff_linear () =
+  Odesys.of_equations
+    [
+      ( "y",
+        E.(
+          sub
+            (mul [ const (-1000.); sub (var "y") (cos (var "t")) ])
+            (sin (var "t"))) );
+    ]
+
+let final solver = Odesys.final_state solver
+
+(* ---------- explicit solvers ---------- *)
+
+let test_euler_decay () =
+  let sys = decay () in
+  let tr = Rk.integrate_fixed Rk.euler sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h:1e-4 in
+  Alcotest.(check (float 1e-3)) "exp(-1)" (Float.exp (-1.)) (final tr).(0)
+
+let test_rk4_circle () =
+  let sys = circle () in
+  let tr =
+    Rk.integrate_fixed Rk.rk4 sys ~t0:0. ~y0:[| 1.; 0. |]
+      ~tend:(2. *. Float.pi) ~h:1e-2
+  in
+  Alcotest.(check (float 1e-6)) "x back to 1" 1. (final tr).(0);
+  Alcotest.(check (float 1e-6)) "y back to 0" 0. (final tr).(1)
+
+(* Convergence order: halving h divides the error by ~2^order. *)
+let order_of stepper h =
+  let err h =
+    let sys = decay () in
+    let tr = Rk.integrate_fixed stepper sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h in
+    Float.abs ((final tr).(0) -. Float.exp (-1.))
+  in
+  Float.log (err h /. err (h /. 2.)) /. Float.log 2.
+
+let test_orders () =
+  let o1 = order_of Rk.euler 1e-2 in
+  Alcotest.(check bool) "euler ~1" true (o1 > 0.8 && o1 < 1.2);
+  let o2 = order_of Rk.heun 1e-2 in
+  Alcotest.(check bool) "heun ~2" true (o2 > 1.7 && o2 < 2.3);
+  let o4 = order_of Rk.rk4 1e-1 in
+  Alcotest.(check bool) "rk4 ~4" true (o4 > 3.5 && o4 < 4.5)
+
+let test_rkf45_tolerance () =
+  let sys = circle () in
+  let tr =
+    Rk.rkf45 ~atol:1e-10 ~rtol:1e-10 sys ~t0:0. ~y0:[| 1.; 0. |]
+      ~tend:(2. *. Float.pi)
+  in
+  Alcotest.(check (float 1e-6)) "tight tolerance" 1. (final tr).(0);
+  let sys2 = circle () in
+  let _tr2 =
+    Rk.rkf45 ~atol:1e-4 ~rtol:1e-4 sys2 ~t0:0. ~y0:[| 1.; 0. |]
+      ~tend:(2. *. Float.pi)
+  in
+  Alcotest.(check bool) "loose tolerance uses fewer steps" true
+    (sys2.counters.steps < sys.counters.steps)
+
+let test_rkf45_rejections_counted () =
+  let sys = stiff_linear () in
+  let _ = Rk.rkf45 sys ~t0:0. ~y0:[| 0. |] ~tend:0.1 in
+  Alcotest.(check bool) "some rejections on stiff problem" true
+    (sys.counters.rejected >= 0)
+
+(* ---------- adams ---------- *)
+
+let test_adams_orders () =
+  (* Error tolerance scales with the method order at h = 1e-3. *)
+  List.iter
+    (fun (order, tol) ->
+      let sys = decay () in
+      let tr = Adams.integrate ~order sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h:1e-3 in
+      Alcotest.(check (float tol))
+        (Printf.sprintf "order %d" order)
+        (Float.exp (-1.))
+        (final tr).(0))
+    [ (1, 1e-3); (2, 1e-6); (3, 1e-8); (4, 1e-8) ]
+
+let test_adams_rhs_calls_per_step () =
+  (* PECE: two RHS calls per step after startup. *)
+  let sys = decay () in
+  let _ = Adams.integrate ~order:2 sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h:0.01 in
+  let calls_per_step =
+    float_of_int sys.counters.rhs_calls /. float_of_int sys.counters.steps
+  in
+  Alcotest.(check bool) "~2 calls/step" true
+    (calls_per_step > 1.8 && calls_per_step < 2.6)
+
+let test_pece_error_estimate () =
+  Alcotest.(check (float 1e-12)) "inf norm of gap" 0.5
+    (Adams.pece_error_estimate [| 1.; 2. |] [| 1.5; 2.25 |]);
+  Alcotest.(check (float 1e-12)) "zero for equal" 0.
+    (Adams.pece_error_estimate [| 3. |] [| 3. |])
+
+let test_adams_bad_order () =
+  Alcotest.check_raises "order 5" (Invalid_argument "Adams.integrate: order in 1..4")
+    (fun () ->
+      ignore
+        (Adams.integrate ~order:5 (decay ()) ~t0:0. ~y0:[| 1. |] ~tend:1.
+           ~h:0.1))
+
+(* ---------- bdf ---------- *)
+
+let test_bdf_decay () =
+  List.iter
+    (fun order ->
+      let sys = decay () in
+      let tr = Bdf.integrate ~order sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h:1e-3 in
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "bdf%d" order)
+        (Float.exp (-1.))
+        (final tr).(0))
+    [ 1; 2; 3 ]
+
+let test_bdf_stiff_stable () =
+  (* Implicit method must survive h far above the explicit stability
+     limit (2/1000). *)
+  let sys = stiff_linear () in
+  let tr = Bdf.integrate ~order:2 sys ~t0:0. ~y0:[| 0. |] ~tend:1. ~h:0.01 in
+  Alcotest.(check (float 0.05)) "tracks cos t" (Float.cos 1.) (final tr).(0);
+  Alcotest.(check bool) "used the Jacobian" true (sys.counters.jac_calls > 0)
+
+let test_bdf_uses_analytic_jacobian () =
+  let sys = stiff_linear () in
+  Alcotest.(check bool) "jac present" true (sys.jac <> None);
+  let before = sys.counters.rhs_calls in
+  let j = Jacobian.analytic sys 0. [| 0.5 |] in
+  checkf "df/dy" (-1000.) j.(0).(0);
+  Alcotest.(check int) "no RHS calls for analytic jac" before
+    sys.counters.rhs_calls
+
+let test_numeric_jacobian () =
+  let sys = circle () in
+  let j = Jacobian.numeric sys 0. [| 0.3; 0.7 |] in
+  Alcotest.(check (float 1e-5)) "j01" 1. j.(0).(1);
+  Alcotest.(check (float 1e-5)) "j10" (-1.) j.(1).(0);
+  Alcotest.(check (float 1e-5)) "j00" 0. j.(0).(0)
+
+(* ---------- rosenbrock ---------- *)
+
+module Ros = Om_ode.Rosenbrock
+
+let test_ros2_decay () =
+  let sys = decay () in
+  let tr = Ros.integrate sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h:1e-3 in
+  Alcotest.(check (float 1e-6)) "exp(-1)" (Float.exp (-1.)) (final tr).(0)
+
+let test_ros2_order () =
+  let err h =
+    let sys = decay () in
+    let tr = Ros.integrate sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h in
+    Float.abs ((final tr).(0) -. Float.exp (-1.))
+  in
+  let order = Float.log (err 1e-2 /. err 5e-3) /. Float.log 2. in
+  Alcotest.(check bool) "second order" true (order > 1.7 && order < 2.3)
+
+let test_ros2_stiff_stable () =
+  (* One linear solve pair per step at h far beyond the explicit limit. *)
+  let sys = stiff_linear () in
+  let tr = Ros.integrate sys ~t0:0. ~y0:[| 0. |] ~tend:1. ~h:0.01 in
+  Alcotest.(check (float 0.05)) "tracks cos t" (Float.cos 1.) (final tr).(0);
+  Alcotest.(check bool) "no newton iterations" true
+    (sys.counters.newton_iters = 0)
+
+let test_ros2_banded_matches_dense () =
+  let sys () =
+    Odesys.of_equations
+      [
+        ("a", E.(sub (var "b") (mul [ const 100.; var "a" ])));
+        ("b", E.(sub (var "a") (var "b")));
+      ]
+  in
+  let y0 = [| 1.; 0. |] in
+  let d =
+    final (Ros.integrate (sys ()) ~t0:0. ~y0 ~tend:0.5 ~h:1e-3)
+  in
+  let b =
+    final (Ros.integrate ~banded:(1, 1) (sys ()) ~t0:0. ~y0 ~tend:0.5 ~h:1e-3)
+  in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-12)) (string_of_int i) v b.(i))
+    d
+
+(* ---------- lsoda ---------- *)
+
+let test_lsoda_nonstiff_stays_adams () =
+  let sys = circle () in
+  let r = Lsoda.integrate sys ~t0:0. ~y0:[| 1.; 0. |] ~tend:(2. *. Float.pi) in
+  Alcotest.(check bool) "no switch" true (r.switches = []);
+  Alcotest.(check (float 1e-3)) "accuracy" 1.
+    (Odesys.final_state r.trajectory).(0)
+
+let test_lsoda_switches_on_stiff () =
+  let sys = stiff_linear () in
+  let r = Lsoda.integrate sys ~t0:0. ~y0:[| 0. |] ~tend:2. in
+  Alcotest.(check bool) "switched to BDF" true
+    (List.exists (fun (_, m) -> m = Lsoda.Bdf_mode) r.switches);
+  Alcotest.(check (float 0.05)) "accuracy" (Float.cos 2.)
+    (Odesys.final_state r.trajectory).(0)
+
+let test_lsoda_stiff_beats_pure_adams_on_calls () =
+  let sys1 = stiff_linear () in
+  let _ = Lsoda.integrate sys1 ~t0:0. ~y0:[| 0. |] ~tend:2. in
+  let sys2 = stiff_linear () in
+  let _ =
+    Lsoda.integrate ~start_mode:Lsoda.Adams_mode ~stiffness_window:1_000_000
+      sys2 ~t0:0. ~y0:[| 0. |] ~tend:2.
+  in
+  (* With switching disabled (huge window) the explicit method needs far
+     more RHS evaluations. *)
+  Alcotest.(check bool) "lsoda cheaper" true
+    (sys1.counters.rhs_calls < sys2.counters.rhs_calls)
+
+let test_lsoda_trajectory_monotone_time () =
+  let sys = circle () in
+  let r = Lsoda.integrate sys ~t0:0. ~y0:[| 1.; 0. |] ~tend:1. in
+  let ts = r.trajectory.ts in
+  let ok = ref true in
+  for i = 1 to Array.length ts - 1 do
+    if ts.(i) <= ts.(i - 1) then ok := false
+  done;
+  Alcotest.(check bool) "strictly increasing" true !ok;
+  Alcotest.(check (float 1e-9)) "ends at tend" 1. ts.(Array.length ts - 1)
+
+(* ---------- events (LSODAR-style root finding) ---------- *)
+
+module Events = Om_ode.Events
+
+let test_event_zero_crossing_time () =
+  (* x(t) = cos t crosses zero at pi/2. *)
+  let sys = circle () in
+  let ev = { Events.label = "x-zero"; g = (fun _ y -> y.(0)) } in
+  let r =
+    Events.integrate ~atol:1e-10 ~rtol:1e-10 ~events:[ ev ] sys ~t0:0.
+      ~y0:[| 1.; 0. |] ~tend:2.
+  in
+  match Events.crossings r "x-zero" with
+  | [ o ] ->
+      Alcotest.(check (float 1e-5)) "at pi/2" (Float.pi /. 2.) o.time;
+      Alcotest.(check bool) "falling" true (not o.rising);
+      Alcotest.(check (float 1e-4)) "y at crossing" (-1.) o.state.(1)
+  | l -> Alcotest.failf "expected one crossing, got %d" (List.length l)
+
+let test_event_counts_periodic () =
+  (* sin t has 3 zero crossings in (0, 3 pi] excluding t0. *)
+  let sys = circle () in
+  let ev = { Events.label = "y-zero"; g = (fun _ y -> y.(1)) } in
+  let r =
+    Events.integrate ~atol:1e-10 ~rtol:1e-10 ~events:[ ev ] sys ~t0:0.
+      ~y0:[| 1.; 0. |]
+      ~tend:(3. *. Float.pi +. 0.1)
+  in
+  Alcotest.(check int) "three crossings" 3
+    (List.length (Events.crossings r "y-zero"))
+
+let test_event_stop_at_first () =
+  let sys = circle () in
+  let ev = { Events.label = "x-zero"; g = (fun _ y -> y.(0)) } in
+  let r =
+    Events.integrate ~stop_at_first:true ~events:[ ev ] sys ~t0:0.
+      ~y0:[| 1.; 0. |] ~tend:20.
+  in
+  Alcotest.(check int) "one occurrence" 1 (List.length r.occurrences);
+  let last = r.trajectory.ts.(Array.length r.trajectory.ts - 1) in
+  Alcotest.(check bool) "trajectory cut" true (last < 3.)
+
+let test_event_time_function () =
+  (* Event on the time variable itself: g = t - 0.5. *)
+  let sys = decay () in
+  let ev = { Events.label = "t-half"; g = (fun t _ -> t -. 0.5) } in
+  let r = Events.integrate ~events:[ ev ] sys ~t0:0. ~y0:[| 1. |] ~tend:1. in
+  match Events.crossings r "t-half" with
+  | [ o ] -> Alcotest.(check (float 1e-6)) "at 0.5" 0.5 o.time
+  | _ -> Alcotest.fail "expected exactly one crossing"
+
+let test_event_multiple_functions () =
+  let sys = circle () in
+  let evs =
+    [
+      { Events.label = "x-zero"; g = (fun _ y -> y.(0)) };
+      { Events.label = "y-zero"; g = (fun _ y -> y.(1)) };
+    ]
+  in
+  let r =
+    Events.integrate ~events:evs sys ~t0:0. ~y0:[| 1.; 0. |]
+      ~tend:(2. *. Float.pi -. 0.05)
+  in
+  Alcotest.(check int) "x crossings" 2
+    (List.length (Events.crossings r "x-zero"));
+  Alcotest.(check int) "y crossings" 1
+    (List.length (Events.crossings r "y-zero"));
+  (* Chronological ordering. *)
+  let times = List.map (fun (o : Events.occurrence) -> o.time) r.occurrences in
+  Alcotest.(check bool) "sorted" true (List.sort compare times = times)
+
+(* ---------- cross-solver consistency ---------- *)
+
+(* Random stable 2x2 linear systems: all solvers must agree. *)
+let stable_system_gen =
+  QCheck.Gen.(
+    let* a01 = float_range (-2.) 2. in
+    let* a10 = float_range (-2.) 2. in
+    let* d0 = float_range 0.5 4. in
+    let* d1 = float_range 0.5 4. in
+    let* x0 = float_range (-2.) 2. in
+    let* y0 = float_range (-2.) 2. in
+    return (a01, a10, d0, d1, x0, y0))
+
+let arbitrary_stable =
+  QCheck.make
+    ~print:(fun (a, b, c, d, e, f) ->
+      Printf.sprintf "a01=%g a10=%g d=(%g,%g) y0=(%g,%g)" a b c d e f)
+    stable_system_gen
+
+let linear_system (a01, a10, d0, d1) =
+  (* Diagonally dominant negative diagonal: stable. *)
+  let dom = 1. +. Float.max (Float.abs a01) (Float.abs a10) in
+  Odesys.of_equations
+    [
+      ( "p",
+        E.(add [ mul [ const (Float.neg (d0 +. dom)); var "p" ];
+                 mul [ const a01; var "q" ] ]) );
+      ( "q",
+        E.(add [ mul [ const a10; var "p" ];
+                 mul [ const (Float.neg (d1 +. dom)); var "q" ] ]) );
+    ]
+
+let prop_solvers_agree =
+  QCheck.Test.make ~name:"rkf45, lsoda and rosenbrock agree" ~count:30
+    arbitrary_stable (fun (a01, a10, d0, d1, x0, y0) ->
+      let y0v = [| x0; y0 |] in
+      let final run = run (linear_system (a01, a10, d0, d1)) in
+      let r1 =
+        final (fun sys ->
+            Odesys.final_state
+              (Rk.rkf45 ~atol:1e-10 ~rtol:1e-9 sys ~t0:0. ~y0:y0v ~tend:1.))
+      in
+      let r2 =
+        final (fun sys ->
+            Odesys.final_state
+              (Lsoda.integrate ~atol:1e-10 ~rtol:1e-9 sys ~t0:0. ~y0:y0v
+                 ~tend:1.)
+                .trajectory)
+      in
+      let r3 =
+        final (fun sys ->
+            Odesys.final_state
+              (Om_ode.Rosenbrock.integrate sys ~t0:0. ~y0:y0v ~tend:1.
+                 ~h:1e-3))
+      in
+      let close a b = Float.abs (a -. b) < 1e-4 in
+      close r1.(0) r2.(0) && close r1.(1) r2.(1)
+      && close r1.(0) r3.(0) && close r1.(1) r3.(1))
+
+(* ---------- of_equations ---------- *)
+
+let test_of_equations_errors () =
+  Alcotest.check_raises "free variable"
+    (Invalid_argument "Odesys.of_equations: free variable q") (fun () ->
+      ignore (Odesys.of_equations [ ("x", E.var "q") ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Odesys.of_equations: duplicate x") (fun () ->
+      ignore (Odesys.of_equations [ ("x", E.var "x"); ("x", E.var "x") ]))
+
+let test_pp_counters () =
+  let sys = decay () in
+  ignore (Odesys.rhs sys 0. [| 1. |]);
+  let text = Fmt.str "%a" Odesys.pp_counters sys.counters in
+  Alcotest.(check string) "render"
+    "steps=0 rhs=1 jac=0 rejected=0 newton=0 lu=0" text
+
+let test_counters_reset () =
+  let sys = decay () in
+  ignore (Odesys.rhs sys 0. [| 1. |]);
+  Alcotest.(check int) "counted" 1 sys.counters.rhs_calls;
+  Odesys.reset_counters sys;
+  Alcotest.(check int) "reset" 0 sys.counters.rhs_calls
+
+let test_sample_interpolation () =
+  let tr =
+    { Odesys.ts = [| 0.; 1.; 3. |];
+      states = [| [| 0. |]; [| 10. |]; [| 30. |] |] }
+  in
+  let out = Odesys.sample tr ~times:[| -1.; 0.5; 2.; 5. |] in
+  checkf "clamped left" 0. out.(0).(0);
+  checkf "midpoint" 5. out.(1).(0);
+  checkf "second segment" 20. out.(2).(0);
+  checkf "clamped right" 30. out.(3).(0)
+
+let test_sample_matches_solution () =
+  let sys = decay () in
+  let tr = Rk.rkf45 ~atol:1e-10 ~rtol:1e-10 sys ~t0:0. ~y0:[| 1. |] ~tend:2. in
+  let times = Array.init 11 (fun i -> 0.2 *. float_of_int i) in
+  let out = Odesys.sample tr ~times in
+  (* Linear interpolation between accepted steps is only second order in
+     the step size, so the tolerance is looser than the solver's. *)
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "t=%g" t)
+        (Float.exp (Float.neg t))
+        out.(i).(0))
+    times
+
+let test_column () =
+  let sys = circle () in
+  let tr = Rk.integrate_fixed Rk.rk4 sys ~t0:0. ~y0:[| 1.; 0. |] ~tend:0.1 ~h:0.05 in
+  let xs = Odesys.column tr "x" sys in
+  Alcotest.(check int) "column length" (Array.length tr.ts) (Array.length xs);
+  checkf "starts at 1" 1. xs.(0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "om_ode"
+    [
+      ( "linalg",
+        [
+          Alcotest.test_case "solve known" `Quick test_lu_solve_known;
+          Alcotest.test_case "determinant" `Quick test_lu_det;
+          Alcotest.test_case "singular" `Quick test_singular;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "norms" `Quick test_norms;
+          q prop_lu_solve_residual;
+          q prop_transpose_involution;
+        ] );
+      ( "explicit",
+        [
+          Alcotest.test_case "euler decay" `Quick test_euler_decay;
+          Alcotest.test_case "rk4 circle" `Quick test_rk4_circle;
+          Alcotest.test_case "convergence orders" `Quick test_orders;
+          Alcotest.test_case "rkf45 tolerances" `Quick test_rkf45_tolerance;
+          Alcotest.test_case "rkf45 rejections" `Quick
+            test_rkf45_rejections_counted;
+        ] );
+      ( "adams",
+        [
+          Alcotest.test_case "orders 1-4" `Quick test_adams_orders;
+          Alcotest.test_case "PECE call count" `Quick
+            test_adams_rhs_calls_per_step;
+          Alcotest.test_case "bad order" `Quick test_adams_bad_order;
+          Alcotest.test_case "PECE error estimate" `Quick
+            test_pece_error_estimate;
+        ] );
+      ( "bdf",
+        [
+          Alcotest.test_case "decay" `Quick test_bdf_decay;
+          Alcotest.test_case "stiff stability" `Quick test_bdf_stiff_stable;
+          Alcotest.test_case "analytic jacobian" `Quick
+            test_bdf_uses_analytic_jacobian;
+          Alcotest.test_case "numeric jacobian" `Quick test_numeric_jacobian;
+        ] );
+      ( "rosenbrock",
+        [
+          Alcotest.test_case "decay" `Quick test_ros2_decay;
+          Alcotest.test_case "order 2" `Quick test_ros2_order;
+          Alcotest.test_case "stiff stability" `Quick test_ros2_stiff_stable;
+          Alcotest.test_case "banded matches dense" `Quick
+            test_ros2_banded_matches_dense;
+        ] );
+      ( "lsoda",
+        [
+          Alcotest.test_case "nonstiff stays adams" `Quick
+            test_lsoda_nonstiff_stays_adams;
+          Alcotest.test_case "switches on stiff" `Quick
+            test_lsoda_switches_on_stiff;
+          Alcotest.test_case "switching saves calls" `Quick
+            test_lsoda_stiff_beats_pure_adams_on_calls;
+          Alcotest.test_case "monotone trajectory" `Quick
+            test_lsoda_trajectory_monotone_time;
+        ] );
+      ( "banded",
+        [
+          Alcotest.test_case "get/set" `Quick test_banded_get_set;
+          Alcotest.test_case "dense roundtrip" `Quick test_banded_roundtrip;
+          Alcotest.test_case "of_dense rejects" `Quick
+            test_banded_of_dense_rejects;
+          Alcotest.test_case "mat_vec" `Quick test_banded_mat_vec;
+          Alcotest.test_case "bandwidth" `Quick test_bandwidth_of_jacobian;
+          q prop_banded_solve_matches_dense;
+          q prop_banded_residual;
+        ] );
+      ( "consistency", [ q prop_solvers_agree ] );
+      ( "events",
+        [
+          Alcotest.test_case "crossing time" `Quick
+            test_event_zero_crossing_time;
+          Alcotest.test_case "periodic counts" `Quick
+            test_event_counts_periodic;
+          Alcotest.test_case "stop at first" `Quick test_event_stop_at_first;
+          Alcotest.test_case "time event" `Quick test_event_time_function;
+          Alcotest.test_case "multiple functions" `Quick
+            test_event_multiple_functions;
+        ] );
+      ( "odesys",
+        [
+          Alcotest.test_case "elaboration errors" `Quick
+            test_of_equations_errors;
+          Alcotest.test_case "counters" `Quick test_counters_reset;
+          Alcotest.test_case "counters printing" `Quick test_pp_counters;
+          Alcotest.test_case "column" `Quick test_column;
+          Alcotest.test_case "sample interpolation" `Quick
+            test_sample_interpolation;
+          Alcotest.test_case "sample matches solution" `Quick
+            test_sample_matches_solution;
+        ] );
+    ]
