@@ -708,17 +708,79 @@ let extension_pde () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 
+(* The before/after pairs tracked in BENCH_micro.json: logical name,
+   baseline benchmark (the engine the seed shipped with), current
+   benchmark.  Entries whose two sides coincide are single-engine
+   trajectory points. *)
+let micro_pairs =
+  [
+    ("vm-eval", "objectmath/vmstack-roller-eq", "objectmath/vm-roller-eq");
+    ( "bearing-rhs",
+      "objectmath/bearing-rhs-closures",
+      "objectmath/bearing-rhs-bytecode" );
+    ("simplify", "objectmath/simplify-roller-eq", "objectmath/simplify-roller-eq");
+    ("cse", "objectmath/cse-servo", "objectmath/cse-servo");
+  ]
+
+let write_micro_json path rows =
+  (* rows : (name * ns_per_run) list.  Hand-rolled JSON keeps the bench
+     binary dependency-free. *)
+  let buf = Buffer.create 2048 in
+  let num ns = Printf.sprintf "%.6g" ns in
+  Buffer.add_string buf "{\n  \"schema\": \"objectmath-bench-micro/1\",\n";
+  Buffer.add_string buf "  \"benchmarks\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: { \"ns_per_run\": %s, \"ops_per_sec\": %s }%s\n" name
+           (num ns)
+           (num (1e9 /. ns))
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  },\n  \"pairs\": {\n";
+  let pairs =
+    List.filter_map
+      (fun (label, before, after) ->
+        match (List.assoc_opt before rows, List.assoc_opt after rows) with
+        | Some b, Some a -> Some (label, before, after, 1e9 /. b, 1e9 /. a)
+        | _ -> None)
+      micro_pairs
+  in
+  List.iteri
+    (fun i (label, before, after, b_ops, a_ops) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: { \"before\": %S, \"after\": %S,\n\
+           \      \"before_ops_per_sec\": %s, \"after_ops_per_sec\": %s, \
+            \"speedup\": %s }%s\n"
+           label before after (num b_ops) (num a_ops)
+           (num (a_ops /. b_ops))
+           (if i = List.length pairs - 1 then "" else ",")))
+    pairs;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
 let micro () =
   section "Micro-benchmarks (bechamel)";
   let open Bechamel in
   let r = Lazy.force bearing in
   let heavy_eq = snd (List.nth r.model.equations 8) in
-  let names = Array.append (Fm.state_names r.model) [| "t" |] in
+  let state_names = Fm.state_names r.model in
+  let names = Array.append state_names [| "t" |] in
   let env = Array.make (Array.length names) 0.01 in
   let eval_fn = Om_expr.Eval.eval_fn names heavy_eq in
   let vm_prog = Om_expr.Vm.compile names heavy_eq in
+  let vmstack_prog = Om_expr.Vm_stack.compile names heavy_eq in
   let y0 = Fm.initial_values r.model in
   let ydot = Array.make (Fm.dim r.model) 0. in
+  (* The seed's execution engine, as the before side of the RHS pair. *)
+  let bc_closures =
+    Om_codegen.Bytecode_backend.compile
+      ~backend:Om_codegen.Bytecode_backend.Exec_closures r.plan ~state_names
+  in
   let lu_mat =
     Array.init 20 (fun i ->
         Array.init 20 (fun j -> if i = j then 21. else 1. /. float_of_int (1 + i + j)))
@@ -737,6 +799,8 @@ let micro () =
           (Staged.stage (fun () -> eval_fn env));
         Test.make ~name:"vm-roller-eq"
           (Staged.stage (fun () -> Om_expr.Vm.run vm_prog env));
+        Test.make ~name:"vmstack-roller-eq"
+          (Staged.stage (fun () -> Om_expr.Vm_stack.run vmstack_prog env));
         Test.make ~name:"cse-servo"
           (Staged.stage (fun () -> Om_codegen.Cse.eliminate targets));
         Test.make ~name:"tarjan-bearing"
@@ -745,6 +809,9 @@ let micro () =
           (Staged.stage (fun () -> Om_ode.Linalg.lu_factor lu_mat));
         Test.make ~name:"bearing-rhs-bytecode"
           (Staged.stage (fun () -> P.rhs_fn r 0. y0 ydot));
+        Test.make ~name:"bearing-rhs-closures"
+          (Staged.stage (fun () ->
+               Om_codegen.Bytecode_backend.rhs_fn bc_closures 0. y0 ydot));
         Test.make ~name:"lpt-71-tasks"
           (Staged.stage (fun () -> Om_sched.Lpt.schedule r.tasks ~nprocs:7));
       ]
@@ -757,19 +824,39 @@ let micro () =
   in
   let results = Analyze.all ols instance raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  Printf.printf "%-44s %16s\n" "benchmark" "time per run";
+  Printf.printf "%-44s %16s %18s\n" "benchmark" "time per run" "ops/sec";
+  let measured =
+    List.filter_map
+      (fun (name, est) ->
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] when ns > 0. -> Some (name, ns)
+        | _ -> None)
+      rows
+    |> List.sort compare
+  in
   List.iter
-    (fun (name, est) ->
-      match Analyze.OLS.estimates est with
-      | Some [ ns ] ->
-          let pretty =
-            if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-            else Printf.sprintf "%.0f ns" ns
-          in
-          Printf.printf "%-44s %16s\n" name pretty
-      | _ -> Printf.printf "%-44s %16s\n" name "n/a")
-    (List.sort compare rows)
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-44s %16s %18.0f\n" name pretty (1e9 /. ns))
+    measured;
+  ensure_out_dir ();
+  let json_path = Filename.concat out_dir "BENCH_micro.json" in
+  write_micro_json json_path measured;
+  Printf.printf "\nmachine-readable results written to %s\n" json_path;
+  List.iter
+    (fun (label, before, after) ->
+      match
+        (List.assoc_opt before measured, List.assoc_opt after measured)
+      with
+      | Some b, Some a when before <> after ->
+          Printf.printf "%-14s %.2fx (%s -> %s)\n" label (b /. a)
+            before after
+      | _ -> ())
+    micro_pairs
 
 (* ------------------------------------------------------------------ *)
 

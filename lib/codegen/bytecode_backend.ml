@@ -1,4 +1,5 @@
 type cse_scope = Cse_none | Cse_per_task | Cse_global
+type exec_backend = Exec_closures | Exec_vm
 
 type compiled_task = {
   id : int;
@@ -8,6 +9,7 @@ type compiled_task = {
   static_cost : float;
   reads : int list;
   writes : int list;
+  program : Om_expr.Vm.program option;
 }
 
 type t = {
@@ -20,6 +22,10 @@ type t = {
   epilogue_flops : float;
   state_names : string array;
   cse_temp_total : int;
+  backend : exec_backend;
+  vm_instrs : int;
+  vm_flops : float;
+  vm_fused : int;
 }
 
 let slot_target slot = Printf.sprintf "slot$%d" slot
@@ -30,7 +36,10 @@ let slot_of_target s =
       int_of_string (String.sub s (i + 1) (String.length s - i - 1))
   | None -> invalid_arg "Bytecode_backend: bad slot target"
 
-let compile ?(scope = Cse_per_task) (plan : Partition.plan) ~state_names =
+let no_env = [||]
+
+let compile ?(scope = Cse_per_task) ?(backend = Exec_vm)
+    (plan : Partition.plan) ~state_names =
   let dim = plan.dim in
   if Array.length state_names <> dim then
     invalid_arg "Bytecode_backend.compile: state_names length mismatch";
@@ -99,22 +108,54 @@ let compile ?(scope = Cse_per_task) (plan : Partition.plan) ~state_names =
       | None -> invalid_arg ("Bytecode_backend: unknown name " ^ n)
   in
   let out = Array.make (Partition.n_slots plan) 0. in
+  let out_size = Array.length out in
   let compile_block (id, label, (block : Cse.block), reads, writes) =
-    let temp_steps =
-      List.map
-        (fun (b : Cse.binding) ->
-          (slot_of_name b.name, Om_expr.Eval.eval_fn names b.expr))
-        block.temps
-    in
-    let root_steps =
-      List.map
-        (fun (target, e) ->
-          (slot_of_target target, Om_expr.Eval.eval_fn names e))
-        block.roots
-    in
-    let eval () =
-      List.iter (fun (slot, f) -> env.(slot) <- f env) temp_steps;
-      List.iter (fun (slot, f) -> out.(slot) <- f env) root_steps
+    let program, eval =
+      match backend with
+      | Exec_vm ->
+          (* One register program per task: temps store to their env
+             slots, roots to their output slots.  Temp slots are
+             task-private (per-task CSE prefixes make the names unique),
+             so the optimiser may drop stores nothing reads. *)
+          let module Iset = Set.Make (Int) in
+          let priv =
+            List.fold_left
+              (fun s (b : Cse.binding) -> Iset.add (slot_of_name b.name) s)
+              Iset.empty block.temps
+          in
+          let stmts =
+            List.map
+              (fun (b : Cse.binding) ->
+                (b.expr, Om_expr.Vm.To_env (slot_of_name b.name)))
+              block.temps
+            @ List.map
+                (fun (target, e) ->
+                  (e, Om_expr.Vm.To_out (slot_of_target target)))
+                block.roots
+          in
+          let prog =
+            Om_expr.Vm.compile_stmts
+              ~private_env_slot:(fun s -> Iset.mem s priv)
+              ~out_size names stmts
+          in
+          (Some prog, fun () -> Om_expr.Vm.exec prog ~env ~out)
+      | Exec_closures ->
+          let temp_steps =
+            List.map
+              (fun (b : Cse.binding) ->
+                (slot_of_name b.name, Om_expr.Eval.eval_fn names b.expr))
+              block.temps
+          in
+          let root_steps =
+            List.map
+              (fun (target, e) ->
+                (slot_of_target target, Om_expr.Eval.eval_fn names e))
+              block.roots
+          in
+          ( None,
+            fun () ->
+              List.iter (fun (slot, f) -> env.(slot) <- f env) temp_steps;
+              List.iter (fun (slot, f) -> out.(slot) <- f env) root_steps )
     in
     let temp_msteps =
       List.map
@@ -142,6 +183,7 @@ let compile ?(scope = Cse_per_task) (plan : Partition.plan) ~state_names =
       static_cost = Cse.block_cost block;
       reads;
       writes;
+      program;
     }
   in
   let tasks = Array.of_list (List.map compile_block blocks) in
@@ -150,13 +192,33 @@ let compile ?(scope = Cse_per_task) (plan : Partition.plan) ~state_names =
     env.(dim) <- t
   in
   let epilogue = plan.epilogue in
-  let run_epilogue () =
-    List.iter
-      (fun (deriv, slots) ->
-        let acc = ref 0. in
-        List.iter (fun s -> acc := !acc +. out.(s)) slots;
-        out.(deriv) <- !acc)
-      epilogue
+  let run_epilogue, epilogue_program =
+    match backend with
+    | Exec_vm ->
+        let eprog = Om_expr.Vm.compile_epilogue ~out_size epilogue in
+        ((fun () -> Om_expr.Vm.exec eprog ~env:no_env ~out), Some eprog)
+    | Exec_closures ->
+        ( (fun () ->
+            List.iter
+              (fun (deriv, slots) ->
+                let acc = ref 0. in
+                List.iter (fun s -> acc := !acc +. out.(s)) slots;
+                out.(deriv) <- !acc)
+              epilogue),
+          None )
+  in
+  let vm_instrs, vm_flops, vm_fused =
+    let add (i, fl, fu) p =
+      let s = Om_expr.Vm.stats p in
+      (i + s.instrs, fl +. s.flops, fu + s.fused)
+    in
+    let acc =
+      Array.fold_left
+        (fun acc tk ->
+          match tk.program with Some p -> add acc p | None -> acc)
+        (0, 0., 0) tasks
+    in
+    match epilogue_program with Some p -> add acc p | None -> acc
   in
   {
     dim;
@@ -168,6 +230,10 @@ let compile ?(scope = Cse_per_task) (plan : Partition.plan) ~state_names =
     epilogue_flops = plan.epilogue_flops;
     state_names;
     cse_temp_total = List.length temp_names;
+    backend;
+    vm_instrs;
+    vm_flops;
+    vm_fused;
   }
 
 let rhs_fn c t y ydot =

@@ -1,15 +1,23 @@
-(** Executable backend: compile a partition plan into OCaml closures.
+(** Executable backend: compile a partition plan into runnable tasks.
 
     The paper's generated Fortran 90 is compiled by an F90 compiler and
     linked with the runtime; here the equivalent executable artifact is a
-    set of closures over a shared value environment, which the sequential
-    driver and the machine simulator both call.  Semantics match the
-    textual backends exactly (same temps, same evaluation order). *)
+    register-VM program per task ({!Om_expr.Vm}) over a shared value
+    environment, which the sequential driver and the machine simulator
+    both call.  Semantics match the textual backends exactly (same
+    temps, same evaluation order).  The historical closure engine
+    ({!Om_expr.Eval.eval_fn}) remains available as [Exec_closures] for
+    before/after benchmarking. *)
 
 type cse_scope =
   | Cse_none
   | Cse_per_task  (** parallel mode: no sharing across tasks (§3.3) *)
   | Cse_global  (** serial mode: one task, sharing everywhere *)
+
+(** Execution engine for the compiled tasks. *)
+type exec_backend =
+  | Exec_closures  (** tree-shaped closures from {!Om_expr.Eval.eval_fn} *)
+  | Exec_vm  (** flat register-VM programs (default; allocation-free) *)
 
 type compiled_task = {
   id : int;
@@ -22,6 +30,9 @@ type compiled_task = {
   static_cost : float;  (** mean-branch estimate, includes temps *)
   reads : int list;
   writes : int list;
+  program : Om_expr.Vm.program option;
+      (** the task's register program ([Exec_vm] only), for disassembly
+          and instruction statistics *)
 }
 
 type t = {
@@ -34,11 +45,21 @@ type t = {
   epilogue_flops : float;
   state_names : string array;
   cse_temp_total : int;  (** temporaries across all tasks *)
+  backend : exec_backend;
+  vm_instrs : int;
+      (** static VM instructions across tasks + epilogue (0 for
+          [Exec_closures]) *)
+  vm_flops : float;  (** static flop units of the VM code *)
+  vm_fused : int;  (** fused instructions after the peephole pass *)
 }
 
 val compile :
-  ?scope:cse_scope -> Partition.plan -> state_names:string array -> t
-(** Default scope is [Cse_per_task]. *)
+  ?scope:cse_scope ->
+  ?backend:exec_backend ->
+  Partition.plan ->
+  state_names:string array ->
+  t
+(** Default scope is [Cse_per_task]; default backend is [Exec_vm]. *)
 
 val rhs_fn : t -> float -> float array -> float array -> unit
 (** Sequential execution of every task plus the epilogue: the reference

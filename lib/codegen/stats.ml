@@ -18,6 +18,9 @@ type t = {
   cse_parallel : int;
   cse_serial : int;
   total_rhs_flops : float;
+  vm_instructions : int;
+  vm_fused : int;
+  vm_flops : float;
 }
 
 let count_lines s =
@@ -76,6 +79,9 @@ let collect ?source (r : Pipeline.result) =
     cse_parallel = fpar.cse_count;
     cse_serial = fser.cse_count;
     total_rhs_flops = Om_lang.Flat_model.total_rhs_flops m;
+    vm_instructions = r.compiled.vm_instrs;
+    vm_fused = r.compiled.vm_fused;
+    vm_flops = r.compiled.vm_flops;
   }
 
 let pp ppf s =
@@ -100,4 +106,7 @@ let pp ppf s =
     s.jacobian_lines;
   Fmt.pf ppf "  CSEs parallel / serial     %d / %d@." s.cse_parallel
     s.cse_serial;
+  Fmt.pf ppf "  VM instructions (fused)    %d (%d)@." s.vm_instructions
+    s.vm_fused;
+  Fmt.pf ppf "  VM static flop units       %.0f@." s.vm_flops;
   Fmt.pf ppf "  mean RHS cost (flop units) %.0f@." s.total_rhs_flops

@@ -22,6 +22,10 @@ type t = {
   cse_parallel : int;  (** temporaries with per-task CSE *)
   cse_serial : int;  (** temporaries with global CSE *)
   total_rhs_flops : float;
+  vm_instructions : int;
+      (** static register-VM instructions across tasks + epilogue *)
+  vm_fused : int;  (** fused instructions after the peephole pass *)
+  vm_flops : float;  (** static flop units of the VM code *)
 }
 
 val collect : ?source:string -> Pipeline.result -> t

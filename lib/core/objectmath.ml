@@ -23,6 +23,9 @@ module Eval = Om_expr.Eval
 module Cost = Om_expr.Cost
 module Prefix_form = Om_expr.Prefix_form
 module Vm = Om_expr.Vm
+module Vm_code = Om_expr.Vm_code
+module Vm_stack = Om_expr.Vm_stack
+module Peephole = Om_expr.Peephole
 
 module Ast = Om_lang.Ast
 module Parser = Om_lang.Parser

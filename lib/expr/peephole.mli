@@ -1,0 +1,26 @@
+(** Peephole / fusion optimiser for the flat register code produced by
+    {!Vm}'s lowering.
+
+    Input programs must use write-once virtual registers: every register
+    is assigned by exactly one instruction, except the join register of
+    an [If], which is assigned by the final [Mov] of each branch.  Jump
+    targets must be forward-only.  {!Vm.compile} guarantees both.
+
+    Passes (iterated to a fixpoint): constant folding and strength
+    reduction, copy propagation, instruction fusion
+    ([Mul]+[Add] -> [Fma], [Add]+[Neg] -> [Sub], load-load-mul[-add]
+    superinstructions [Vmul]/[Vmacc]), and dead-store elimination.  All
+    rewrites are IEEE-exact with respect to {!Eval.eval}. *)
+
+type t = {
+  code : int array;  (** flat code, {!Vm_code.stride} words/instruction *)
+  consts : float array;  (** constant pool *)
+  nregs : int;  (** virtual register count *)
+  result : int;  (** register holding the final value, or -1 *)
+}
+
+val optimize : ?private_env_slot:(int -> bool) -> t -> t
+(** Optimise a program.  [private_env_slot s] should return [true] for
+    environment slots that only this program may read (task-private CSE
+    temporaries); stores to such slots are deleted when no surviving
+    instruction reads them.  Defaults to no slot being private. *)

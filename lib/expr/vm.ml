@@ -1,172 +1,467 @@
-type instr =
-  | Push of float
-  | Load of int
-  | Add_n of int
-  | Mul_n of int
-  | Pow_op
-  | Call_f of Expr.func
-  | Jump of int
-  | Jump_if_not of Expr.rel * int
+(* Register-based, allocation-free expression VM.
+
+   Lowering emits write-once virtual registers: every sub-expression
+   gets a fresh register, and only the join register of an [If] is
+   written twice (once per branch, by a [Mov]).  Jumps are forward-only.
+   Both invariants are what {!Peephole} relies on.
+
+   The interpreter is a tail-recursive loop over immediate-int state
+   with direct primitive dispatch; every float lives in a float array or
+   an unboxed temporary, so steady-state execution performs zero minor-
+   heap allocation.  [Array.unsafe_get]/[unsafe_set] are justified by
+   [validate] below, which checks every operand of every instruction
+   once at compile time. *)
 
 type program = {
-  code : instr array;
-  stack_size : int;
+  code : int array;
+  consts : float array;
+  nregs : int;
+  result : int; (* register of the final value, or -1 *)
+  env_size : int;
+  out_size : int;
+  regs : float array; (* scratch register file, length nregs *)
 }
 
-let compile names e =
-  let index v =
-    let rec find i =
-      if i >= Array.length names then raise (Eval.Unbound v)
-      else if names.(i) = v then i
-      else find (i + 1)
-    in
-    find 0
-  in
-  let buf = ref [] in
-  let n = ref 0 in
-  let emit i =
-    buf := i :: !buf;
-    incr n
-  in
-  (* Emit instructions; returns the maximum stack depth the fragment
-     needs, given that it starts from an empty local context and leaves
-     exactly one value. *)
-  let rec go (e : Expr.t) =
-    match e with
-    | Const x ->
-        emit (Push x);
-        1
-    | Var v ->
-        emit (Load (index v));
-        1
-    | Add xs -> nary (fun k -> Add_n k) xs
-    | Mul xs -> nary (fun k -> Mul_n k) xs
-    | Pow (b, ex) ->
-        let d1 = go b in
-        let d2 = go ex in
-        emit Pow_op;
-        max d1 (1 + d2)
-    | Call (f, args) ->
-        let depth =
-          List.fold_left
-            (fun (i, acc) a ->
-              let d = go a in
-              (i + 1, max acc (i + d)))
-            (0, 0) args
-          |> snd
-        in
-        emit (Call_f f);
-        max 1 depth
-    | If (c, t, e') ->
-        let d1 = go c.lhs in
-        let d2 = go c.rhs in
-        (* Placeholder jump, patched after the then-branch. *)
-        let jz_at = !n in
-        emit (Jump_if_not (c.rel, -1));
-        let d3 = go t in
-        let jmp_at = !n in
-        emit (Jump (-1));
-        let else_at = !n in
-        let d4 = go e' in
-        let end_at = !n in
-        (* Patch. *)
-        let arr = Array.of_list (List.rev !buf) in
-        arr.(jz_at) <- Jump_if_not (c.rel, else_at);
-        arr.(jmp_at) <- Jump end_at;
-        buf := List.rev (Array.to_list arr);
-        max (max d1 (1 + d2)) (max d3 d4)
-  and nary make xs =
-    let k = List.length xs in
-    let depth =
+type target = To_env of int | To_out of int
+type stats = { instrs : int; flops : float; fused : int }
+
+(* The interpreter matches on literal opcodes to get a flat switch;
+   keep them in sync with Vm_code's numbering. *)
+let () =
+  assert (Vm_code.stride = 5);
+  assert (
+    Vm_code.op_ldc = 0 && Vm_code.op_ldv = 1 && Vm_code.op_ldo = 2
+    && Vm_code.op_mov = 3 && Vm_code.op_add = 4 && Vm_code.op_sub = 5
+    && Vm_code.op_mul = 6 && Vm_code.op_neg = 7 && Vm_code.op_sqr = 8
+    && Vm_code.op_recip = 9 && Vm_code.op_pow = 10 && Vm_code.op_fma = 11
+    && Vm_code.op_addk = 12 && Vm_code.op_mulk = 13 && Vm_code.op_call1 = 14
+    && Vm_code.op_call2 = 15 && Vm_code.op_vmul = 16 && Vm_code.op_vmacc = 17
+    && Vm_code.op_jmp = 18 && Vm_code.op_jnot = 19 && Vm_code.op_ste = 20
+    && Vm_code.op_sto = 21)
+
+(* ---- emission ---- *)
+
+type emitter = {
+  mutable buf : int array; (* words *)
+  mutable len : int; (* in words *)
+  mutable next_reg : int;
+  mutable consts : float array;
+  mutable nconsts : int;
+  const_tbl : (int64, int) Hashtbl.t;
+}
+
+let new_emitter () =
+  {
+    buf = Array.make 160 0;
+    len = 0;
+    next_reg = 0;
+    consts = Array.make 16 0.;
+    nconsts = 0;
+    const_tbl = Hashtbl.create 16;
+  }
+
+let emit em op dst a b c =
+  if em.len + Vm_code.stride > Array.length em.buf then begin
+    let bigger = Array.make (2 * Array.length em.buf) 0 in
+    Array.blit em.buf 0 bigger 0 em.len;
+    em.buf <- bigger
+  end;
+  let p = em.len in
+  em.buf.(p) <- op;
+  em.buf.(p + 1) <- dst;
+  em.buf.(p + 2) <- a;
+  em.buf.(p + 3) <- b;
+  em.buf.(p + 4) <- c;
+  em.len <- p + Vm_code.stride
+
+let fresh em =
+  let r = em.next_reg in
+  em.next_reg <- r + 1;
+  r
+
+(* Constant-pool index, deduplicated by bit pattern so -0.0 and 0.0
+   stay distinct. *)
+let kpool em x =
+  let key = Int64.bits_of_float x in
+  match Hashtbl.find_opt em.const_tbl key with
+  | Some i -> i
+  | None ->
+      if em.nconsts >= Array.length em.consts then begin
+        let bigger = Array.make (2 * Array.length em.consts) 0. in
+        Array.blit em.consts 0 bigger 0 em.nconsts;
+        em.consts <- bigger
+      end;
+      let i = em.nconsts in
+      em.consts.(i) <- x;
+      em.nconsts <- i + 1;
+      Hashtbl.add em.const_tbl key i;
+      i
+
+(* O(1) variable lookup; first occurrence wins like the historical
+   linear scan. *)
+let index_of names =
+  let tbl = Hashtbl.create (max 16 (2 * Array.length names)) in
+  Array.iteri
+    (fun i name -> if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name i)
+    names;
+  fun v ->
+    match Hashtbl.find_opt tbl v with
+    | Some i -> i
+    | None -> raise (Eval.Unbound v)
+
+(* Lower an expression; returns the register holding its value.
+   Evaluation order matches Eval.eval: operands left to right, an If's
+   condition before its taken branch only. *)
+let rec lower em index (e : Expr.t) =
+  match e with
+  | Const x ->
+      let r = fresh em in
+      emit em Vm_code.op_ldc r 0 0 (kpool em x);
+      r
+  | Var v ->
+      let r = fresh em in
+      emit em Vm_code.op_ldv r (index v) 0 0;
+      r
+  | Add [] -> lower em index Expr.zero
+  | Mul [] -> lower em index Expr.one
+  | Add (x :: xs) ->
       List.fold_left
-        (fun (i, acc) a ->
-          let d = go a in
-          (i + 1, max acc (i + d)))
-        (0, 0) xs
-      |> snd
-    in
-    emit (make k);
-    max 1 depth
-  in
-  let depth = go e in
-  { code = Array.of_list (List.rev !buf); stack_size = max 1 depth }
+        (fun acc y ->
+          let ry = lower em index y in
+          let r = fresh em in
+          emit em Vm_code.op_add r acc ry 0;
+          r)
+        (lower em index x) xs
+  | Mul (x :: xs) ->
+      List.fold_left
+        (fun acc y ->
+          let ry = lower em index y in
+          let r = fresh em in
+          emit em Vm_code.op_mul r acc ry 0;
+          r)
+        (lower em index x) xs
+  | Pow (b, ex) ->
+      let ra = lower em index b in
+      let rb = lower em index ex in
+      let r = fresh em in
+      emit em Vm_code.op_pow r ra rb 0;
+      r
+  | Call (f, [ x ]) ->
+      let rx = lower em index x in
+      let r = fresh em in
+      emit em Vm_code.op_call1 r rx 0 (Vm_code.prim1_of_func f);
+      r
+  | Call (f, [ x; y ]) ->
+      let rx = lower em index x in
+      let ry = lower em index y in
+      let r = fresh em in
+      emit em Vm_code.op_call2 r rx ry (Vm_code.prim2_of_func f);
+      r
+  | Call (f, args) ->
+      invalid_arg
+        (Printf.sprintf "Vm.compile: %s applied to %d arguments"
+           (Expr.func_name f) (List.length args))
+  | If (c, t, e') ->
+      let rl = lower em index c.lhs in
+      let rr = lower em index c.rhs in
+      let join = fresh em in
+      let jnot_at = em.len in
+      emit em Vm_code.op_jnot (Vm_code.rel_id c.rel) rl rr (-1);
+      let rt = lower em index t in
+      emit em Vm_code.op_mov join rt 0 0;
+      let jmp_at = em.len in
+      emit em Vm_code.op_jmp 0 0 0 (-1);
+      em.buf.(jnot_at + 4) <- em.len;
+      let re = lower em index e' in
+      emit em Vm_code.op_mov join re 0 0;
+      em.buf.(jmp_at + 4) <- em.len;
+      join
 
-let length p = Array.length p.code
-let max_stack p = p.stack_size
-let instructions p = Array.copy p.code
+(* ---- validation: every operand checked once, so the interpreter may
+   use unsafe array access ---- *)
 
-let run p env =
-  let stack = Array.make p.stack_size 0. in
-  let sp = ref 0 in
-  let push v =
-    stack.(!sp) <- v;
-    incr sp
-  in
-  let pc = ref 0 in
-  let code = p.code in
+let validate ~env_size ~out_size (q : Peephole.t) =
+  let fail fmt = Printf.ksprintf invalid_arg ("Vm: invalid program: " ^^ fmt) in
+  let code = q.code in
   let n = Array.length code in
-  while !pc < n do
-    (match code.(!pc) with
-    | Push x ->
-        push x;
-        incr pc
-    | Load i ->
-        push env.(i);
-        incr pc
-    | Add_n k ->
-        let acc = ref 0. in
-        for _ = 1 to k do
-          decr sp;
-          acc := !acc +. stack.(!sp)
-        done;
-        push !acc;
-        incr pc
-    | Mul_n k ->
-        let acc = ref 1. in
-        for _ = 1 to k do
-          decr sp;
-          acc := !acc *. stack.(!sp)
-        done;
-        push !acc;
-        incr pc
-    | Pow_op ->
-        decr sp;
-        let e = stack.(!sp) in
-        decr sp;
-        let b = stack.(!sp) in
-        push (Float.pow b e);
-        incr pc
-    | Call_f f ->
-        let arity = Expr.func_arity f in
-        sp := !sp - arity;
-        let args = List.init arity (fun i -> stack.(!sp + i)) in
-        push (Expr.eval_func f args);
-        incr pc
-    | Jump target -> pc := target
-    | Jump_if_not (rel, target) ->
-        decr sp;
-        let rhs = stack.(!sp) in
-        decr sp;
-        let lhs = stack.(!sp) in
-        if Expr.eval_rel rel lhs rhs then incr pc else pc := target)
+  if n mod Vm_code.stride <> 0 then fail "code length %d not a multiple of stride" n;
+  let pos = ref 0 in
+  while !pos < n do
+    let p = !pos in
+    let o = code.(p) in
+    if o < 0 || o >= Vm_code.n_opcodes then fail "opcode %d at %d" o p;
+    let kd, ka, kb, kc = Vm_code.field_kinds o in
+    let check kind v =
+      match kind with
+      | Vm_code.K_none -> ()
+      | Vm_code.K_reg ->
+          if v < 0 || v >= q.nregs then fail "register %d at %d" v p
+      | Vm_code.K_env ->
+          if v < 0 || v >= env_size then fail "env slot %d at %d" v p
+      | Vm_code.K_out ->
+          if v < 0 || v >= out_size then fail "out slot %d at %d" v p
+      | Vm_code.K_const ->
+          if v < 0 || v >= Array.length q.consts then fail "const %d at %d" v p
+      | Vm_code.K_prim1 ->
+          if v < 0 || v >= Vm_code.prim1_count then fail "prim1 %d at %d" v p
+      | Vm_code.K_prim2 ->
+          if v < 0 || v >= Vm_code.prim2_count then fail "prim2 %d at %d" v p
+      | Vm_code.K_target ->
+          (* Forward-only, aligned, may point one past the end. *)
+          if v <= p || v > n || v mod Vm_code.stride <> 0 then
+            fail "jump target %d at %d" v p
+      | Vm_code.K_rel -> if v < 0 || v > 3 then fail "relation %d at %d" v p
+    in
+    check kd code.(p + 1);
+    check ka code.(p + 2);
+    check kb code.(p + 3);
+    check kc code.(p + 4);
+    pos := p + Vm_code.stride
   done;
-  stack.(!sp - 1)
+  if q.result >= q.nregs then fail "result register %d" q.result
+
+let finish ?(optimize = true) ?private_env_slot em ~result ~env_size ~out_size =
+  let q =
+    {
+      Peephole.code = Array.sub em.buf 0 em.len;
+      consts = Array.sub em.consts 0 em.nconsts;
+      nregs = max 1 em.next_reg;
+      result;
+    }
+  in
+  let q = if optimize then Peephole.optimize ?private_env_slot q else q in
+  validate ~env_size ~out_size q;
+  {
+    code = q.code;
+    consts = q.consts;
+    nregs = q.nregs;
+    result = q.result;
+    env_size;
+    out_size;
+    regs = Array.make q.nregs 0.;
+  }
+
+let compile ?optimize names e =
+  let em = new_emitter () in
+  let index = index_of names in
+  let r = lower em index e in
+  finish ?optimize em ~result:r ~env_size:(Array.length names) ~out_size:0
+
+let compile_stmts ?optimize ?private_env_slot ~out_size names stmts =
+  let em = new_emitter () in
+  let index = index_of names in
+  List.iter
+    (fun (e, tgt) ->
+      let r = lower em index e in
+      match tgt with
+      | To_env s -> emit em Vm_code.op_ste 0 r 0 s
+      | To_out s -> emit em Vm_code.op_sto 0 r 0 s)
+    stmts;
+  finish ?optimize ?private_env_slot em ~result:(-1)
+    ~env_size:(Array.length names) ~out_size
+
+let compile_epilogue ?optimize ~out_size groups =
+  let em = new_emitter () in
+  List.iter
+    (fun (deriv, slots) ->
+      (* Fold from 0. like the closure backend, so results are
+         bit-identical (addition is commutative bitwise, so the addk
+         strength reduction downstream preserves this). *)
+      let acc0 = fresh em in
+      emit em Vm_code.op_ldc acc0 0 0 (kpool em 0.);
+      let r =
+        List.fold_left
+          (fun acc s ->
+            let rs = fresh em in
+            emit em Vm_code.op_ldo rs s 0 0;
+            let r = fresh em in
+            emit em Vm_code.op_add r acc rs 0;
+            r)
+          acc0 slots
+      in
+      emit em Vm_code.op_sto 0 r 0 deriv)
+    groups;
+  finish ?optimize em ~result:(-1) ~env_size:0 ~out_size
+
+(* ---- interpreter ---- *)
+
+(* The loop is a toplevel function over immediate parameters — a local
+   recursive function would capture its six arrays in a closure and
+   allocate it on every call. *)
+let rec loop code consts regs env out stop pc =
+  if pc < stop then begin
+      let op = Array.unsafe_get code pc in
+      let d = Array.unsafe_get code (pc + 1) in
+      let a = Array.unsafe_get code (pc + 2) in
+      let b = Array.unsafe_get code (pc + 3) in
+      let c = Array.unsafe_get code (pc + 4) in
+      match op with
+      | 0 (* ldc *) ->
+          Array.unsafe_set regs d (Array.unsafe_get consts c);
+          loop code consts regs env out stop (pc + 5)
+      | 1 (* ldv *) ->
+          Array.unsafe_set regs d (Array.unsafe_get env a);
+          loop code consts regs env out stop (pc + 5)
+      | 2 (* ldo *) ->
+          Array.unsafe_set regs d (Array.unsafe_get out a);
+          loop code consts regs env out stop (pc + 5)
+      | 3 (* mov *) ->
+          Array.unsafe_set regs d (Array.unsafe_get regs a);
+          loop code consts regs env out stop (pc + 5)
+      | 4 (* add *) ->
+          Array.unsafe_set regs d
+            (Array.unsafe_get regs a +. Array.unsafe_get regs b);
+          loop code consts regs env out stop (pc + 5)
+      | 5 (* sub *) ->
+          Array.unsafe_set regs d
+            (Array.unsafe_get regs a -. Array.unsafe_get regs b);
+          loop code consts regs env out stop (pc + 5)
+      | 6 (* mul *) ->
+          Array.unsafe_set regs d
+            (Array.unsafe_get regs a *. Array.unsafe_get regs b);
+          loop code consts regs env out stop (pc + 5)
+      | 7 (* neg *) ->
+          Array.unsafe_set regs d (-.Array.unsafe_get regs a);
+          loop code consts regs env out stop (pc + 5)
+      | 8 (* sqr *) ->
+          let x = Array.unsafe_get regs a in
+          Array.unsafe_set regs d (x *. x);
+          loop code consts regs env out stop (pc + 5)
+      | 9 (* recip *) ->
+          Array.unsafe_set regs d (1. /. Array.unsafe_get regs a);
+          loop code consts regs env out stop (pc + 5)
+      | 10 (* pow *) ->
+          Array.unsafe_set regs d
+            (Float.pow (Array.unsafe_get regs a) (Array.unsafe_get regs b));
+          loop code consts regs env out stop (pc + 5)
+      | 11 (* fma *) ->
+          (* Two rounded operations, matching Eval.eval — not a hardware
+             fused multiply-add. *)
+          Array.unsafe_set regs d
+            ((Array.unsafe_get regs a *. Array.unsafe_get regs b)
+            +. Array.unsafe_get regs c);
+          loop code consts regs env out stop (pc + 5)
+      | 12 (* addk *) ->
+          Array.unsafe_set regs d
+            (Array.unsafe_get regs a +. Array.unsafe_get consts c);
+          loop code consts regs env out stop (pc + 5)
+      | 13 (* mulk *) ->
+          Array.unsafe_set regs d
+            (Array.unsafe_get regs a *. Array.unsafe_get consts c);
+          loop code consts regs env out stop (pc + 5)
+      | 14 (* call1 *) ->
+          let x = Array.unsafe_get regs a in
+          (match c with
+          | 0 -> Array.unsafe_set regs d (Float.sin x)
+          | 1 -> Array.unsafe_set regs d (Float.cos x)
+          | 2 -> Array.unsafe_set regs d (Float.tan x)
+          | 3 -> Array.unsafe_set regs d (Float.asin x)
+          | 4 -> Array.unsafe_set regs d (Float.acos x)
+          | 5 -> Array.unsafe_set regs d (Float.atan x)
+          | 6 -> Array.unsafe_set regs d (Float.sinh x)
+          | 7 -> Array.unsafe_set regs d (Float.cosh x)
+          | 8 -> Array.unsafe_set regs d (Float.tanh x)
+          | 9 -> Array.unsafe_set regs d (Float.exp x)
+          | 10 -> Array.unsafe_set regs d (Float.log x)
+          | 11 -> Array.unsafe_set regs d (Float.sqrt x)
+          | 12 -> Array.unsafe_set regs d (Float.abs x)
+          | _ (* 13: sign *) ->
+              Array.unsafe_set regs d
+                (if x > 0. then 1. else if x < 0. then -1. else 0.));
+          loop code consts regs env out stop (pc + 5)
+      | 15 (* call2 *) ->
+          let x = Array.unsafe_get regs a in
+          let y = Array.unsafe_get regs b in
+          (match c with
+          | 0 -> Array.unsafe_set regs d (Float.atan2 x y)
+          | 1 ->
+              (* Float.min semantics, inlined: the stdlib function is
+                 not flagged [@@noalloc] and would box at the call. *)
+              Array.unsafe_set regs d
+                (if x <> x then x
+                 else if y <> y then y
+                 else if x < y then x
+                 else if y < x then y
+                 else if x = 0. && 1. /. x < 0. then x
+                 else y)
+          | 2 ->
+              (* Float.max semantics, inlined. *)
+              Array.unsafe_set regs d
+                (if x <> x then x
+                 else if y <> y then y
+                 else if x < y then y
+                 else if y < x then x
+                 else if x = 0. && 1. /. x < 0. then y
+                 else x)
+          | _ (* 3: hypot *) -> Array.unsafe_set regs d (Float.hypot x y));
+          loop code consts regs env out stop (pc + 5)
+      | 16 (* vmul *) ->
+          Array.unsafe_set regs d
+            (Array.unsafe_get env a *. Array.unsafe_get env b);
+          loop code consts regs env out stop (pc + 5)
+      | 17 (* vmacc *) ->
+          Array.unsafe_set regs d
+            (Array.unsafe_get regs a
+            +. (Array.unsafe_get env b *. Array.unsafe_get env c));
+          loop code consts regs env out stop (pc + 5)
+      | 18 (* jmp *) -> loop code consts regs env out stop c
+      | 19 (* jnot *) ->
+          let x = Array.unsafe_get regs a in
+          let y = Array.unsafe_get regs b in
+          let holds =
+            match d with
+            | 0 -> x < y
+            | 1 -> x <= y
+            | 2 -> x > y
+            | _ -> x >= y
+          in
+          if holds then loop code consts regs env out stop (pc + 5)
+          else loop code consts regs env out stop c
+      | 20 (* ste *) ->
+          Array.unsafe_set env c (Array.unsafe_get regs a);
+          loop code consts regs env out stop (pc + 5)
+      | _ (* 21: sto *) ->
+          Array.unsafe_set out c (Array.unsafe_get regs a);
+          loop code consts regs env out stop (pc + 5)
+    end
+
+let exec p ~env ~out =
+  if Array.length env < p.env_size then invalid_arg "Vm.exec: env too small";
+  if Array.length out < p.out_size then invalid_arg "Vm.exec: out too small";
+  loop p.code p.consts p.regs env out (Array.length p.code) 0
+
+let no_out = [||]
+
+let[@inline] run p env =
+  if p.result < 0 then invalid_arg "Vm.run: statement program (use exec)";
+  exec p ~env ~out:no_out;
+  Array.unsafe_get p.regs p.result
+
+(* ---- inspection ---- *)
+
+let length p = Array.length p.code / Vm_code.stride
+let reg_count p = p.nregs
+let result_reg p = p.result
+let instructions p = Vm_code.decode p.code p.consts
 
 let disassemble p =
-  let buf = Buffer.create 256 in
+  let b = Buffer.create 256 in
   Array.iteri
-    (fun i instr ->
-      Buffer.add_string buf
-        (Printf.sprintf "%4d  %s\n" i
-           (match instr with
-           | Push x -> Printf.sprintf "push  %g" x
-           | Load s -> Printf.sprintf "load  [%d]" s
-           | Add_n k -> Printf.sprintf "add   x%d" k
-           | Mul_n k -> Printf.sprintf "mul   x%d" k
-           | Pow_op -> "pow"
-           | Call_f f -> Printf.sprintf "call  %s" (Expr.func_name f)
-           | Jump t -> Printf.sprintf "jmp   %d" t
-           | Jump_if_not (r, t) ->
-               Printf.sprintf "jnot  %s %d" (Expr.rel_name r) t)))
-    p.code;
-  Buffer.contents buf
+    (fun i ins ->
+      Buffer.add_string b
+        (Printf.sprintf "%4d  %s\n"
+           (i * Vm_code.stride)
+           (Format.asprintf "%a" Vm_code.pp_instr ins)))
+    (instructions p);
+  Buffer.contents b
+
+let stats p =
+  let n = length p in
+  let flops = ref 0. in
+  let fused = ref 0 in
+  for i = 0 to n - 1 do
+    let pos = i * Vm_code.stride in
+    flops := !flops +. Vm_code.flop_weight p.code pos;
+    if Vm_code.is_fused p.code.(pos) then incr fused
+  done;
+  { instrs = n; flops = !flops; fused = !fused }

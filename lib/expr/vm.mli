@@ -1,40 +1,80 @@
-(** A compact stack-machine bytecode for expressions.
+(** Register-based, allocation-free expression VM.
 
-    The closure compiler ({!Eval.eval_fn}) is the default execution
-    backend; this module provides the classic alternative — a flat
-    instruction array interpreted over an explicit operand stack — the
-    kind of executable form a 1990s code generator would emit when no
-    native compiler was available.  Semantics match {!Eval.eval}
-    exactly; the property tests cross-check all three. *)
+    The compiler lowers {!Expr.t} into a flat instruction array
+    ({!Vm_code}) with pre-resolved register slots and a separate
+    constant pool, runs the {!Peephole} optimiser over it (constant
+    folding, [Fma]/[Vmul]/[Vmacc] fusion, dead-store elimination), and
+    validates every operand once — so the interpreter is a tight loop
+    over [Array.unsafe_get]/[unsafe_set] with zero heap allocation in
+    steady state.  Primitives dispatch directly to [float -> float]
+    externals; there is no per-call argument list.
 
-type instr =
-  | Push of float
-  | Load of int  (** push env.(slot) *)
-  | Add_n of int  (** pop n values, push their sum *)
-  | Mul_n of int
-  | Pow_op  (** pop exponent then base, push base^exponent *)
-  | Call_f of Expr.func  (** pop arity-many arguments *)
-  | Jump of int  (** absolute instruction index *)
-  | Jump_if_not of Expr.rel * int
-      (** pop rhs then lhs; jump unless [lhs rel rhs] *)
+    Semantics match {!Eval.eval} exactly, up to the sign of zero in
+    empty/unit summands (the tree evaluator folds sums from [0.] and
+    products from [1.]; the VM folds pairwise).
+
+    A program owns a scratch register file: running the same program
+    concurrently from two domains is a race.  Compile one program per
+    domain instead. *)
 
 type program
 
-val compile : string array -> Expr.t -> program
-(** Variables resolve to slots in the given name layout.
+(** Where a statement stores its value. *)
+type target =
+  | To_env of int  (** env slot — CSE temporaries *)
+  | To_out of int  (** output slot — derivative roots *)
+
+type stats = {
+  instrs : int;  (** static instruction count *)
+  flops : float;  (** static flop units on the {!Cost.default} scale *)
+  fused : int;  (** fused instructions ([Fma]/[Vmul]/[Vmacc]/[Sqr]) *)
+}
+
+val compile : ?optimize:bool -> string array -> Expr.t -> program
+(** Compile a single expression; variables resolve to slots in the
+    given name layout.  [optimize] (default [true]) runs the peephole
+    pass.
     @raise Eval.Unbound for unknown variables. *)
 
+val compile_stmts :
+  ?optimize:bool ->
+  ?private_env_slot:(int -> bool) ->
+  out_size:int ->
+  string array ->
+  (Expr.t * target) list ->
+  program
+(** Compile a statement block — each expression evaluated in order and
+    stored to its target.  [private_env_slot] marks env slots only this
+    program reads (task-private CSE temporaries), letting the optimiser
+    delete stores that end up unread.  Run with {!exec}. *)
+
+val compile_epilogue :
+  ?optimize:bool -> out_size:int -> (int * int list) list -> program
+(** Compile a reduction epilogue: each [(deriv, slots)] sets
+    [out.(deriv) <- sum of out.(slot)]s, folding from [0.] like the
+    closure backend.  Reads and writes only [out]. *)
+
 val run : program -> float array -> float
-(** Execute against an environment laid out like the compile-time
-    names.  The operand stack is sized at compile time; execution never
-    allocates. *)
+(** Evaluate an expression program against an environment laid out like
+    the compile-time names.  The interpreter loop itself never
+    allocates; only the returned float is boxed. *)
+
+val exec : program -> env:float array -> out:float array -> unit
+(** Run a program for its stores.  Allocation-free in steady state.
+    [env] ([out]) must be at least the compile-time env (out) size;
+    expression programs accept [out = [||]]. *)
 
 val length : program -> int
 (** Instruction count. *)
 
-val max_stack : program -> int
+val reg_count : program -> int
 
-val instructions : program -> instr array
-(** For inspection and tests. *)
+val result_reg : program -> int
+(** Register holding the final value, or [-1] for statement programs. *)
+
+val instructions : program -> Vm_code.instr array
+(** Decoded form, for inspection and tests. *)
 
 val disassemble : program -> string
+
+val stats : program -> stats

@@ -262,6 +262,41 @@ let test_bytecode_scopes_agree () =
       Alcotest.(check (float 1e-10)) (Printf.sprintf "global %d" i) v c.(i))
     a
 
+let test_bytecode_backends_agree () =
+  (* The register-VM engine and the historical closure engine must
+     produce the same derivatives on a nontrivial model. *)
+  let src = Om_models.Bearing2d.source () in
+  let m = tiny_model src in
+  let assigns = A.of_flat_model m in
+  let plan = Part.partition assigns in
+  let names = Fm.state_names m in
+  let y0 = Fm.initial_values m in
+  let out backend =
+    let bc = Bc.compile ~backend plan ~state_names:names in
+    let d = Array.make (Array.length y0) 0. in
+    Bc.rhs_fn bc 0.01 y0 d;
+    (bc, d)
+  in
+  let vm, dv = out Bc.Exec_vm in
+  let cl, dc = out Bc.Exec_closures in
+  Array.iteri
+    (fun i v ->
+      let rel =
+        Float.abs (v -. dc.(i))
+        /. (1. +. Float.max (Float.abs v) (Float.abs dc.(i)))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "deriv %d agrees (%g vs %g)" i v dc.(i))
+        true (rel <= 1e-12))
+    dv;
+  (* Static VM statistics only exist for the VM engine. *)
+  Alcotest.(check bool) "vm instrs counted" true (vm.Bc.vm_instrs > 0);
+  Alcotest.(check int) "closures have no vm instrs" 0 cl.Bc.vm_instrs;
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "vm task has program" true (t.Bc.program <> None))
+    vm.Bc.tasks
+
 let test_bytecode_measured_eval () =
   let _, bc = compile_model oscillator in
   bc.set_state 0. [| 1.; 2. |];
@@ -723,6 +758,8 @@ let () =
           Alcotest.test_case "matches direct eval" `Quick
             test_bytecode_matches_direct;
           Alcotest.test_case "scopes agree" `Quick test_bytecode_scopes_agree;
+          Alcotest.test_case "backends agree" `Quick
+            test_bytecode_backends_agree;
           Alcotest.test_case "measured eval" `Quick test_bytecode_measured_eval;
           Alcotest.test_case "conditional costs" `Quick
             test_bytecode_conditional_costs_vary;

@@ -71,7 +71,11 @@ let arbitrary_expr_env =
     QCheck.Gen.(pair expr_gen triple_gen)
 
 let close a b =
-  (Float.is_nan a && Float.is_nan b)
+  (* Exact equality first: it is the strongest agreement and the only
+     sound comparison when both sides overflow to the same infinity
+     (inf - inf is nan, which fails the relative test below). *)
+  a = b
+  || (Float.is_nan a && Float.is_nan b)
   || Float.abs (a -. b) <= 1e-6 *. (1. +. Float.max (Float.abs a) (Float.abs b))
 
 (* ---------- unit tests: smart constructors ---------- *)
@@ -285,43 +289,115 @@ let prop_cost_dyn_within_static_bounds =
       ignore (f [| a; b; c |] acc);
       !acc <= Cost.flops e +. 1e-9)
 
-(* ---------- stack VM ---------- *)
+(* ---------- expression VMs ---------- *)
 
 module Vm = Om_expr.Vm
+module Vm_stack = Om_expr.Vm_stack
+module Vm_code = Om_expr.Vm_code
+
+(* Differential testing wants the full ISA exercised, so extend the
+   generator with the binary primitives and nested conditionals. *)
+let vm_expr_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 8) @@ fix (fun self n ->
+        if n <= 0 then leaf_gen
+        else
+          frequency
+            [
+              (2, leaf_gen);
+              (3, map2 (fun a b -> E.add [ a; b ]) (self (n / 2)) (self (n / 2)));
+              (3, map2 (fun a b -> E.mul [ a; b ]) (self (n / 2)) (self (n / 2)));
+              (1, map2 E.sub (self (n / 2)) (self (n / 2)));
+              (1, map (fun a -> E.neg a) (self (n - 1)));
+              (1, map (fun a -> E.sin a) (self (n - 1)));
+              (1, map (fun a -> E.cos a) (self (n - 1)));
+              (1, map (fun a -> E.exp a) (self (n - 1)));
+              (1, map (fun a -> E.sqrt (E.abs a)) (self (n - 1)));
+              (1, map (fun a -> E.powi a 2) (self (n - 1)));
+              (1, map (fun a -> E.powi a 3) (self (n - 1)));
+              (1, map2 E.atan2 (self (n / 2)) (self (n / 2)));
+              (1, map2 E.hypot (self (n / 2)) (self (n / 2)));
+              (1, map2 E.min_e (self (n / 2)) (self (n / 2)));
+              (1, map2 E.max_e (self (n / 2)) (self (n / 2)));
+              ( 2,
+                map2
+                  (fun a b ->
+                    E.if_ (E.cond a E.Lt b) (E.add [ a; b ]) (E.sub a b))
+                  (self (n / 2)) (self (n / 2)) );
+              ( 1,
+                map2
+                  (fun a b ->
+                    E.if_ (E.cond a E.Ge b)
+                      (E.if_ (E.cond b E.Gt E.zero) a (E.neg b))
+                      (E.mul [ a; b ]))
+                  (self (n / 2)) (self (n / 2)) );
+            ]))
+
+let arbitrary_vm_expr_env =
+  QCheck.make
+    ~print:(fun (e, (a, b, c)) ->
+      Printf.sprintf "%s @ (%g, %g, %g)" (Fmt.to_to_string E.pp e) a b c)
+    QCheck.Gen.(pair vm_expr_gen triple_gen)
 
 let prop_vm_matches_eval =
-  QCheck.Test.make ~name:"VM agrees with tree evaluation" ~count:500
-    arbitrary_expr_env (fun (e, (a, b, c)) ->
+  QCheck.Test.make ~name:"register VM agrees with tree evaluation" ~count:500
+    arbitrary_vm_expr_env (fun (e, (a, b, c)) ->
       let names = [| "x"; "y"; "z" |] in
       let p = Vm.compile names e in
       close (Vm.run p [| a; b; c |]) (Eval.eval (env_of [| a; b; c |]) e))
 
+let prop_vm_peephole_preserves_value =
+  QCheck.Test.make ~name:"peephole pass preserves VM results" ~count:500
+    arbitrary_vm_expr_env (fun (e, (a, b, c)) ->
+      let names = [| "x"; "y"; "z" |] in
+      let p0 = Vm.compile ~optimize:false names e in
+      let p1 = Vm.compile names e in
+      close (Vm.run p0 [| a; b; c |]) (Vm.run p1 [| a; b; c |]))
+
+let prop_vm_peephole_never_grows_code =
+  QCheck.Test.make ~name:"peephole pass never grows code" ~count:300
+    arbitrary_vm_expr_env (fun (e, _) ->
+      let names = [| "x"; "y"; "z" |] in
+      Vm.length (Vm.compile names e)
+      <= Vm.length (Vm.compile ~optimize:false names e))
+
+let prop_vmstack_matches_eval =
+  QCheck.Test.make ~name:"stack VM agrees with tree evaluation" ~count:300
+    arbitrary_expr_env (fun (e, (a, b, c)) ->
+      let names = [| "x"; "y"; "z" |] in
+      let p = Vm_stack.compile names e in
+      close (Vm_stack.run p [| a; b; c |]) (Eval.eval (env_of [| a; b; c |]) e))
+
 let prop_vm_stack_bound_respected =
-  QCheck.Test.make ~name:"VM max_stack is an upper bound" ~count:300
+  QCheck.Test.make ~name:"stack VM max_stack is an upper bound" ~count:300
     arbitrary_expr (fun e ->
       (* Running would raise Invalid_argument on stack overflow since the
          operand array is sized by max_stack. *)
-      let p = Vm.compile [| "x"; "y"; "z" |] e in
-      ignore (Vm.run p [| 0.5; -0.5; 1.5 |]);
-      Vm.max_stack p >= 1)
+      let p = Vm_stack.compile [| "x"; "y"; "z" |] e in
+      ignore (Vm_stack.run p [| 0.5; -0.5; 1.5 |]);
+      Vm_stack.max_stack p >= 1)
 
 let prop_vm_code_size_linear =
   QCheck.Test.make ~name:"VM code size linear in expression size" ~count:300
     arbitrary_expr (fun e ->
-      let p = Vm.compile [| "x"; "y"; "z" |] e in
-      Vm.length p <= 3 * E.size e)
+      let ps = Vm_stack.compile [| "x"; "y"; "z" |] e in
+      let pr = Vm.compile ~optimize:false [| "x"; "y"; "z" |] e in
+      Vm_stack.length ps <= 3 * E.size e && Vm.length pr <= 4 * E.size e)
 
 let test_vm_unbound () =
-  Alcotest.check_raises "unknown variable" (Eval.Unbound "q") (fun () ->
-      ignore (Vm.compile [| "x" |] (E.var "q")))
+  Alcotest.check_raises "unknown variable (register)" (Eval.Unbound "q")
+    (fun () -> ignore (Vm.compile [| "x" |] (E.var "q")));
+  Alcotest.check_raises "unknown variable (stack)" (Eval.Unbound "q")
+    (fun () -> ignore (Vm_stack.compile [| "x" |] (E.var "q")))
 
 let test_vm_conditional_branches () =
-  let p =
-    Vm.compile [| "x" |]
-      (E.if_ (E.cond x E.Lt E.zero) (E.const 10.) (E.const 20.))
-  in
+  let e = E.if_ (E.cond x E.Lt E.zero) (E.const 10.) (E.const 20.) in
+  let p = Vm.compile [| "x" |] e in
   check_float "then branch" 10. (Vm.run p [| -1. |]);
-  check_float "else branch" 20. (Vm.run p [| 1. |])
+  check_float "else branch" 20. (Vm.run p [| 1. |]);
+  let ps = Vm_stack.compile [| "x" |] e in
+  check_float "then branch (stack)" 10. (Vm_stack.run ps [| -1. |]);
+  check_float "else branch (stack)" 20. (Vm_stack.run ps [| 1. |])
 
 let test_vm_disassemble () =
   let p = Vm.compile [| "x" |] (E.add [ x; E.one ]) in
@@ -331,7 +407,105 @@ let test_vm_disassemble () =
     && List.exists
          (fun l -> String.length l > 6)
          (String.split_on_char '\n' d));
-  Alcotest.(check int) "three instrs" 3 (Vm.length p)
+  (* x + 1 folds to [ldv; addk] after the peephole pass. *)
+  Alcotest.(check int) "two instrs" 2 (Vm.length p)
+
+(* The flagship fusion case: x*y + z*x + 3 collapses to
+   vmul / addk / vmacc — three instructions, two of them fused. *)
+let test_vm_fusion () =
+  let e = E.add [ E.mul [ x; y ]; E.mul [ z; x ]; E.const 3. ] in
+  let p = Vm.compile [| "x"; "y"; "z" |] e in
+  check_float "value" (2. *. 3. +. 5. *. 2. +. 3.)
+    (Vm.run p [| 2.; 3.; 5. |]);
+  Alcotest.(check int) "three instrs" 3 (Vm.length p);
+  let s = Vm.stats p in
+  Alcotest.(check int) "two fused" 2 s.fused;
+  let has op =
+    Array.exists
+      (fun (i : Vm_code.instr) ->
+        match (op, i) with
+        | `Vmul, Vm_code.Vmul _ -> true
+        | `Vmacc, Vm_code.Vmacc _ -> true
+        | _ -> false)
+      (Vm.instructions p)
+  in
+  Alcotest.(check bool) "vmul present" true (has `Vmul);
+  Alcotest.(check bool) "vmacc present" true (has `Vmacc)
+
+(* Constant subtrees fold at compile time: no call instructions survive
+   and the program is a single constant load. *)
+let test_vm_constant_folding () =
+  let e =
+    E.add [ E.sin (E.const 2.); E.mul [ E.const 3.; E.const 4. ] ]
+  in
+  let p = Vm.compile [| "x" |] e in
+  Alcotest.(check int) "single ldc" 1 (Vm.length p);
+  check_float "value" (Float.sin 2. +. 12.) (Vm.run p [| 0. |])
+
+(* Statement programs: temps store into the env, roots into out;
+   unread private temps are dead-store eliminated. *)
+let test_vm_stmts () =
+  let names = [| "x"; "y"; "tmp"; "dead" |] in
+  let tmp = E.var "tmp" in
+  let stmts =
+    [
+      (E.add [ x; y ], Vm.To_env 2);
+      (E.mul [ x; x; y ], Vm.To_env 3);
+      (E.mul [ tmp; tmp ], Vm.To_out 0);
+      (E.add [ tmp; x ], Vm.To_out 1);
+    ]
+  in
+  let private_env_slot s = s >= 2 in
+  let p = Vm.compile_stmts ~private_env_slot ~out_size:2 names stmts in
+  let env = [| 2.; 3.; 0.; 0. |] in
+  let out = [| 0.; 0. |] in
+  Vm.exec p ~env ~out;
+  check_float "tmp^2" 25. out.(0);
+  check_float "tmp + x" 7. out.(1);
+  Alcotest.(check int) "statement program has no result register" (-1)
+    (Vm.result_reg p);
+  (* The "dead" temp is never read, so no store to env slot 3 remains. *)
+  let stores_dead =
+    Array.exists
+      (fun (i : Vm_code.instr) ->
+        match i with Vm_code.Ste (_, s) -> s = 3 | _ -> false)
+      (Vm.instructions p)
+  in
+  Alcotest.(check bool) "dead temp store eliminated" false stores_dead
+
+let test_vm_epilogue () =
+  let p = Vm.compile_epilogue ~out_size:5 [ (0, [ 2; 3 ]); (1, [ 4 ]) ] in
+  let out = [| 0.; 0.; 1.5; 2.5; -4. |] in
+  Vm.exec p ~env:[||] ~out;
+  check_float "sum slots" 4. out.(0);
+  check_float "single slot" (-4.) out.(1)
+
+(* Steady-state zero allocation: the per-exec minor-word slope between
+   two loop lengths must be exactly zero. *)
+let test_vm_exec_no_alloc () =
+  let e =
+    E.add
+      [
+        E.mul [ x; y ];
+        E.sin (E.mul [ z; x ]);
+        E.if_ (E.cond x E.Lt y) (E.hypot x z) (E.powi y 2);
+      ]
+  in
+  let p = Vm.compile [| "x"; "y"; "z" |] e in
+  let env = [| 0.3; 0.7; -1.2 |] in
+  let out = [||] in
+  let words n =
+    (* Warm up so any one-time allocation is excluded. *)
+    Vm.exec p ~env ~out;
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      Vm.exec p ~env ~out
+    done;
+    Gc.minor_words () -. before
+  in
+  let d1 = words 1_000 in
+  let d2 = words 11_000 in
+  Alcotest.(check (float 0.)) "zero words per exec" 0. (d2 -. d1)
 
 (* ---------- substitution ---------- *)
 
@@ -483,11 +657,19 @@ let () =
       ( "vm",
         [
           q prop_vm_matches_eval;
+          q prop_vm_peephole_preserves_value;
+          q prop_vm_peephole_never_grows_code;
+          q prop_vmstack_matches_eval;
           q prop_vm_stack_bound_respected;
           q prop_vm_code_size_linear;
           Alcotest.test_case "unbound" `Quick test_vm_unbound;
           Alcotest.test_case "conditional" `Quick test_vm_conditional_branches;
           Alcotest.test_case "disassemble" `Quick test_vm_disassemble;
+          Alcotest.test_case "fusion" `Quick test_vm_fusion;
+          Alcotest.test_case "constant folding" `Quick test_vm_constant_folding;
+          Alcotest.test_case "statement block" `Quick test_vm_stmts;
+          Alcotest.test_case "epilogue" `Quick test_vm_epilogue;
+          Alcotest.test_case "no allocation" `Quick test_vm_exec_no_alloc;
         ] );
       ( "subst",
         [

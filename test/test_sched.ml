@@ -107,6 +107,50 @@ let prop_lpt_loads_consistent =
       let total = Array.fold_left ( +. ) 0. s.loads in
       Float.abs (total -. Task.total_cost tasks) < 1e-6)
 
+(* The production scheduler keeps a min-heap of processors; replay the
+   historical O(n·p) linear scan and demand byte-identical assignments,
+   including the lowest-index tie-break. *)
+let reference_lpt costs nprocs =
+  let n = Array.length costs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare costs.(b) costs.(a)) order;
+  let loads = Array.make nprocs 0. in
+  let assignment = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      let best = ref 0 in
+      for p = 1 to nprocs - 1 do
+        if loads.(p) < loads.(!best) then best := p
+      done;
+      assignment.(i) <- !best;
+      loads.(!best) <- loads.(!best) +. costs.(i))
+    order;
+  assignment
+
+let prop_lpt_heap_matches_linear_scan =
+  QCheck.Test.make ~name:"heap LPT matches reference linear scan" ~count:500
+    arbitrary_lpt (fun (costs, nprocs) ->
+      let tasks = mk_tasks costs in
+      let s = Lpt.schedule tasks ~nprocs in
+      s.assignment = reference_lpt (Array.of_list costs) nprocs)
+
+(* Duplicate costs force load ties, stressing the tie-break path. *)
+let prop_lpt_heap_matches_on_ties =
+  QCheck.Test.make ~name:"heap LPT matches reference on tied loads"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (costs, p) ->
+         Printf.sprintf "%d tasks, %d procs" (List.length costs) p)
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 60)
+              (map (fun i -> float_of_int i) (int_range 1 4)))
+           (int_range 1 8)))
+    (fun (costs, nprocs) ->
+      let tasks = mk_tasks costs in
+      let s = Lpt.schedule tasks ~nprocs in
+      s.assignment = reference_lpt (Array.of_list costs) nprocs)
+
 let prop_lpt_makespan_monotone_in_procs =
   QCheck.Test.make ~name:"more processors never hurt LPT by much" ~count:200
     arbitrary_lpt (fun (costs, nprocs) ->
@@ -309,6 +353,8 @@ let () =
             test_lpt_more_procs_than_tasks;
           q prop_lpt_makespan_bounds;
           q prop_lpt_loads_consistent;
+          q prop_lpt_heap_matches_linear_scan;
+          q prop_lpt_heap_matches_on_ties;
           q prop_lpt_makespan_monotone_in_procs;
         ] );
       ( "semidynamic",
