@@ -338,7 +338,8 @@ let simulate_cmd =
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let run file builtin machine workers tend needed_only semidynamic fanout =
+  let run file builtin machine workers tend needed_only semidynamic fanout
+      domains =
     let _, fm = load file builtin in
     let r = Om_codegen.Pipeline.compile fm in
     let m =
@@ -366,14 +367,25 @@ let bench_cmd =
           (match fanout with
           | Some f -> Objectmath.Runtime.Tree f
           | None -> Objectmath.Runtime.Flat);
+        execution =
+          (match domains with
+          | Some n -> Objectmath.Runtime.Real_domains n
+          | None -> Objectmath.Runtime.Simulated);
       }
     in
     let rep = Objectmath.Runtime.execute ~config ~tend r in
-    Printf.printf
-      "%s on %s with %d workers:\n  %d RHS calls in %.4f simulated s -> \
-       %.1f calls/s\n  supervisor messaging: %.4f s\n"
-      fm.name m.name workers rep.rhs_calls rep.sim_seconds
-      rep.rhs_calls_per_sec rep.supervisor_comm_seconds;
+    (match domains with
+     | Some n ->
+         Printf.printf
+           "%s on %d real domains:\n  %d RHS calls in %.4f wall-clock s -> \
+            %.1f calls/s\n"
+           fm.name n rep.rhs_calls rep.sim_seconds rep.rhs_calls_per_sec
+     | None ->
+         Printf.printf
+           "%s on %s with %d workers:\n  %d RHS calls in %.4f simulated s -> \
+            %.1f calls/s\n  supervisor messaging: %.4f s\n"
+           fm.name m.name workers rep.rhs_calls rep.sim_seconds
+           rep.rhs_calls_per_sec rep.supervisor_comm_seconds);
     let sp =
       Objectmath.Runtime.speedup ~machine:m ~nworkers:(max 1 workers) r
     in
@@ -406,11 +418,17 @@ let bench_cmd =
          & info [ "tree" ] ~docv:"FANOUT"
              ~doc:"Tree-structured scatter/gather with the given fanout.")
   in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Execute RHS rounds on N real OCaml domains (wall-clock \
+                   measurement) instead of the simulated machine.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Execute the generated RHS on a simulated parallel machine")
     Term.(const run $ file_arg $ builtin_arg $ machine $ workers $ tend
-          $ needed_only $ semidynamic $ fanout)
+          $ needed_only $ semidynamic $ fanout $ domains)
 
 let () =
   let doc = "ObjectMath reproduction compiler (PPoPP 1995)" in

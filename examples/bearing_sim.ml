@@ -127,7 +127,8 @@ let () =
           let config =
             { R.machine = m; nworkers = workers;
               strategy = Om_machine.Supervisor.Broadcast_state;
-              scheduling = R.Semidynamic 10; topology = R.Flat }
+              scheduling = R.Semidynamic 10; topology = R.Flat;
+              execution = R.Simulated }
           in
           let rep = R.execute ~config ~solver:(R.Rk4 2e-5) ~tend:1e-3 r in
           Printf.printf

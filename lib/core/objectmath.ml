@@ -8,7 +8,9 @@
     - {!Scc}/{!Topo}: dependency analysis,
     - {!Pipeline}/{!Cse}/{!Partition}/{!Fortran}: the code generator,
     - {!Lpt}/{!Semidynamic}/{!Dag_sched}: scheduling,
-    - {!Machine}/{!Supervisor}: the MIMD machine model,
+    - {!Machine}/{!Supervisor}/{!Round_desc}: the MIMD machine model,
+    - {!Domain_pool}/{!Par_exec}/{!Scaling}: real multicore execution
+      of the generated tasks on OCaml domains,
     - {!Odesys}/{!Rk}/{!Adams}/{!Bdf}/{!Lsoda}: the solver stack,
     - {!Runtime}: parallel execution of generated code on the machine
       model under a real solver,
@@ -60,6 +62,11 @@ module Dag_sched = Om_sched.Dag_sched
 module Machine = Om_machine.Machine
 module Supervisor = Om_machine.Supervisor
 module Event_sim = Om_machine.Event_sim
+module Round_desc = Om_machine.Round_desc
+
+module Domain_pool = Om_parallel.Domain_pool
+module Par_exec = Om_parallel.Par_exec
+module Scaling = Om_parallel.Scaling
 
 module Assignments = Om_codegen.Assignments
 module Cse = Om_codegen.Cse

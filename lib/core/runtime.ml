@@ -4,6 +4,7 @@ type scheduling =
   | Semidynamic of int
 
 type topology = Flat | Tree of int
+type execution = Simulated | Real_domains of int
 
 type config = {
   machine : Om_machine.Machine.t;
@@ -11,6 +12,7 @@ type config = {
   strategy : Om_machine.Supervisor.comm_strategy;
   scheduling : scheduling;
   topology : topology;
+  execution : execution;
 }
 
 let default_config =
@@ -20,6 +22,7 @@ let default_config =
     strategy = Om_machine.Supervisor.Broadcast_state;
     scheduling = Static;
     topology = Flat;
+    execution = Simulated;
   }
 
 type solver = Rk4 of float | Rkf45 | Lsoda
@@ -67,7 +70,58 @@ let simulate_round config (r : Om_codegen.Pipeline.result) assignment costs =
   in
   (round.duration +. epilogue, round.supervisor_busy, utilization)
 
-let execute ?(config = default_config) ?solver ?(t0 = 0.) ~tend
+let solve solver sys ~t0 ~tend ~y0 =
+  match solver with
+  | Rk4 h -> Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0 ~y0 ~tend ~h
+  | Rkf45 -> Om_ode.Rk.rkf45 sys ~t0 ~y0 ~tend
+  | Lsoda -> (Om_ode.Lsoda.integrate sys ~t0 ~y0 ~tend).trajectory
+
+(* Real execution: the same LPT schedule as the simulator, but the round
+   runs on [nworkers] domains and the clock is the wall clock.  The
+   semi-dynamic scheduler needs the simulator's per-round measured costs,
+   so real mode always uses the static schedule (measured rescheduling on
+   real hardware is future work). *)
+let execute_real config ~nworkers ~solver ~t0 ~tend
+    (r : Om_codegen.Pipeline.result) =
+  let compiled = r.compiled in
+  let costs =
+    match config.scheduling with
+    | Static_with costs -> costs
+    | Static | Semidynamic _ ->
+        Om_codegen.Bytecode_backend.task_costs_static compiled
+  in
+  let sched = Om_sched.Lpt.schedule ~costs r.tasks ~nprocs:nworkers in
+  let reads, writes = task_arrays r in
+  let desc =
+    Om_machine.Round_desc.make ~assignment:sched.assignment ~task_flops:costs
+      ~task_reads:reads ~task_writes:writes ~state_dim:compiled.dim
+  in
+  Om_parallel.Par_exec.with_executor ~nworkers desc compiled @@ fun px ->
+  let sys =
+    Om_ode.Odesys.make
+      ~names:(Array.copy compiled.state_names)
+      ~dim:compiled.dim
+      (Om_parallel.Par_exec.rhs_fn px)
+  in
+  let y0 = Om_lang.Flat_model.initial_values r.model in
+  let start = Unix.gettimeofday () in
+  let trajectory = solve solver sys ~t0 ~tend ~y0 in
+  let wall = Unix.gettimeofday () -. start in
+  let rhs_calls = sys.counters.rhs_calls in
+  {
+    trajectory;
+    rhs_calls;
+    sim_seconds = wall;
+    rhs_calls_per_sec =
+      (if wall > 0. then float_of_int rhs_calls /. wall else 0.);
+    sched_overhead_seconds = 0.;
+    supervisor_comm_seconds = 0.;
+    worker_utilization = 1.;
+    reschedules = 0;
+    solver_steps = sys.counters.steps;
+  }
+
+let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
     (r : Om_codegen.Pipeline.result) =
   let compiled = r.compiled in
   let n_tasks = Array.length compiled.tasks in
@@ -138,14 +192,7 @@ let execute ?(config = default_config) ?solver ?(t0 = 0.) ~tend
   let solver =
     match solver with Some s -> s | None -> Rk4 ((tend -. t0) /. 400.)
   in
-  let trajectory =
-    match solver with
-    | Rk4 h -> Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0 ~y0 ~tend ~h
-    | Rkf45 -> Om_ode.Rk.rkf45 sys ~t0 ~y0 ~tend
-    | Lsoda ->
-        let res = Om_ode.Lsoda.integrate sys ~t0 ~y0 ~tend in
-        res.trajectory
-  in
+  let trajectory = solve solver sys ~t0 ~tend ~y0 in
   let rhs_calls = sys.counters.rhs_calls in
   let total = !sim_seconds +. !sched_overhead in
   {
@@ -160,6 +207,15 @@ let execute ?(config = default_config) ?solver ?(t0 = 0.) ~tend
     reschedules = !reschedules_seen;
     solver_steps = sys.counters.steps;
   }
+
+let execute ?(config = default_config) ?solver ?(t0 = 0.) ~tend r =
+  match config.execution with
+  | Simulated -> execute_simulated ~config ?solver ~t0 ~tend r
+  | Real_domains n ->
+      let solver =
+        match solver with Some s -> s | None -> Rk4 ((tend -. t0) /. 400.)
+      in
+      execute_real config ~nworkers:n ~solver ~t0 ~tend r
 
 let round_seconds ?(config = default_config) ?costs
     (r : Om_codegen.Pipeline.result) =
@@ -180,13 +236,14 @@ let speedup ?(strategy = Om_machine.Supervisor.Broadcast_state) ~machine
     round_seconds
       ~config:
         { machine; nworkers = 0; strategy; scheduling = Static;
-          topology = Flat }
+          topology = Flat; execution = Simulated }
       r
   in
   let par =
     round_seconds
       ~config:
-        { machine; nworkers; strategy; scheduling = Static; topology = Flat }
+        { machine; nworkers; strategy; scheduling = Static; topology = Flat;
+          execution = Simulated }
       r
   in
   base /. par

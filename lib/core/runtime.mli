@@ -1,12 +1,17 @@
 (** Parallel simulation runtime: drive a real ODE solver with the generated
-    RHS tasks executing on a simulated MIMD machine.
+    RHS tasks executing on a simulated MIMD machine — or, with
+    {!Real_domains}, on real OCaml domains.
 
     This is the complete loop of the paper's Figure 7/10: the solver runs
     on the supervisor; every RHS evaluation becomes one supervisor/worker
-    round on the machine model; the numerical results are exact (the tasks
-    really execute), while the clock advances by the simulated round time.
-    [#RHS-calls per second] — the paper's Figure 12 metric — falls out as
-    [rhs_calls / simulated_time]. *)
+    round.  Under {!Simulated} execution the round is replayed on the
+    machine model — the numerical results are exact (the tasks really
+    execute), while the clock advances by the simulated round time.
+    Under {!Real_domains} the same LPT schedule executes on a pool of
+    worker domains ([Om_parallel.Par_exec]) and the clock is the wall
+    clock.  [#RHS-calls per second] — the paper's Figure 12 metric —
+    falls out as [rhs_calls / time] either way, and trajectories are
+    bit-identical across execution modes and worker counts. *)
 
 type scheduling =
   | Static  (** LPT on the static cost estimates, once *)
@@ -24,16 +29,29 @@ type topology =
       (** [fanout]-ary scatter/reduction trees (the scalable variant;
           forces full-state broadcast) *)
 
+(** How RHS rounds are executed. *)
+type execution =
+  | Simulated  (** discrete-event machine model; simulated clock *)
+  | Real_domains of int
+      (** the round really runs on this many pre-spawned OCaml domains
+          (ignoring [nworkers] and [machine], which describe the
+          simulated target); time is wall-clock.  Scheduling is the
+          static LPT schedule — [Semidynamic] falls back to it — and
+          trajectories stay bit-identical to sequential execution for
+          every domain count. *)
+
 type config = {
   machine : Om_machine.Machine.t;
   nworkers : int;  (** 0 = the solver evaluates the RHS locally *)
   strategy : Om_machine.Supervisor.comm_strategy;
   scheduling : scheduling;
   topology : topology;
+  execution : execution;
 }
 
 val default_config : config
-(** One worker on the SPARCCenter 2000, broadcast state, static LPT. *)
+(** One simulated worker on the SPARCCenter 2000, broadcast state,
+    static LPT. *)
 
 type solver =
   | Rk4 of float  (** fixed step *)
@@ -43,13 +61,17 @@ type solver =
 type report = {
   trajectory : Om_ode.Odesys.trajectory;
   rhs_calls : int;
-  sim_seconds : float;  (** simulated machine time spent in RHS rounds *)
+  sim_seconds : float;
+      (** simulated machine time spent in RHS rounds; under
+          {!Real_domains}, measured wall-clock seconds of the whole
+          integration *)
   rhs_calls_per_sec : float;
   sched_overhead_seconds : float;  (** simulated rescheduling cost *)
   supervisor_comm_seconds : float;
   worker_utilization : float;
       (** mean fraction of the round the workers spent computing (1.0
-          when the solver runs the RHS locally) *)
+          when the solver runs the RHS locally; not measured — reported
+          as 1.0 — under {!Real_domains}) *)
   reschedules : int;
   solver_steps : int;
 }

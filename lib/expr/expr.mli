@@ -134,5 +134,5 @@ val eval_func : func -> float list -> float
 val eval_rel : rel -> float -> float -> bool
 
 val pp : t Fmt.t
-(** Infix rendering, suitable for reading; see {!Pretty} for precise
-    backend-oriented printers. *)
+(** Infix rendering, suitable for reading; see {!Prefix_form} for the
+    precise backend-oriented interchange printer. *)

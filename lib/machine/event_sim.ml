@@ -38,9 +38,17 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
+(* Accumulated float delays can land a hair before [now] (e.g. summing
+   message times in a different order than the clock advanced).  Such
+   times are "now" up to rounding, not bugs: clamp them to the clock.
+   The tolerance is relative to the clock's magnitude because an
+   absolute epsilon is meaningless once the clock exceeds ~1e-3 s. *)
+let past_tolerance clock = 1e-9 *. Float.max 1e-6 (Float.abs clock)
+
 let at t time action =
-  if time < t.clock -. 1e-15 then
+  if time < t.clock -. past_tolerance t.clock then
     invalid_arg "Event_sim.at: scheduling in the past";
+  let time = if time < t.clock then t.clock else time in
   if t.size = Array.length t.heap then begin
     let bigger = Array.make (2 * t.size) dummy in
     Array.blit t.heap 0 bigger 0 t.size;

@@ -10,8 +10,11 @@ val create : unit -> t
 val now : t -> float
 
 val at : t -> float -> (unit -> unit) -> unit
-(** Schedule a callback at an absolute time (>= now).
-    @raise Invalid_argument for times in the past. *)
+(** Schedule a callback at an absolute time (>= now).  Times within a
+    relative rounding tolerance below [now] — which arise when float
+    delays are accumulated in a different order than the clock advanced
+    — are clamped to [now] rather than rejected.
+    @raise Invalid_argument for times genuinely in the past. *)
 
 val after : t -> float -> (unit -> unit) -> unit
 (** Schedule a callback [delay] seconds from now. *)

@@ -1,0 +1,26 @@
+type t = {
+  assignment : int array;
+  task_flops : float array;
+  task_reads : int list array;
+  task_writes : int list array;
+  state_dim : int;
+}
+
+let make ~assignment ~task_flops ~task_reads ~task_writes ~state_dim =
+  let n = Array.length assignment in
+  if Array.length task_flops <> n then
+    invalid_arg "Round_desc.make: task_flops length mismatch";
+  if Array.length task_reads <> n then
+    invalid_arg "Round_desc.make: task_reads length mismatch";
+  if Array.length task_writes <> n then
+    invalid_arg "Round_desc.make: task_writes length mismatch";
+  if state_dim < 0 then invalid_arg "Round_desc.make: negative state_dim";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Round_desc.make: negative worker id")
+    assignment;
+  { assignment; task_flops; task_reads; task_writes; state_dim }
+
+let n_tasks d = Array.length d.assignment
+
+let min_workers d =
+  Array.fold_left (fun acc w -> if w >= acc then w + 1 else acc) 0 d.assignment

@@ -1,0 +1,41 @@
+(** One parallel RHS round, described independently of how it is run.
+
+    A round descriptor bundles everything the supervisor/worker scheme
+    needs to execute one right-hand-side evaluation: the LPT task
+    assignment, per-task flop costs, the state slots each task reads and
+    the output slots it writes, and the state dimension.  The same
+    descriptor drives both back ends:
+
+    - {!Supervisor.round_desc} replays the round on the discrete-event
+      machine model and charges simulated communication time;
+    - [Om_parallel.Par_exec] executes the round for real on OCaml
+      domains.
+
+    Keeping one type for both is what lets the runtime swap execution
+    modes without recomputing schedules. *)
+
+type t = {
+  assignment : int array;  (** task id -> worker (0-based) *)
+  task_flops : float array;  (** per-task cost in flop units *)
+  task_reads : int list array;  (** state slots each task reads *)
+  task_writes : int list array;  (** output slots each task writes *)
+  state_dim : int;  (** length of the state vector *)
+}
+
+val make :
+  assignment:int array ->
+  task_flops:float array ->
+  task_reads:int list array ->
+  task_writes:int list array ->
+  state_dim:int ->
+  t
+(** Validate and build a descriptor.
+    @raise Invalid_argument on mismatched array lengths or negative
+    worker ids. *)
+
+val n_tasks : t -> int
+(** Number of tasks in the round. *)
+
+val min_workers : t -> int
+(** [1 + max assignment]: the smallest worker count the assignment is
+    valid for ([0] when there are no tasks). *)

@@ -246,3 +246,13 @@ let tree_round (m : Machine.t) ~fanout ~nworkers ~assignment ~task_flops
     bytes_sent = !bytes_sent;
     bytes_received = !bytes_received;
   }
+
+let round_desc m ~nworkers ~strategy (d : Round_desc.t) =
+  round m ~nworkers ~assignment:d.assignment ~task_flops:d.task_flops
+    ~task_reads:d.task_reads ~task_writes:d.task_writes
+    ~state_dim:d.state_dim ~strategy
+
+let tree_round_desc m ~fanout ~nworkers (d : Round_desc.t) =
+  tree_round m ~fanout ~nworkers ~assignment:d.assignment
+    ~task_flops:d.task_flops ~task_reads:d.task_reads
+    ~task_writes:d.task_writes ~state_dim:d.state_dim

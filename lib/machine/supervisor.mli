@@ -69,6 +69,13 @@ val round_traced :
     behind a Gantt rendering of the paper's Figure 10 supervisor/worker
     scheme. *)
 
+val round_desc :
+  Machine.t -> nworkers:int -> strategy:comm_strategy -> Round_desc.t ->
+  round_result
+(** {!round} on a shared {!Round_desc.t} — the same descriptor the real
+    domain executor ([Om_parallel.Par_exec]) consumes, so simulated and
+    measured runs of one schedule stay in lockstep. *)
+
 val tree_round :
   Machine.t ->
   fanout:int ->
@@ -88,3 +95,7 @@ val tree_round :
     efficiently to make the application scalable").  Only the full-state
     broadcast strategy is meaningful here.
     @raise Invalid_argument if [fanout < 2] or [nworkers < 1]. *)
+
+val tree_round_desc :
+  Machine.t -> fanout:int -> nworkers:int -> Round_desc.t -> round_result
+(** {!tree_round} on a shared {!Round_desc.t}. *)

@@ -1,0 +1,139 @@
+(* Pre-spawned worker domains with a spin-then-block round barrier.
+
+   One round = the supervisor publishing a new generation number and
+   every worker running its fixed job once.  All synchronisation is a
+   pair of int atomics plus two mutex/condition pairs used only as a
+   fallback when a spin budget runs out, so a steady-state round
+   performs zero heap allocation on every domain.
+
+   The generation protocol: [round] counts rounds; a worker remembers
+   the last generation it served and runs its job whenever the counter
+   moves (to [-1] for shutdown).  The last worker to finish bumps
+   [ndone] to [nworkers] and wakes the supervisor.  Publishing the
+   generation (and the shutdown marker) under [start_mutex] and
+   re-checking it under the same mutex before [Condition.wait] rules
+   out lost wake-ups; the atomics alone provide the happens-before
+   edges that make the shared state and output arrays written before
+   the round visible to the workers, and the workers' writes visible
+   to the supervisor after the round. *)
+
+type t = {
+  nworkers : int;
+  job : int -> unit;
+  round : int Atomic.t; (* generation counter; -1 = shutdown *)
+  ndone : int Atomic.t;
+  start_mutex : Mutex.t;
+  start_cond : Condition.t;
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
+  spin_budget : int;
+  mutable domains : unit Domain.t array;
+  mutable rounds : int;
+}
+
+let nworkers t = t.nworkers
+let rounds t = t.rounds
+let active t = Array.length t.domains > 0
+
+let worker pool w =
+  let last = ref 0 in
+  (* Wait for the generation to move off [!last]; spin first (cheap on
+     a dedicated core), block on the condition once the budget is
+     spent (mandatory when domains outnumber cores). *)
+  let next_generation () =
+    let rec spin budget =
+      let g = Atomic.get pool.round in
+      if g <> !last then g
+      else if budget > 0 then begin
+        Domain.cpu_relax ();
+        spin (budget - 1)
+      end
+      else begin
+        Mutex.lock pool.start_mutex;
+        let rec block () =
+          let g = Atomic.get pool.round in
+          if g = !last then begin
+            Condition.wait pool.start_cond pool.start_mutex;
+            block ()
+          end
+          else g
+        in
+        let g = block () in
+        Mutex.unlock pool.start_mutex;
+        g
+      end
+    in
+    spin pool.spin_budget
+  in
+  let rec serve () =
+    let g = next_generation () in
+    if g >= 0 then begin
+      last := g;
+      pool.job w;
+      if Atomic.fetch_and_add pool.ndone 1 = pool.nworkers - 1 then begin
+        Mutex.lock pool.done_mutex;
+        Condition.broadcast pool.done_cond;
+        Mutex.unlock pool.done_mutex
+      end;
+      serve ()
+    end
+  in
+  serve ()
+
+let create ?(spin_budget = 2000) ~job nworkers =
+  if nworkers < 1 then invalid_arg "Domain_pool.create: nworkers < 1";
+  if spin_budget < 0 then invalid_arg "Domain_pool.create: spin_budget < 0";
+  let pool =
+    {
+      nworkers;
+      job;
+      round = Atomic.make 0;
+      ndone = Atomic.make 0;
+      start_mutex = Mutex.create ();
+      start_cond = Condition.create ();
+      done_mutex = Mutex.create ();
+      done_cond = Condition.create ();
+      spin_budget;
+      domains = [||];
+      rounds = 0;
+    }
+  in
+  pool.domains <- Array.init nworkers (fun w -> Domain.spawn (fun () -> worker pool w));
+  pool
+
+(* Top level (not a local closure over [pool]) so a steady-state round
+   allocates nothing: a local [let rec] capturing [pool] would build a
+   fresh closure block on every call. *)
+let rec supervisor_wait pool budget =
+  if Atomic.get pool.ndone < pool.nworkers then
+    if budget > 0 then begin
+      Domain.cpu_relax ();
+      supervisor_wait pool (budget - 1)
+    end
+    else begin
+      Mutex.lock pool.done_mutex;
+      while Atomic.get pool.ndone < pool.nworkers do
+        Condition.wait pool.done_cond pool.done_mutex
+      done;
+      Mutex.unlock pool.done_mutex
+    end
+
+let round pool =
+  if not (active pool) then invalid_arg "Domain_pool.round: pool is shut down";
+  Atomic.set pool.ndone 0;
+  Mutex.lock pool.start_mutex;
+  Atomic.incr pool.round;
+  Condition.broadcast pool.start_cond;
+  Mutex.unlock pool.start_mutex;
+  supervisor_wait pool pool.spin_budget;
+  pool.rounds <- pool.rounds + 1
+
+let shutdown pool =
+  if active pool then begin
+    Mutex.lock pool.start_mutex;
+    Atomic.set pool.round (-1);
+    Condition.broadcast pool.start_cond;
+    Mutex.unlock pool.start_mutex;
+    Array.iter Domain.join pool.domains;
+    pool.domains <- [||]
+  end

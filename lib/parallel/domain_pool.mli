@@ -1,0 +1,42 @@
+(** Pre-spawned OCaml domains executing one fixed job per round.
+
+    A pool owns [nworkers] domains for its whole lifetime — spawning a
+    domain costs far more than an RHS round, so the supervisor/worker
+    scheme of the paper maps onto domains spawned once and reused for
+    every solver step.  Each round, worker [w] runs [job w] exactly
+    once; {!round} returns when all workers have finished, with the
+    workers' writes visible to the caller.
+
+    Synchronisation is a generation counter and a completion counter
+    (both [Atomic.t]) with a bounded spin before falling back to a
+    mutex/condition sleep, so a steady-state round allocates nothing on
+    any domain and behaves correctly both on dedicated cores (spin hits)
+    and on oversubscribed machines (workers block instead of burning the
+    supervisor's time slice). *)
+
+type t
+
+val create : ?spin_budget:int -> job:(int -> unit) -> int -> t
+(** [create ~job n] spawns [n] worker domains.  [job w] is the fixed
+    body worker [w] executes each round; it must only touch state that
+    is safe to share between domains (disjoint array slots, its own
+    register files).  [spin_budget] (default 2000) bounds the busy-wait
+    before a worker or the supervisor blocks.
+    @raise Invalid_argument if [n < 1] or [spin_budget < 0]. *)
+
+val round : t -> unit
+(** Run one round: every worker executes its job once; returns when all
+    are done.  Allocation-free in steady state.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Idempotent.  The pool
+    cannot be restarted afterwards. *)
+
+val nworkers : t -> int
+
+val rounds : t -> int
+(** Rounds completed so far. *)
+
+val active : t -> bool
+(** [true] until {!shutdown}. *)

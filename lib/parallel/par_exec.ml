@@ -1,0 +1,74 @@
+(* Real supervisor/worker execution of one compiled RHS round.
+
+   The same inputs as the simulated Supervisor.round — an LPT assignment
+   (inside a Round_desc) and the per-task VM programs of a
+   Bytecode_backend.t — but the tasks actually run, one domain per
+   worker.  Domain safety rests on three properties of the compiled
+   form:
+
+   - every task owns its register program and therefore its scratch
+     register file (Om_expr.Vm allocates one per program), and a task is
+     assigned to exactly one worker;
+   - CSE temporaries are task-private environment slots (per-task
+     prefixes), so concurrent [ste] stores from different tasks hit
+     disjoint indices of the shared [env] float array;
+   - tasks write disjoint output slots, and the reduction epilogue runs
+     on the supervisor after the barrier, folding partials in the same
+     fixed order as sequential execution — which is why trajectories
+     are bit-identical for every worker count. *)
+
+module Bb = Om_codegen.Bytecode_backend
+
+type t = {
+  pool : Domain_pool.t;
+  compiled : Bb.t;
+  nworkers : int;
+  worker_tasks : int array array; (* worker -> task ids, ascending *)
+}
+
+let worker_tasks t = t.worker_tasks
+let nworkers t = t.nworkers
+let rounds t = Domain_pool.rounds t.pool
+
+let create ?spin_budget ~nworkers (desc : Om_machine.Round_desc.t)
+    (compiled : Bb.t) =
+  if nworkers < 1 then invalid_arg "Par_exec.create: nworkers < 1";
+  let ntasks = Array.length compiled.Bb.tasks in
+  if Array.length desc.assignment <> ntasks then
+    invalid_arg "Par_exec.create: assignment length mismatch";
+  Array.iter
+    (fun w ->
+      if w < 0 || w >= nworkers then
+        invalid_arg "Par_exec.create: worker id out of range")
+    desc.assignment;
+  let counts = Array.make nworkers 0 in
+  Array.iter (fun w -> counts.(w) <- counts.(w) + 1) desc.assignment;
+  let worker_tasks = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make nworkers 0 in
+  Array.iteri
+    (fun tid w ->
+      worker_tasks.(w).(fill.(w)) <- tid;
+      fill.(w) <- fill.(w) + 1)
+    desc.assignment;
+  let tasks = compiled.Bb.tasks in
+  let job w =
+    let mine = Array.unsafe_get worker_tasks w in
+    for i = 0 to Array.length mine - 1 do
+      (Array.unsafe_get tasks (Array.unsafe_get mine i)).Bb.eval ()
+    done
+  in
+  let pool = Domain_pool.create ?spin_budget ~job nworkers in
+  { pool; compiled; nworkers; worker_tasks }
+
+let rhs_fn t time y ydot =
+  let c = t.compiled in
+  c.Bb.set_state time y;
+  Domain_pool.round t.pool;
+  c.Bb.run_epilogue ();
+  Array.blit c.Bb.out 0 ydot 0 c.Bb.dim
+
+let shutdown t = Domain_pool.shutdown t.pool
+
+let with_executor ?spin_budget ~nworkers desc compiled f =
+  let t = create ?spin_budget ~nworkers desc compiled in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

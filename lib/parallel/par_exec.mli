@@ -1,0 +1,60 @@
+(** Real multicore execution of one RHS round on OCaml domains.
+
+    The measured counterpart of {!Om_machine.Supervisor.round_desc}:
+    the same inputs — a task assignment from [Om_sched.Lpt] packaged in
+    an {!Om_machine.Round_desc.t} and the per-task register-VM programs
+    of an {!Om_codegen.Bytecode_backend.t} — but every round actually
+    runs the tasks on [nworkers] pre-spawned domains sharing the state
+    environment and output vector.
+
+    Determinism: tasks write disjoint output slots and task-private
+    environment temporaries, and the reduction epilogue runs on the
+    supervisor domain after the round barrier in the same order as
+    sequential execution, so the derivative vector — and therefore any
+    trajectory integrated through {!rhs_fn} — is bit-identical to
+    sequential evaluation for every worker count.
+
+    A steady-state round allocates nothing on the supervisor domain
+    (enforced by a [Gc.minor_words] regression test). *)
+
+type t
+
+val create :
+  ?spin_budget:int ->
+  nworkers:int ->
+  Om_machine.Round_desc.t ->
+  Om_codegen.Bytecode_backend.t ->
+  t
+(** Spawn the worker domains and distribute the descriptor's task
+    assignment over them (each worker's tasks in ascending id order).
+    [spin_budget] is forwarded to {!Domain_pool.create}.
+    @raise Invalid_argument if [nworkers < 1], if the assignment length
+    does not match the compiled task count, or if a worker id is outside
+    [0 .. nworkers-1]. *)
+
+val rhs_fn : t -> float -> float array -> float array -> unit
+(** [rhs_fn t time y ydot]: one parallel round — publish [(time, y)] to
+    the shared environment, run every task on its worker domain, fold
+    the epilogue on the supervisor, and write the derivatives into
+    [ydot].  Drop-in replacement for
+    {!Om_codegen.Bytecode_backend.rhs_fn}. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent. *)
+
+val with_executor :
+  ?spin_budget:int ->
+  nworkers:int ->
+  Om_machine.Round_desc.t ->
+  Om_codegen.Bytecode_backend.t ->
+  (t -> 'a) ->
+  'a
+(** [create], run the callback, and {!shutdown} even on exceptions. *)
+
+val nworkers : t -> int
+
+val rounds : t -> int
+(** Rounds executed so far. *)
+
+val worker_tasks : t -> int array array
+(** Task ids per worker, ascending — the materialised assignment. *)

@@ -1,0 +1,132 @@
+(* Measured multicore scaling sweeps: the real-hardware counterpart of
+   the simulated Figure 12 series, sharing its schedule (LPT on static
+   costs) and its metric (#RHS-calls per second). *)
+
+module Bb = Om_codegen.Bytecode_backend
+module P = Om_codegen.Pipeline
+
+type point = {
+  workers : int;
+  rounds : int;
+  seconds : float;
+  rhs_per_sec : float;
+  speedup : float;
+  identical : bool;
+}
+
+type series = {
+  model : string;
+  dim : int;
+  ntasks : int;
+  points : point list;
+}
+
+let now = Unix.gettimeofday
+
+let desc_for (r : P.result) ~nprocs =
+  let costs = Bb.task_costs_static r.compiled in
+  let sched = Om_sched.Lpt.schedule ~costs r.tasks ~nprocs in
+  Om_machine.Round_desc.make ~assignment:sched.assignment ~task_flops:costs
+    ~task_reads:(Array.map (fun t -> t.Om_sched.Task.reads) r.tasks)
+    ~task_writes:(Array.map (fun t -> t.Om_sched.Task.writes) r.tasks)
+    ~state_dim:r.compiled.Bb.dim
+
+(* Evaluate the RHS [warmup + rounds] times at the model's initial
+   state through [rhs]; return (seconds over the timed rounds, final
+   derivative vector). *)
+let time_rounds ~warmup ~rounds ~dim ~y0 rhs =
+  let ydot = Array.make dim 0. in
+  for _ = 1 to warmup do
+    rhs 0. y0 ydot
+  done;
+  let t0 = now () in
+  for _ = 1 to rounds do
+    rhs 0. y0 ydot
+  done;
+  (now () -. t0, ydot)
+
+let measure ?(rounds = 2000) ?(warmup = 50) ~name ~workers (r : P.result) =
+  let dim = r.compiled.Bb.dim in
+  let y0 = Om_lang.Flat_model.initial_values r.model in
+  let seq_seconds, seq_ydot =
+    time_rounds ~warmup ~rounds ~dim ~y0 (Bb.rhs_fn r.compiled)
+  in
+  let measured =
+    List.map
+      (fun w ->
+        let desc = desc_for r ~nprocs:w in
+        Par_exec.with_executor ~nworkers:w desc r.compiled (fun px ->
+            let seconds, ydot =
+              time_rounds ~warmup ~rounds ~dim ~y0 (Par_exec.rhs_fn px)
+            in
+            (w, seconds, ydot = seq_ydot)))
+      workers
+  in
+  let base =
+    match List.find_opt (fun (w, _, _) -> w = 1) measured with
+    | Some (_, s, _) -> s
+    | None -> seq_seconds
+  in
+  let point workers seconds identical =
+    {
+      workers;
+      rounds;
+      seconds;
+      rhs_per_sec =
+        (if seconds > 0. then float_of_int rounds /. seconds else 0.);
+      speedup = (if seconds > 0. then base /. seconds else 0.);
+      identical;
+    }
+  in
+  {
+    model = name;
+    dim;
+    ntasks = Array.length r.compiled.Bb.tasks;
+    points =
+      point 0 seq_seconds true
+      :: List.map (fun (w, s, id) -> point w s id) measured;
+  }
+
+let schema = "objectmath-bench-parallel/1"
+
+let write_json ~path ~ncores series =
+  let buf = Buffer.create 2048 in
+  let num x = Printf.sprintf "%.6g" x in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"schema\": %S,\n  \"ncores\": %d,\n  \"models\": {\n"
+       schema ncores);
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: {\n      \"dim\": %d, \"tasks\": %d,\n      \"points\": {\n"
+           s.model s.dim s.ntasks);
+      List.iteri
+        (fun j p ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        \"%d\": { \"rounds\": %d, \"seconds\": %s, \
+                \"rhs_calls_per_sec\": %s, \"speedup_vs_1\": %s, \
+                \"identical\": %b }%s\n"
+               p.workers p.rounds (num p.seconds) (num p.rhs_per_sec)
+               (num p.speedup) p.identical
+               (if j = List.length s.points - 1 then "" else ",")))
+        s.points;
+      Buffer.add_string buf
+        (Printf.sprintf "      }\n    }%s\n"
+           (if i = List.length series - 1 then "" else ",")))
+    series;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let pp_series ppf s =
+  Format.fprintf ppf "%s: dim %d, %d tasks@." s.model s.dim s.ntasks;
+  Format.fprintf ppf "  %-9s %10s %14s %10s %10s@." "workers" "rounds"
+    "RHS-calls/s" "speedup" "identical";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %-9s %10d %14.0f %10.2f %10b@."
+        (if p.workers = 0 then "seq" else string_of_int p.workers)
+        p.rounds p.rhs_per_sec p.speedup p.identical)
+    s.points

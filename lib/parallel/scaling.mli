@@ -1,0 +1,47 @@
+(** Measured multicore scaling sweeps ([BENCH_parallel.json]).
+
+    Runs the same LPT schedules as the simulated Figure 12 experiment,
+    but on real domains through {!Par_exec}, and reports measured
+    [#RHS-calls/second] per worker count — so the simulated curve and
+    the real-hardware curve can be plotted side by side. *)
+
+type point = {
+  workers : int;  (** 0 = sequential (supervisor-only) baseline *)
+  rounds : int;  (** timed RHS evaluations *)
+  seconds : float;  (** wall-clock seconds over the timed rounds *)
+  rhs_per_sec : float;
+  speedup : float;  (** vs the 1-worker measurement (or the sequential
+                        baseline when 1 is not in the sweep) *)
+  identical : bool;
+      (** derivative vector bitwise equal to sequential execution *)
+}
+
+type series = {
+  model : string;
+  dim : int;
+  ntasks : int;
+  points : point list;
+}
+
+val measure :
+  ?rounds:int ->
+  ?warmup:int ->
+  name:string ->
+  workers:int list ->
+  Om_codegen.Pipeline.result ->
+  series
+(** Time [rounds] (default 2000) RHS evaluations at the model's initial
+    state, sequentially and for every worker count in [workers] (each
+    preceded by [warmup] untimed evaluations), reusing one domain pool
+    per worker count across all of its rounds. *)
+
+val schema : string
+(** ["objectmath-bench-parallel/1"]. *)
+
+val write_json : path:string -> ncores:int -> series list -> unit
+(** Write the machine-readable sweep results; [ncores] records the
+    host's core count so flat curves on small machines are
+    interpretable. *)
+
+val pp_series : Format.formatter -> series -> unit
+(** Human-readable table of one sweep. *)

@@ -47,6 +47,24 @@ let test_sim_past_rejected () =
   Alcotest.check_raises "past" (Invalid_argument "Event_sim.at: scheduling in the past")
     (fun () -> Sim.at sim 1. (fun () -> ()))
 
+let test_sim_rounding_clamped () =
+  (* Summing fixed float steps can land the "next" event a few ulps
+     before the current clock (0.1 +. 0.2 > 0.3); [at] clamps such
+     times to now instead of raising, while genuinely past times are
+     still rejected. *)
+  let sim = Sim.create () in
+  Sim.at sim (0.1 +. 0.2) (fun () -> ());
+  ignore (Sim.step sim);
+  let fired = ref false in
+  Sim.at sim 0.3 (fun () -> fired := true);
+  (* one ulp before [now] *)
+  Sim.run sim;
+  Alcotest.(check bool) "clamped event fired" true !fired;
+  checkf "clock unchanged by clamped event" (0.1 +. 0.2) (Sim.now sim);
+  Alcotest.check_raises "genuinely past still rejected"
+    (Invalid_argument "Event_sim.at: scheduling in the past") (fun () ->
+      Sim.at sim 0.2 (fun () -> ()))
+
 let test_sim_many_events () =
   (* Heap stress: 10k events in reverse order still drain sorted. *)
   let sim = Sim.create () in
@@ -284,6 +302,8 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick
             test_sim_nested_scheduling;
           Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+          Alcotest.test_case "rounding clamped" `Quick
+            test_sim_rounding_clamped;
           Alcotest.test_case "heap stress" `Quick test_sim_many_events;
         ] );
       ( "machine",

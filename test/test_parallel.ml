@@ -1,0 +1,194 @@
+(* Tests for the real multicore executor: domain pool round protocol,
+   descriptor validation, bit-identical trajectories through Runtime for
+   every worker count, and the zero-allocation steady-state round. *)
+
+module P = Om_codegen.Pipeline
+module Bb = Om_codegen.Bytecode_backend
+module R = Objectmath.Runtime
+module Round_desc = Om_machine.Round_desc
+module Domain_pool = Om_parallel.Domain_pool
+module Par_exec = Om_parallel.Par_exec
+
+let bearing = lazy (P.compile (Om_models.Bearing2d.model ()))
+let powerplant = lazy (P.compile (Om_models.Powerplant.model ()))
+
+let desc_of ~nworkers (r : P.result) =
+  let costs = Bb.task_costs_static r.compiled in
+  let sched = Om_sched.Lpt.schedule ~costs r.tasks ~nprocs:nworkers in
+  Round_desc.make ~assignment:sched.assignment ~task_flops:costs
+    ~task_reads:(Array.map (fun t -> t.Om_sched.Task.reads) r.tasks)
+    ~task_writes:(Array.map (fun t -> t.Om_sched.Task.writes) r.tasks)
+    ~state_dim:r.compiled.dim
+
+(* ---------- domain pool ---------- *)
+
+let test_pool_rounds () =
+  let hits = Array.make 4 0 in
+  let pool =
+    Domain_pool.create ~job:(fun w -> hits.(w) <- hits.(w) + 1) 4
+  in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      for _ = 1 to 25 do
+        Domain_pool.round pool
+      done;
+      Alcotest.(check int) "rounds counted" 25 (Domain_pool.rounds pool);
+      Alcotest.(check (array int)) "every worker ran every round"
+        [| 25; 25; 25; 25 |] hits);
+  Alcotest.(check bool) "inactive after shutdown" false
+    (Domain_pool.active pool);
+  (* Idempotent: a second shutdown must not raise or hang. *)
+  Domain_pool.shutdown pool
+
+let test_pool_invalid () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Domain_pool.create: nworkers < 1") (fun () ->
+      ignore (Domain_pool.create ~job:ignore 0))
+
+(* ---------- round descriptor ---------- *)
+
+let test_desc_validation () =
+  let ok =
+    Round_desc.make ~assignment:[| 0; 1; 0 |] ~task_flops:[| 1.; 2.; 3. |]
+      ~task_reads:[| [ 0 ]; [ 1 ]; [] |]
+      ~task_writes:[| [ 0 ]; [ 1 ]; [ 2 ] |]
+      ~state_dim:3
+  in
+  Alcotest.(check int) "n_tasks" 3 (Round_desc.n_tasks ok);
+  Alcotest.(check int) "min_workers" 2 (Round_desc.min_workers ok);
+  let mismatched () =
+    ignore
+      (Round_desc.make ~assignment:[| 0; 1 |] ~task_flops:[| 1. |]
+         ~task_reads:[| [] |] ~task_writes:[| [] |] ~state_dim:1)
+  in
+  Alcotest.(check bool) "length mismatch rejected" true
+    (match mismatched () with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_exec_validation () =
+  let r = Lazy.force bearing in
+  let desc = desc_of ~nworkers:4 r in
+  Alcotest.(check bool) "nworkers below assignment range rejected" true
+    (match Par_exec.create ~nworkers:2 desc r.compiled with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "nworkers < 1 rejected" true
+    (match Par_exec.create ~nworkers:0 desc r.compiled with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_exec_partition () =
+  (* The materialised per-worker task lists are a partition of all task
+     ids, each worker's slice ascending. *)
+  let r = Lazy.force bearing in
+  let nworkers = 3 in
+  let desc = desc_of ~nworkers r in
+  Par_exec.with_executor ~nworkers desc r.compiled @@ fun px ->
+  let tasks = Par_exec.worker_tasks px in
+  Alcotest.(check int) "one slice per worker" nworkers (Array.length tasks);
+  let seen = Array.make (Round_desc.n_tasks desc) 0 in
+  Array.iteri
+    (fun w slice ->
+      Array.iteri
+        (fun i task ->
+          seen.(task) <- seen.(task) + 1;
+          Alcotest.(check int) "assignment respected" w desc.assignment.(task);
+          if i > 0 then
+            Alcotest.(check bool) "ascending ids" true (slice.(i - 1) < task))
+        slice)
+    tasks;
+  Array.iteri
+    (fun task n ->
+      Alcotest.(check int) (Printf.sprintf "task %d scheduled once" task) 1 n)
+    seen
+
+(* ---------- differential: Real_domains vs sequential ---------- *)
+
+let sequential_reference (r : P.result) ~solver ~tend =
+  let sys =
+    Om_ode.Odesys.make
+      ~names:(Om_lang.Flat_model.state_names r.model)
+      ~dim:r.compiled.dim (P.rhs_fn r)
+  in
+  let y0 = Om_lang.Flat_model.initial_values r.model in
+  match solver with
+  | R.Rk4 h -> Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0:0. ~y0 ~tend ~h
+  | _ -> assert false
+
+let check_identical name (r : P.result) =
+  let tend = 1e-4 in
+  let solver = R.Rk4 (tend /. 10.) in
+  let reference = sequential_reference r ~solver ~tend in
+  List.iter
+    (fun n ->
+      let rep =
+        R.execute
+          ~config:{ R.default_config with execution = R.Real_domains n }
+          ~solver ~tend r
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: times identical with %d domains" name n)
+        true
+        (rep.trajectory.ts = reference.ts);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: states identical with %d domains" name n)
+        true
+        (rep.trajectory.states = reference.states))
+    [ 1; 2; 4 ]
+
+let test_identical_bearing () = check_identical "bearing" (Lazy.force bearing)
+
+let test_identical_powerplant () =
+  check_identical "powerplant" (Lazy.force powerplant)
+
+(* ---------- zero allocation in the steady state ---------- *)
+
+let test_round_zero_alloc () =
+  (* After warm-up, a parallel RHS round must allocate nothing on the
+     supervisor domain: measure the minor-word delta over two loop sizes
+     so fixed per-measurement costs cancel (same idiom as the register
+     VM's allocation test). *)
+  let r = Lazy.force bearing in
+  let nworkers = 2 in
+  let desc = desc_of ~nworkers r in
+  Par_exec.with_executor ~nworkers desc r.compiled @@ fun px ->
+  let dim = r.compiled.dim in
+  let y = Om_lang.Flat_model.initial_values r.model in
+  let ydot = Array.make dim 0. in
+  let words n =
+    Par_exec.rhs_fn px 0. y ydot;
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      Par_exec.rhs_fn px 0. y ydot
+    done;
+    Gc.minor_words () -. before
+  in
+  let d1 = words 50 in
+  let d2 = words 550 in
+  Alcotest.(check (float 0.)) "zero words per round" 0. (d2 -. d1)
+
+let () =
+  Alcotest.run "om_parallel"
+    [
+      ( "domain_pool",
+        [
+          Alcotest.test_case "round protocol" `Quick test_pool_rounds;
+          Alcotest.test_case "invalid" `Quick test_pool_invalid;
+        ] );
+      ( "round_desc",
+        [ Alcotest.test_case "validation" `Quick test_desc_validation ] );
+      ( "par_exec",
+        [
+          Alcotest.test_case "validation" `Quick test_exec_validation;
+          Alcotest.test_case "partition" `Quick test_exec_partition;
+          Alcotest.test_case "zero-alloc round" `Quick test_round_zero_alloc;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "bearing identical" `Quick test_identical_bearing;
+          Alcotest.test_case "powerplant identical" `Quick
+            test_identical_powerplant;
+        ] );
+    ]

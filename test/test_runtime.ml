@@ -13,8 +13,8 @@ let bearing = lazy (P.compile (Om_models.Bearing2d.model ()))
 
 let config ?(machine = Machine.sparccenter_2000) ?(nworkers = 1)
     ?(strategy = Sup.Broadcast_state) ?(scheduling = R.Static)
-    ?(topology = R.Flat) () =
-  { R.machine; nworkers; strategy; scheduling; topology }
+    ?(topology = R.Flat) ?(execution = R.Simulated) () =
+  { R.machine; nworkers; strategy; scheduling; topology; execution }
 
 let test_report_basics () =
   let r = Lazy.force servo in
