@@ -871,15 +871,22 @@ let multicore () =
   in
   Printf.printf "host cores: %d; sweeping workers %s\n\n" ncores
     (String.concat ", " (List.map string_of_int workers));
+  (* Each model is swept twice: static LPT and the measured semi-dynamic
+     rescheduler (§3.2.3), so BENCH_parallel.json carries the
+     static-vs-semidynamic comparison on real hardware. *)
   let series =
-    List.map
+    List.concat_map
       (fun (name, r) ->
-        let s =
-          Om_parallel.Scaling.measure ~rounds:1500 ~name ~workers
-            (Lazy.force r)
-        in
-        Format.printf "%a@." Om_parallel.Scaling.pp_series s;
-        s)
+        let r = Lazy.force r in
+        List.map
+          (fun semidynamic ->
+            let s =
+              Om_parallel.Scaling.measure ~rounds:1500 ?semidynamic ~name
+                ~workers r
+            in
+            Format.printf "%a@." Om_parallel.Scaling.pp_series s;
+            s)
+          [ None; Some 25 ])
       [ ("bearing2d", bearing); ("powerplant", plant) ]
   in
   let path = Filename.concat out_dir "BENCH_parallel.json" in
@@ -899,7 +906,8 @@ let multicore () =
     "\nOn shared memory there is no 4 us per-message cost, so the real\n\
      curve rises faster than the simulated SPARC curve — until the host\n\
      runs out of cores (ncores=%d here), where it flattens; trajectories\n\
-     stay byte-identical at every worker count (the `identical' column).\n"
+     stay byte-identical at every worker count and across semi-dynamic\n\
+     reschedules (the `identical' column).\n"
     ncores
 
 (* ------------------------------------------------------------------ *)

@@ -377,9 +377,23 @@ let bench_cmd =
     (match domains with
      | Some n ->
          Printf.printf
-           "%s on %d real domains:\n  %d RHS calls in %.4f wall-clock s -> \
+           "%s on %d real domains%s:\n  %d RHS calls in %.4f wall-clock s -> \
             %.1f calls/s\n"
-           fm.name n rep.rhs_calls rep.sim_seconds rep.rhs_calls_per_sec
+           fm.name n
+           (match semidynamic with
+           | Some p -> Printf.sprintf " (semidynamic, period %d)" p
+           | None -> "")
+           rep.rhs_calls rep.sim_seconds rep.rhs_calls_per_sec;
+         Printf.printf
+           "  reschedules: %d (%.6f s), barrier wait: %.4f s, worker \
+            utilization: %.2f\n"
+           rep.reschedules rep.sched_overhead_seconds
+           rep.supervisor_comm_seconds rep.worker_utilization;
+         Array.iteri
+           (fun w c ->
+             Printf.printf "  worker %d: compute %.4f s, wait %.4f s\n" w c
+               rep.worker_wait_seconds.(w))
+           rep.worker_compute_seconds
      | None ->
          Printf.printf
            "%s on %s with %d workers:\n  %d RHS calls in %.4f simulated s -> \

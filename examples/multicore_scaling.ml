@@ -45,21 +45,27 @@ let check_trajectories name (r : P.result) =
       ~h:(tend /. 20.)
   in
   List.iter
-    (fun n ->
+    (fun (n, scheduling, label) ->
       let rep =
         R.execute
           ~config:
-            { R.default_config with execution = R.Real_domains n }
+            { R.default_config with execution = R.Real_domains n; scheduling }
           ~solver ~tend r
       in
       let same =
         rep.trajectory.ts = reference.ts
         && rep.trajectory.states = reference.states
       in
-      Printf.printf "  %s, %d domain(s): trajectory %s\n" name n
+      Printf.printf "  %s, %d domain(s)%s: trajectory %s\n" name n label
         (if same then "byte-identical to sequential" else "DIVERGED");
       if not same then exit 1)
-    [ 1; 2; 4 ]
+    [
+      (1, R.Static, "");
+      (2, R.Static, "");
+      (4, R.Static, "");
+      (2, R.Semidynamic 5, ", semidynamic 5");
+      (4, R.Semidynamic 5, ", semidynamic 5");
+    ]
 
 let () =
   let ncores = Domain.recommended_domain_count () in
@@ -75,12 +81,18 @@ let () =
       ("powerplant", P.compile (Om_models.Powerplant.model ()));
     ]
   in
+  (* Static LPT and the measured semi-dynamic rescheduler, side by
+     side in the same JSON (the paper's §3.2.3 comparison on real
+     hardware). *)
   let series =
-    List.map
+    List.concat_map
       (fun (name, r) ->
-        let s = Scaling.measure ~rounds ~name ~workers r in
-        Format.printf "%a@." Scaling.pp_series s;
-        s)
+        List.map
+          (fun semidynamic ->
+            let s = Scaling.measure ~rounds ?semidynamic ~name ~workers r in
+            Format.printf "%a@." Scaling.pp_series s;
+            s)
+          [ None; Some 25 ])
       models
   in
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;

@@ -35,6 +35,8 @@ type report = {
   sched_overhead_seconds : float;
   supervisor_comm_seconds : float;
   worker_utilization : float;
+  worker_compute_seconds : float array;
+  worker_wait_seconds : float array;
   reschedules : int;
   solver_steps : int;
 }
@@ -68,7 +70,8 @@ let simulate_round config (r : Om_codegen.Pipeline.result) assignment costs =
       Array.fold_left ( +. ) 0. round.worker_compute
       /. (float_of_int config.nworkers *. round.duration)
   in
-  (round.duration +. epilogue, round.supervisor_busy, utilization)
+  (round.duration +. epilogue, round.supervisor_busy, utilization,
+   round.worker_compute)
 
 let solve solver sys ~t0 ~tend ~y0 =
   match solver with
@@ -77,10 +80,14 @@ let solve solver sys ~t0 ~tend ~y0 =
   | Lsoda -> (Om_ode.Lsoda.integrate sys ~t0 ~y0 ~tend).trajectory
 
 (* Real execution: the same LPT schedule as the simulator, but the round
-   runs on [nworkers] domains and the clock is the wall clock.  The
-   semi-dynamic scheduler needs the simulator's per-round measured costs,
-   so real mode always uses the static schedule (measured rescheduling on
-   real hardware is future work). *)
+   runs on [nworkers] domains and the clock is the wall clock.  Under
+   [Semidynamic period] the measured per-task times of every round feed
+   the paper's §3.2.3 rescheduler, and rebuilt LPT schedules are swapped
+   into the live executor between rounds (Par_exec.create_measured) —
+   trajectories stay bit-identical regardless, because tasks write
+   disjoint output slots and the epilogue folds on the supervisor in a
+   fixed order.  The report's overhead/utilization fields are measured
+   per-worker telemetry (Om_parallel.Round_stats), not placeholders. *)
 let execute_real config ~nworkers ~solver ~t0 ~tend
     (r : Om_codegen.Pipeline.result) =
   let compiled = r.compiled in
@@ -96,28 +103,38 @@ let execute_real config ~nworkers ~solver ~t0 ~tend
     Om_machine.Round_desc.make ~assignment:sched.assignment ~task_flops:costs
       ~task_reads:reads ~task_writes:writes ~state_dim:compiled.dim
   in
-  Om_parallel.Par_exec.with_executor ~nworkers desc compiled @@ fun px ->
+  let semidynamic =
+    match config.scheduling with
+    | Semidynamic period -> Some period
+    | Static | Static_with _ -> None
+  in
+  Om_parallel.Par_exec.with_measured ?semidynamic ~nworkers ~tasks:r.tasks
+    desc compiled
+  @@ fun m ->
   let sys =
     Om_ode.Odesys.make
       ~names:(Array.copy compiled.state_names)
       ~dim:compiled.dim
-      (Om_parallel.Par_exec.rhs_fn px)
+      (Om_parallel.Par_exec.measured_rhs_fn m)
   in
   let y0 = Om_lang.Flat_model.initial_values r.model in
   let start = Unix.gettimeofday () in
   let trajectory = solve solver sys ~t0 ~tend ~y0 in
   let wall = Unix.gettimeofday () -. start in
   let rhs_calls = sys.counters.rhs_calls in
+  let st = Om_parallel.Par_exec.stats m in
   {
     trajectory;
     rhs_calls;
     sim_seconds = wall;
     rhs_calls_per_sec =
       (if wall > 0. then float_of_int rhs_calls /. wall else 0.);
-    sched_overhead_seconds = 0.;
-    supervisor_comm_seconds = 0.;
-    worker_utilization = 1.;
-    reschedules = 0;
+    sched_overhead_seconds = Om_parallel.Round_stats.reschedule_seconds st;
+    supervisor_comm_seconds = Om_parallel.Round_stats.barrier_seconds st;
+    worker_utilization = Om_parallel.Round_stats.utilization st;
+    worker_compute_seconds = Om_parallel.Round_stats.worker_compute st;
+    worker_wait_seconds = Om_parallel.Round_stats.worker_wait st;
+    reschedules = Om_parallel.Round_stats.reschedules st;
     solver_steps = sys.counters.steps;
   }
 
@@ -151,6 +168,8 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
     *. config.machine.flop_time
   in
   let reschedules_seen = ref 0 in
+  let compute_tot = Array.make (max 0 config.nworkers) 0. in
+  let wait_tot = Array.make (max 0 config.nworkers) 0. in
   let f t y ydot =
     compiled.set_state t y;
     (* Execute the tasks for real, measuring branch-resolved costs. *)
@@ -165,12 +184,18 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
       | None -> static_sched
       | Some sd -> Om_sched.Semidynamic.current sd
     in
-    let duration, busy, util =
+    let duration, busy, util, worker_compute =
       simulate_round config r sched.assignment measured
     in
     sim_seconds := !sim_seconds +. duration;
     comm_seconds := !comm_seconds +. busy;
     utilization_sum := !utilization_sum +. util;
+    if Array.length worker_compute = Array.length compute_tot then
+      Array.iteri
+        (fun w c ->
+          compute_tot.(w) <- compute_tot.(w) +. c;
+          wait_tot.(w) <- wait_tot.(w) +. Float.max 0. (duration -. c))
+        worker_compute;
     incr rounds;
     (match semidyn with
     | None -> ()
@@ -204,6 +229,8 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
     supervisor_comm_seconds = !comm_seconds;
     worker_utilization =
       (if !rounds = 0 then 1. else !utilization_sum /. float_of_int !rounds);
+    worker_compute_seconds = compute_tot;
+    worker_wait_seconds = wait_tot;
     reschedules = !reschedules_seen;
     solver_steps = sys.counters.steps;
   }
@@ -227,7 +254,7 @@ let round_seconds ?(config = default_config) ?costs
   let sched =
     Om_sched.Lpt.schedule ~costs r.tasks ~nprocs:(max 1 config.nworkers)
   in
-  let duration, _, _ = simulate_round config r sched.assignment costs in
+  let duration, _, _, _ = simulate_round config r sched.assignment costs in
   duration
 
 let speedup ?(strategy = Om_machine.Supervisor.Broadcast_state) ~machine

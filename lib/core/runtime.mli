@@ -35,10 +35,13 @@ type execution =
   | Real_domains of int
       (** the round really runs on this many pre-spawned OCaml domains
           (ignoring [nworkers] and [machine], which describe the
-          simulated target); time is wall-clock.  Scheduling is the
-          static LPT schedule — [Semidynamic] falls back to it — and
-          trajectories stay bit-identical to sequential execution for
-          every domain count. *)
+          simulated target); time is wall-clock.  [Semidynamic period]
+          is honoured: measured per-task times feed the paper's §3.2.3
+          rescheduler and rebuilt LPT schedules are swapped into the
+          live executor between rounds
+          ([Om_parallel.Par_exec.create_measured]).  Trajectories stay
+          bit-identical to sequential execution for every domain count
+          and across reschedules. *)
 
 type config = {
   machine : Om_machine.Machine.t;
@@ -66,12 +69,27 @@ type report = {
           {!Real_domains}, measured wall-clock seconds of the whole
           integration *)
   rhs_calls_per_sec : float;
-  sched_overhead_seconds : float;  (** simulated rescheduling cost *)
+  sched_overhead_seconds : float;
+      (** rescheduling cost: simulated under {!Simulated}, measured
+          wall-clock seconds spent rebuilding and swapping LPT schedules
+          under {!Real_domains} *)
   supervisor_comm_seconds : float;
+      (** supervisor busy time in the machine model; under
+          {!Real_domains}, the measured barrier/synchronisation share of
+          the rounds (round wall time minus the slowest worker's
+          compute) *)
   worker_utilization : float;
       (** mean fraction of the round the workers spent computing (1.0
-          when the solver runs the RHS locally; not measured — reported
-          as 1.0 — under {!Real_domains}) *)
+          when the solver runs the RHS locally); measured per-worker
+          under {!Real_domains} ([Om_parallel.Round_stats]) *)
+  worker_compute_seconds : float array;
+      (** per-worker seconds spent executing tasks, summed over all
+          rounds (simulated or measured to match the execution mode;
+          length [nworkers], [[||]] when the RHS runs locally) *)
+  worker_wait_seconds : float array;
+      (** per-worker seconds spent idle at the round barrier, summed
+          over all rounds — the per-worker complement of
+          [worker_compute_seconds] *)
   reschedules : int;
   solver_steps : int;
 }

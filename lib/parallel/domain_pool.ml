@@ -27,6 +27,8 @@ type t = {
   done_mutex : Mutex.t;
   done_cond : Condition.t;
   spin_budget : int;
+  compute : float array; (* per-worker job seconds of the last round *)
+  timing : float array; (* timing.(0) = wall seconds of the last round *)
   mutable domains : unit Domain.t array;
   mutable rounds : int;
 }
@@ -34,6 +36,9 @@ type t = {
 let nworkers t = t.nworkers
 let rounds t = t.rounds
 let active t = Array.length t.domains > 0
+let compute_seconds t = t.compute
+let round_timing t = t.timing
+let last_round_seconds t = t.timing.(0)
 
 let worker pool w =
   let last = ref 0 in
@@ -69,7 +74,13 @@ let worker pool w =
     let g = next_generation () in
     if g >= 0 then begin
       last := g;
+      (* Time the job with the unboxed monotonic clock and store the
+         delta straight into this worker's pre-allocated slot — no
+         allocation on the worker in steady state.  The write is
+         published to the supervisor by the [ndone] bump below. *)
+      let t0 = Monotonic.now () in
       pool.job w;
+      Array.unsafe_set pool.compute w (Monotonic.now () -. t0);
       if Atomic.fetch_and_add pool.ndone 1 = pool.nworkers - 1 then begin
         Mutex.lock pool.done_mutex;
         Condition.broadcast pool.done_cond;
@@ -94,6 +105,8 @@ let create ?(spin_budget = 2000) ~job nworkers =
       done_mutex = Mutex.create ();
       done_cond = Condition.create ();
       spin_budget;
+      compute = Array.make nworkers 0.;
+      timing = Array.make 1 0.;
       domains = [||];
       rounds = 0;
     }
@@ -120,12 +133,14 @@ let rec supervisor_wait pool budget =
 
 let round pool =
   if not (active pool) then invalid_arg "Domain_pool.round: pool is shut down";
+  let t0 = Monotonic.now () in
   Atomic.set pool.ndone 0;
   Mutex.lock pool.start_mutex;
   Atomic.incr pool.round;
   Condition.broadcast pool.start_cond;
   Mutex.unlock pool.start_mutex;
   supervisor_wait pool pool.spin_budget;
+  pool.timing.(0) <- Monotonic.now () -. t0;
   pool.rounds <- pool.rounds + 1
 
 let shutdown pool =

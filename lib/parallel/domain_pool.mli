@@ -40,3 +40,20 @@ val rounds : t -> int
 
 val active : t -> bool
 (** [true] until {!shutdown}. *)
+
+val compute_seconds : t -> float array
+(** The pool's per-worker timing buffer: [(compute_seconds t).(w)] is
+    the wall-clock seconds worker [w] spent in its job during the last
+    completed round, measured on the worker with the unboxed monotonic
+    clock ({!Monotonic.now}).  The buffer itself is returned (not a
+    copy) so reading it every round stays allocation-free; its contents
+    are only stable between rounds. *)
+
+val round_timing : t -> float array
+(** The pool's 1-slot round-timing buffer: [(round_timing t).(0)] is
+    the wall-clock seconds of the last {!round}, from publishing the
+    generation to the last worker's completion.  Same aliasing contract
+    as {!compute_seconds}. *)
+
+val last_round_seconds : t -> float
+(** [(round_timing t).(0)], for callers outside the hot path. *)

@@ -1,0 +1,3 @@
+external now : unit -> (float [@unboxed])
+  = "om_monotonic_now" "om_monotonic_now_unboxed"
+[@@noalloc]

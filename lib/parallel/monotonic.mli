@@ -1,0 +1,15 @@
+(** Allocation-free monotonic clock.
+
+    [Unix.gettimeofday] (and every other [external] returning a plain
+    [float]) boxes its result, which would break the zero-allocation
+    steady-state round guarantee of {!Par_exec} the moment rounds are
+    timed.  This clock's native stub returns an {e unboxed} double
+    ([@unboxed]/[@@noalloc]), so reading it in a hot loop and storing
+    the delta into a pre-allocated float array allocates nothing. *)
+
+external now : unit -> (float [@unboxed])
+  = "om_monotonic_now" "om_monotonic_now_unboxed"
+[@@noalloc]
+(** Seconds since an arbitrary fixed origin, monotonically
+    non-decreasing (CLOCK_MONOTONIC).  Only differences are
+    meaningful. *)

@@ -1,0 +1,24 @@
+/* Monotonic clock for the parallel runtime's telemetry.
+ *
+ * The native entry point returns an unboxed double so OCaml callers
+ * declared with [@unboxed]/[@@noalloc] can read the clock without
+ * allocating — a requirement of the zero-allocation steady-state round
+ * (see Om_parallel.Par_exec).  CLOCK_MONOTONIC is immune to wall-clock
+ * adjustments, so per-task deltas are always non-negative. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+double om_monotonic_now_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec;
+}
+
+CAMLprim value om_monotonic_now(value unit)
+{
+  return caml_copy_double(om_monotonic_now_unboxed(unit));
+}

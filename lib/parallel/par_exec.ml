@@ -15,50 +15,90 @@
    - tasks write disjoint output slots, and the reduction epilogue runs
      on the supervisor after the barrier, folding partials in the same
      fixed order as sequential execution — which is why trajectories
-     are bit-identical for every worker count. *)
+     are bit-identical for every worker count {e and} for every task
+     assignment, including assignments swapped in mid-run by the
+     semi-dynamic rescheduler.
+
+   Every task is timed with the unboxed monotonic clock into a shared
+   pre-allocated [task_seconds] buffer (disjoint slots per task, so the
+   concurrent writes race with nobody); those measurements drive the
+   measured semi-dynamic rescheduling loop below. *)
 
 module Bb = Om_codegen.Bytecode_backend
+module Sd = Om_sched.Semidynamic
 
 type t = {
   pool : Domain_pool.t;
   compiled : Bb.t;
   nworkers : int;
   worker_tasks : int array array; (* worker -> task ids, ascending *)
+  task_seconds : float array; (* per-task wall seconds of the last round *)
 }
 
 let worker_tasks t = t.worker_tasks
 let nworkers t = t.nworkers
 let rounds t = Domain_pool.rounds t.pool
+let task_seconds t = t.task_seconds
+let worker_compute t = Domain_pool.compute_seconds t.pool
+let last_round_seconds t = Domain_pool.last_round_seconds t.pool
+
+(* Per-worker slices of an assignment, each ascending — shared by
+   [create] and [set_assignment]. *)
+let slices_of ~who ~nworkers ~ntasks assignment =
+  if Array.length assignment <> ntasks then
+    invalid_arg (who ^ ": assignment length mismatch");
+  Array.iter
+    (fun w ->
+      if w < 0 || w >= nworkers then
+        invalid_arg (who ^ ": worker id out of range"))
+    assignment;
+  let counts = Array.make nworkers 0 in
+  Array.iter (fun w -> counts.(w) <- counts.(w) + 1) assignment;
+  let slices = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make nworkers 0 in
+  Array.iteri
+    (fun tid w ->
+      slices.(w).(fill.(w)) <- tid;
+      fill.(w) <- fill.(w) + 1)
+    assignment;
+  slices
 
 let create ?spin_budget ~nworkers (desc : Om_machine.Round_desc.t)
     (compiled : Bb.t) =
   if nworkers < 1 then invalid_arg "Par_exec.create: nworkers < 1";
   let ntasks = Array.length compiled.Bb.tasks in
-  if Array.length desc.assignment <> ntasks then
-    invalid_arg "Par_exec.create: assignment length mismatch";
-  Array.iter
-    (fun w ->
-      if w < 0 || w >= nworkers then
-        invalid_arg "Par_exec.create: worker id out of range")
-    desc.assignment;
-  let counts = Array.make nworkers 0 in
-  Array.iter (fun w -> counts.(w) <- counts.(w) + 1) desc.assignment;
-  let worker_tasks = Array.map (fun c -> Array.make c 0) counts in
-  let fill = Array.make nworkers 0 in
-  Array.iteri
-    (fun tid w ->
-      worker_tasks.(w).(fill.(w)) <- tid;
-      fill.(w) <- fill.(w) + 1)
-    desc.assignment;
+  let slices =
+    slices_of ~who:"Par_exec.create" ~nworkers ~ntasks desc.assignment
+  in
+  let worker_tasks = Array.make nworkers [||] in
+  Array.blit slices 0 worker_tasks 0 nworkers;
+  let task_seconds = Array.make ntasks 0. in
   let tasks = compiled.Bb.tasks in
   let job w =
+    (* [worker_tasks] is re-read every round, so a slice swapped in by
+       [set_assignment] between rounds takes effect at the next round
+       (the pool's generation atomics publish the write). *)
     let mine = Array.unsafe_get worker_tasks w in
     for i = 0 to Array.length mine - 1 do
-      (Array.unsafe_get tasks (Array.unsafe_get mine i)).Bb.eval ()
+      let tid = Array.unsafe_get mine i in
+      let t0 = Monotonic.now () in
+      (Array.unsafe_get tasks tid).Bb.eval ();
+      Array.unsafe_set task_seconds tid (Monotonic.now () -. t0)
     done
   in
   let pool = Domain_pool.create ?spin_budget ~job nworkers in
-  { pool; compiled; nworkers; worker_tasks }
+  { pool; compiled; nworkers; worker_tasks; task_seconds }
+
+let set_assignment t assignment =
+  let ntasks = Array.length t.compiled.Bb.tasks in
+  let slices =
+    slices_of ~who:"Par_exec.set_assignment" ~nworkers:t.nworkers ~ntasks
+      assignment
+  in
+  (* Swap the slices into the array the worker job closures capture; no
+     domain is respawned.  Must only be called between rounds (i.e. from
+     the supervisor, never concurrently with [rhs_fn]). *)
+  Array.blit slices 0 t.worker_tasks 0 t.nworkers
 
 let rhs_fn t time y ydot =
   let c = t.compiled in
@@ -72,3 +112,91 @@ let shutdown t = Domain_pool.shutdown t.pool
 let with_executor ?spin_budget ~nworkers desc compiled f =
   let t = create ?spin_budget ~nworkers desc compiled in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ---------------------------------------------------------------- *)
+(* Measured execution: telemetry + semi-dynamic rescheduling.        *)
+
+type measured = {
+  exec : t;
+  stats : Round_stats.t;
+  semidyn : Sd.t option;
+  shares : float array; (* normalised per-task time shares buffer *)
+  scratch : float array; (* scratch.(0): running sum (see measured_rhs_fn) *)
+}
+
+let executor m = m.exec
+let stats m = m.stats
+let semidynamic m = m.semidyn
+
+(* Initial cost estimates for the rescheduler: the static costs
+   normalised to sum 1, so the per-round time shares observed later live
+   on the same scale.  Normalising by a positive constant changes no LPT
+   decision, so the initial schedule equals LPT on the raw statics. *)
+let normalized costs =
+  let sum = Array.fold_left ( +. ) 0. costs in
+  if sum <= 0. then Array.map (fun _ -> 1.) costs
+  else Array.map (fun c -> c /. sum) costs
+
+let create_measured ?spin_budget ?semidynamic ~nworkers ~tasks
+    (desc : Om_machine.Round_desc.t) compiled =
+  let exec = create ?spin_budget ~nworkers desc compiled in
+  let ntasks = Array.length exec.task_seconds in
+  let stats = Round_stats.create ~nworkers in
+  let semidyn =
+    match semidynamic with
+    | None -> None
+    | Some period ->
+        if Array.length tasks <> ntasks then
+          invalid_arg "Par_exec.create_measured: tasks length mismatch";
+        let sd =
+          Sd.create ~period ~costs:(normalized desc.task_flops) tasks
+            ~nprocs:nworkers
+        in
+        Round_stats.set_live_makespan stats (Sd.current sd).Om_sched.Lpt.makespan;
+        Some sd
+  in
+  { exec; stats; semidyn; shares = Array.make ntasks 0.; scratch = [| 0. |] }
+
+let measured_rhs_fn m time y ydot =
+  rhs_fn m.exec time y ydot;
+  Round_stats.observe_round m.stats
+    ~timing:(Domain_pool.round_timing m.exec.pool)
+    ~compute:(Domain_pool.compute_seconds m.exec.pool);
+  match m.semidyn with
+  | None -> ()
+  | Some sd ->
+      (* Normalise the measured per-task seconds into shares of the
+         round.  Summing through the pre-allocated scratch slot keeps
+         this allocation-free (a float ref would box on every update;
+         a float accumulator argument would box at each call). *)
+      let ts = m.exec.task_seconds in
+      let n = Array.length ts in
+      m.scratch.(0) <- 0.;
+      for i = 0 to n - 1 do
+        m.scratch.(0) <- m.scratch.(0) +. Array.unsafe_get ts i
+      done;
+      let sum = m.scratch.(0) in
+      if sum > 0. then begin
+        let inv = 1. /. sum in
+        for i = 0 to n - 1 do
+          Array.unsafe_set m.shares i (Array.unsafe_get ts i *. inv)
+        done;
+        let before = Sd.reschedule_count sd in
+        Sd.observe sd m.shares;
+        if Sd.reschedule_count sd > before then begin
+          let t0 = Monotonic.now () in
+          let sched = Sd.current sd in
+          set_assignment m.exec sched.Om_sched.Lpt.assignment;
+          Round_stats.note_reschedule m.stats
+            ~seconds:(Monotonic.now () -. t0)
+            ~makespan:sched.Om_sched.Lpt.makespan
+        end
+      end
+
+let shutdown_measured m = shutdown m.exec
+
+let with_measured ?spin_budget ?semidynamic ~nworkers ~tasks desc compiled f =
+  let m =
+    create_measured ?spin_budget ?semidynamic ~nworkers ~tasks desc compiled
+  in
+  Fun.protect ~finally:(fun () -> shutdown_measured m) (fun () -> f m)

@@ -12,10 +12,19 @@
     supervisor domain after the round barrier in the same order as
     sequential execution, so the derivative vector — and therefore any
     trajectory integrated through {!rhs_fn} — is bit-identical to
-    sequential evaluation for every worker count.
+    sequential evaluation for every worker count and for every task
+    assignment, including assignments swapped mid-run by
+    {!set_assignment}.
 
-    A steady-state round allocates nothing on the supervisor domain
-    (enforced by a [Gc.minor_words] regression test). *)
+    Every task is timed with the unboxed monotonic clock
+    ({!Monotonic.now}) into a pre-allocated buffer; the measured
+    executor ({!create_measured}) feeds those per-task times into the
+    paper's semi-dynamic LPT rescheduler ([Om_sched.Semidynamic]) and
+    accumulates per-worker round telemetry ({!Round_stats}).
+
+    A steady-state round — including a measured, semi-dynamic one that
+    does not reschedule — allocates nothing on the supervisor domain
+    (enforced by [Gc.minor_words] regression tests). *)
 
 type t
 
@@ -39,6 +48,15 @@ val rhs_fn : t -> float -> float array -> float array -> unit
     [ydot].  Drop-in replacement for
     {!Om_codegen.Bytecode_backend.rhs_fn}. *)
 
+val set_assignment : t -> int array -> unit
+(** Replace the live task assignment without respawning domains: the
+    per-worker slices are rebuilt and swapped into the array the worker
+    jobs read at the start of each round, so the new schedule takes
+    effect at the next {!rhs_fn} call.  Supervisor-only; must not run
+    concurrently with a round.
+    @raise Invalid_argument on a wrong-length assignment or a worker id
+    outside [0 .. nworkers-1]. *)
+
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent. *)
 
@@ -57,4 +75,76 @@ val rounds : t -> int
 (** Rounds executed so far. *)
 
 val worker_tasks : t -> int array array
-(** Task ids per worker, ascending — the materialised assignment. *)
+(** Task ids per worker, ascending — the materialised live assignment
+    (mutated in place by {!set_assignment}). *)
+
+val task_seconds : t -> float array
+(** The per-task timing buffer: [(task_seconds t).(i)] is the wall
+    seconds task [i] took in the last round, measured on its worker.
+    The buffer itself (not a copy); stable only between rounds. *)
+
+val worker_compute : t -> float array
+(** {!Domain_pool.compute_seconds} of the underlying pool. *)
+
+val last_round_seconds : t -> float
+(** Wall seconds of the last round ({!Domain_pool.last_round_seconds}). *)
+
+(** {1 Measured execution}
+
+    Telemetry plus the paper's §3.2.3 semi-dynamic loop on real
+    hardware: every round is timed, per-task times are normalised into
+    shares of the round and fed to [Om_sched.Semidynamic.observe], and
+    when the rescheduler rebuilds its LPT schedule the new assignment is
+    swapped into the live executor between rounds. *)
+
+type measured = {
+  exec : t;
+  stats : Round_stats.t;
+  semidyn : Om_sched.Semidynamic.t option;
+      (** [None]: telemetry only (static schedule) *)
+  shares : float array;  (** pre-allocated normalised-share buffer *)
+  scratch : float array;  (** pre-allocated summation slot *)
+}
+
+val create_measured :
+  ?spin_budget:int ->
+  ?semidynamic:int ->
+  nworkers:int ->
+  tasks:Om_sched.Task.t array ->
+  Om_machine.Round_desc.t ->
+  Om_codegen.Bytecode_backend.t ->
+  measured
+(** {!create} plus telemetry.  With [~semidynamic:period] the executor
+    re-runs LPT on measured costs every [period] rounds: the rescheduler
+    starts from the descriptor's static costs normalised to sum 1 (which
+    leaves the initial LPT assignment unchanged) and observes each
+    round's per-task time shares, so estimates are scale-free.
+    @raise Invalid_argument as {!create}, or if [tasks] does not match
+    the compiled task count when [semidynamic] is given. *)
+
+val measured_rhs_fn : measured -> float -> float array -> float array -> unit
+(** {!rhs_fn} plus, after the round: record per-worker compute/wait into
+    [stats]; under [semidynamic], feed normalised per-task time shares
+    to the rescheduler and swap a rebuilt schedule into the executor
+    (counted, and timed, as a reschedule in [stats]).  Rounds whose
+    timings sum to zero (clock granularity) are not observed.
+    Allocation-free on the supervisor except in the round where a
+    reschedule fires. *)
+
+val shutdown_measured : measured -> unit
+
+val with_measured :
+  ?spin_budget:int ->
+  ?semidynamic:int ->
+  nworkers:int ->
+  tasks:Om_sched.Task.t array ->
+  Om_machine.Round_desc.t ->
+  Om_codegen.Bytecode_backend.t ->
+  (measured -> 'a) ->
+  'a
+(** [create_measured], run the callback, and shut down even on
+    exceptions. *)
+
+val executor : measured -> t
+val stats : measured -> Round_stats.t
+val semidynamic : measured -> Om_sched.Semidynamic.t option

@@ -1,6 +1,9 @@
 (* Measured multicore scaling sweeps: the real-hardware counterpart of
    the simulated Figure 12 series, sharing its schedule (LPT on static
-   costs) and its metric (#RHS-calls per second). *)
+   costs) and its metric (#RHS-calls per second).  Each sweep runs
+   through the measured executor, so per-point telemetry (reschedules,
+   per-worker compute/wait) rides along, and a [?semidynamic] sweep
+   exercises the paper's §3.2.3 rescheduler on real domains. *)
 
 module Bb = Om_codegen.Bytecode_backend
 module P = Om_codegen.Pipeline
@@ -12,12 +15,17 @@ type point = {
   rhs_per_sec : float;
   speedup : float;
   identical : bool;
+  first_diff : int option;
+  reschedules : int;
+  worker_compute : float array;
+  worker_wait : float array;
 }
 
 type series = {
   model : string;
   dim : int;
   ntasks : int;
+  semidynamic : int option;
   points : point list;
 }
 
@@ -30,6 +38,24 @@ let desc_for (r : P.result) ~nprocs =
     ~task_reads:(Array.map (fun t -> t.Om_sched.Task.reads) r.tasks)
     ~task_writes:(Array.map (fun t -> t.Om_sched.Task.writes) r.tasks)
     ~state_dim:r.compiled.Bb.dim
+
+(* First index where the two derivative vectors differ bitwise, [None]
+   if they are identical.  Bit comparison via [Int64.bits_of_float]
+   rather than polymorphic [=]: structural equality on float arrays
+   treats [nan <> nan], so a NaN-producing model would report every run
+   as non-identical even when the bits agree. *)
+let first_diff_index a b =
+  let n = Array.length a in
+  if Array.length b <> n then Some 0
+  else begin
+    let i = ref 0 in
+    while
+      !i < n && Int64.equal (Int64.bits_of_float a.(!i)) (Int64.bits_of_float b.(!i))
+    do
+      incr i
+    done;
+    if !i >= n then None else Some !i
+  end
 
 (* Evaluate the RHS [warmup + rounds] times at the model's initial
    state through [rhs]; return (seconds over the timed rounds, final
@@ -45,88 +71,168 @@ let time_rounds ~warmup ~rounds ~dim ~y0 rhs =
   done;
   (now () -. t0, ydot)
 
-let measure ?(rounds = 2000) ?(warmup = 50) ~name ~workers (r : P.result) =
+let measure ?(rounds = 2000) ?(warmup = 50) ?semidynamic ~name ~workers
+    (r : P.result) =
   let dim = r.compiled.Bb.dim in
   let y0 = Om_lang.Flat_model.initial_values r.model in
   let seq_seconds, seq_ydot =
     time_rounds ~warmup ~rounds ~dim ~y0 (Bb.rhs_fn r.compiled)
   in
-  let measured =
-    List.map
-      (fun w ->
-        let desc = desc_for r ~nprocs:w in
-        Par_exec.with_executor ~nworkers:w desc r.compiled (fun px ->
-            let seconds, ydot =
-              time_rounds ~warmup ~rounds ~dim ~y0 (Par_exec.rhs_fn px)
-            in
-            (w, seconds, ydot = seq_ydot)))
-      workers
+  (* One measured run at [w] workers: telemetry is reset after warm-up so
+     reschedule counts and per-worker totals cover only the timed rounds. *)
+  let run w =
+    let desc = desc_for r ~nprocs:w in
+    Par_exec.with_measured ?semidynamic ~nworkers:w ~tasks:r.tasks desc
+      r.compiled (fun m ->
+        let rhs = Par_exec.measured_rhs_fn m in
+        let ydot = Array.make dim 0. in
+        for _ = 1 to warmup do
+          rhs 0. y0 ydot
+        done;
+        let st = Par_exec.stats m in
+        Round_stats.reset st;
+        let t0 = now () in
+        for _ = 1 to rounds do
+          rhs 0. y0 ydot
+        done;
+        let seconds = now () -. t0 in
+        ( seconds,
+          ydot,
+          Round_stats.reschedules st,
+          Round_stats.worker_compute st,
+          Round_stats.worker_wait st ))
   in
-  let base =
-    match List.find_opt (fun (w, _, _) -> w = 1) measured with
-    | Some (_, s, _) -> s
-    | None -> seq_seconds
+  let measured = List.map (fun w -> (w, run w)) workers in
+  (* The speedup denominator is always a measured 1-worker executor run:
+     reusing the sweep's own 1-worker point when present, measuring one
+     otherwise — never the sequential time, whose missing round barrier
+     makes it a different baseline. *)
+  let base_seconds =
+    match List.assoc_opt 1 measured with
+    | Some (s, _, _, _, _) -> s
+    | None ->
+        let s, _, _, _, _ = run 1 in
+        s
   in
-  let point workers seconds identical =
+  let point ~workers ~seconds ~first_diff ~reschedules ~worker_compute
+      ~worker_wait =
     {
       workers;
       rounds;
       seconds;
       rhs_per_sec =
         (if seconds > 0. then float_of_int rounds /. seconds else 0.);
-      speedup = (if seconds > 0. then base /. seconds else 0.);
-      identical;
+      speedup = (if seconds > 0. then base_seconds /. seconds else 0.);
+      identical = first_diff = None;
+      first_diff;
+      reschedules;
+      worker_compute;
+      worker_wait;
     }
   in
   {
     model = name;
     dim;
     ntasks = Array.length r.compiled.Bb.tasks;
+    semidynamic;
     points =
-      point 0 seq_seconds true
-      :: List.map (fun (w, s, id) -> point w s id) measured;
+      point ~workers:0 ~seconds:seq_seconds ~first_diff:None ~reschedules:0
+        ~worker_compute:[||] ~worker_wait:[||]
+      :: List.map
+           (fun (w, (s, ydot, n, wc, ww)) ->
+             point ~workers:w ~seconds:s
+               ~first_diff:(first_diff_index seq_ydot ydot)
+               ~reschedules:n ~worker_compute:wc ~worker_wait:ww)
+           measured;
   }
 
-let schema = "objectmath-bench-parallel/1"
+let schema = "objectmath-bench-parallel/2"
+
+(* JSON numbers must be finite: [nan]/[inf] from a diverging model or a
+   zero-duration division are serialised as [null], never printed with
+   [%g] (which would emit invalid JSON). *)
+let num x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let num_array xs =
+  "[" ^ String.concat ", " (Array.to_list (Array.map num xs)) ^ "]"
+
+let series_key s =
+  match s.semidynamic with None -> "static" | Some _ -> "semidynamic"
 
 let write_json ~path ~ncores series =
-  let buf = Buffer.create 2048 in
-  let num x = Printf.sprintf "%.6g" x in
+  let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "{\n  \"schema\": %S,\n  \"ncores\": %d,\n  \"models\": {\n"
        schema ncores);
+  (* Group the sweeps by model, keeping first-appearance order, so a
+     static and a semidynamic run of the same model nest under one
+     model object. *)
+  let models =
+    List.fold_left
+      (fun acc s -> if List.mem_assoc s.model acc then acc else (s.model, ()) :: acc)
+      [] series
+    |> List.rev_map fst
+  in
   List.iteri
-    (fun i s ->
+    (fun mi model ->
+      let runs = List.filter (fun s -> s.model = model) series in
+      let first = List.hd runs in
       Buffer.add_string buf
-        (Printf.sprintf "    %S: {\n      \"dim\": %d, \"tasks\": %d,\n      \"points\": {\n"
-           s.model s.dim s.ntasks);
+        (Printf.sprintf
+           "    %S: {\n      \"dim\": %d, \"tasks\": %d,\n      \"series\": {\n"
+           model first.dim first.ntasks);
       List.iteri
-        (fun j p ->
+        (fun si s ->
           Buffer.add_string buf
-            (Printf.sprintf
-               "        \"%d\": { \"rounds\": %d, \"seconds\": %s, \
-                \"rhs_calls_per_sec\": %s, \"speedup_vs_1\": %s, \
-                \"identical\": %b }%s\n"
-               p.workers p.rounds (num p.seconds) (num p.rhs_per_sec)
-               (num p.speedup) p.identical
-               (if j = List.length s.points - 1 then "" else ",")))
-        s.points;
+            (Printf.sprintf "        %S: {\n" (series_key s));
+          (match s.semidynamic with
+          | None -> ()
+          | Some p ->
+              Buffer.add_string buf
+                (Printf.sprintf "          \"period\": %d,\n" p));
+          Buffer.add_string buf "          \"points\": {\n";
+          List.iteri
+            (fun j p ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "            \"%d\": { \"rounds\": %d, \"seconds\": %s, \
+                    \"rhs_calls_per_sec\": %s, \"speedup_vs_1\": %s, \
+                    \"identical\": %b, \"first_diff\": %s, \
+                    \"reschedules\": %d, \"worker_compute\": %s, \
+                    \"worker_wait\": %s }%s\n"
+                   p.workers p.rounds (num p.seconds) (num p.rhs_per_sec)
+                   (num p.speedup) p.identical
+                   (match p.first_diff with
+                   | None -> "null"
+                   | Some i -> string_of_int i)
+                   p.reschedules (num_array p.worker_compute)
+                   (num_array p.worker_wait)
+                   (if j = List.length s.points - 1 then "" else ",")))
+            s.points;
+          Buffer.add_string buf
+            (Printf.sprintf "          }\n        }%s\n"
+               (if si = List.length runs - 1 then "" else ",")))
+        runs;
       Buffer.add_string buf
         (Printf.sprintf "      }\n    }%s\n"
-           (if i = List.length series - 1 then "" else ",")))
-    series;
+           (if mi = List.length models - 1 then "" else ",")))
+    models;
   Buffer.add_string buf "  }\n}\n";
   let oc = open_out path in
   Buffer.output_buffer oc buf;
   close_out oc
 
 let pp_series ppf s =
-  Format.fprintf ppf "%s: dim %d, %d tasks@." s.model s.dim s.ntasks;
-  Format.fprintf ppf "  %-9s %10s %14s %10s %10s@." "workers" "rounds"
-    "RHS-calls/s" "speedup" "identical";
+  Format.fprintf ppf "%s (%s): dim %d, %d tasks@." s.model
+    (match s.semidynamic with
+    | None -> "static"
+    | Some p -> Printf.sprintf "semidynamic, period %d" p)
+    s.dim s.ntasks;
+  Format.fprintf ppf "  %-9s %10s %14s %10s %10s %8s@." "workers" "rounds"
+    "RHS-calls/s" "speedup" "identical" "resched";
   List.iter
     (fun p ->
-      Format.fprintf ppf "  %-9s %10d %14.0f %10.2f %10b@."
+      Format.fprintf ppf "  %-9s %10d %14.0f %10.2f %10b %8d@."
         (if p.workers = 0 then "seq" else string_of_int p.workers)
-        p.rounds p.rhs_per_sec p.speedup p.identical)
+        p.rounds p.rhs_per_sec p.speedup p.identical p.reschedules)
     s.points

@@ -3,29 +3,48 @@
     Runs the same LPT schedules as the simulated Figure 12 experiment,
     but on real domains through {!Par_exec}, and reports measured
     [#RHS-calls/second] per worker count — so the simulated curve and
-    the real-hardware curve can be plotted side by side. *)
+    the real-hardware curve can be plotted side by side.  Every sweep
+    goes through the measured executor, so each point also carries its
+    per-worker compute/wait telemetry and reschedule count, and a
+    [?semidynamic] sweep runs the paper's §3.2.3 rescheduler live. *)
 
 type point = {
   workers : int;  (** 0 = sequential (supervisor-only) baseline *)
   rounds : int;  (** timed RHS evaluations *)
   seconds : float;  (** wall-clock seconds over the timed rounds *)
   rhs_per_sec : float;
-  speedup : float;  (** vs the 1-worker measurement (or the sequential
-                        baseline when 1 is not in the sweep) *)
+  speedup : float;
+      (** vs a measured 1-worker executor run — always measured, even
+          when 1 is not in the sweep, so every point (including the
+          sequential one) shares a single baseline *)
   identical : bool;
-      (** derivative vector bitwise equal to sequential execution *)
+      (** derivative vector bitwise equal to sequential execution
+          ([Int64.bits_of_float] per element, so NaN payloads compare
+          by bits rather than by IEEE [<>]) *)
+  first_diff : int option;
+      (** index of the first bitwise-differing element, [None] when
+          identical *)
+  reschedules : int;  (** schedule rebuilds during the timed rounds *)
+  worker_compute : float array;
+      (** per-worker task-execution seconds over the timed rounds
+          ([[||]] for the sequential point) *)
+  worker_wait : float array;
+      (** per-worker barrier-wait seconds over the timed rounds *)
 }
 
 type series = {
   model : string;
   dim : int;
   ntasks : int;
+  semidynamic : int option;
+      (** rescheduling period of the sweep, [None] for static LPT *)
   points : point list;
 }
 
 val measure :
   ?rounds:int ->
   ?warmup:int ->
+  ?semidynamic:int ->
   name:string ->
   workers:int list ->
   Om_codegen.Pipeline.result ->
@@ -33,15 +52,24 @@ val measure :
 (** Time [rounds] (default 2000) RHS evaluations at the model's initial
     state, sequentially and for every worker count in [workers] (each
     preceded by [warmup] untimed evaluations), reusing one domain pool
-    per worker count across all of its rounds. *)
+    per worker count across all of its rounds.  Telemetry is reset
+    after warm-up, so each point's reschedule count and worker
+    compute/wait totals cover exactly the timed rounds.  The speedup
+    baseline is always a measured 1-worker executor run: the sweep's
+    own 1-worker point when [1] is in [workers], a dedicated extra run
+    otherwise.  [?semidynamic] forwards the rescheduling period to
+    {!Par_exec.create_measured}. *)
 
 val schema : string
-(** ["objectmath-bench-parallel/1"]. *)
+(** ["objectmath-bench-parallel/2"]. *)
 
 val write_json : path:string -> ncores:int -> series list -> unit
 (** Write the machine-readable sweep results; [ncores] records the
     host's core count so flat curves on small machines are
-    interpretable. *)
+    interpretable.  Sweeps of the same model nest under one model
+    object, keyed ["static"] / ["semidynamic"].  Non-finite floats are
+    serialised as [null] — the output is always valid JSON even for a
+    diverging model. *)
 
 val pp_series : Format.formatter -> series -> unit
 (** Human-readable table of one sweep. *)

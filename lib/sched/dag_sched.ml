@@ -110,6 +110,7 @@ let speedup g ~weights ~comm ~nprocs =
   if s.makespan = 0. then 1. else total /. s.makespan
 
 let pipeline_throughput g ~weights ~nprocs =
+  if nprocs < 1 then invalid_arg "Dag_sched.pipeline_throughput: nprocs < 1";
   if not (Topo.is_acyclic g) then
     invalid_arg "Dag_sched.pipeline_throughput: graph has a cycle";
   let n = Digraph.node_count g in
@@ -122,7 +123,7 @@ let pipeline_throughput g ~weights ~nprocs =
        initiation interval is the heaviest processor load. *)
     let order = Array.init n Fun.id in
     Array.sort (fun a b -> Float.compare weights.(b) weights.(a)) order;
-    let loads = Array.make (max 1 nprocs) 0. in
+    let loads = Array.make nprocs 0. in
     Array.iter
       (fun v ->
         let best = ref 0 in

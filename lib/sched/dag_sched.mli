@@ -45,4 +45,6 @@ val pipeline_throughput :
     interval is the heaviest stage, so throughput-speedup is
     [total / max stage weight]; with fewer processors than stages the
     stages are packed with LPT first.
-    @raise Invalid_argument on cyclic graphs. *)
+    @raise Invalid_argument on cyclic graphs or [nprocs < 1] (the same
+    contract as {!schedule}, which has always raised on a non-positive
+    processor count). *)

@@ -15,15 +15,33 @@
 type t
 
 val create :
-  ?period:int -> ?smoothing:float -> Task.t array -> nprocs:int -> t
+  ?period:int ->
+  ?smoothing:float ->
+  ?costs:float array ->
+  Task.t array ->
+  nprocs:int ->
+  t
 (** [period] (default 10) iterations between reschedules; [smoothing]
-    (default 0.5) is the weight of the newest measurement. *)
+    (default 0.5) is the weight of the newest measurement.  [costs]
+    overrides the initial cost estimates (and the initial schedule) —
+    the real executor passes normalised static costs here so that
+    subsequently observed per-round time {e shares} live on the same
+    scale as the estimates.  The array is copied.
+    @raise Invalid_argument if [period < 1], [smoothing] is outside
+    (0, 1], or [costs] does not match the task count. *)
 
 val current : t -> Lpt.schedule
 
+val estimates : t -> float array
+(** The current smoothed cost estimates (a copy). *)
+
 val observe : t -> float array -> unit
 (** Record measured per-task costs for the iteration just executed;
-    reschedules when the period has elapsed. *)
+    reschedules when the period has elapsed.  Units are the caller's
+    choice (flops, seconds, or normalised shares) — LPT only depends on
+    relative cost.  Allocation-free unless this observation triggers a
+    reschedule.
+    @raise Invalid_argument on a wrong-length measurement vector. *)
 
 val reschedule_count : t -> int
 

@@ -117,7 +117,7 @@ let sequential_reference (r : P.result) ~solver ~tend =
   | R.Rk4 h -> Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0:0. ~y0 ~tend ~h
   | _ -> assert false
 
-let check_identical name (r : P.result) =
+let check_identical ?(scheduling = R.Static) name (r : P.result) =
   let tend = 1e-4 in
   let solver = R.Rk4 (tend /. 10.) in
   let reference = sequential_reference r ~solver ~tend in
@@ -125,7 +125,8 @@ let check_identical name (r : P.result) =
     (fun n ->
       let rep =
         R.execute
-          ~config:{ R.default_config with execution = R.Real_domains n }
+          ~config:
+            { R.default_config with execution = R.Real_domains n; scheduling }
           ~solver ~tend r
       in
       Alcotest.(check bool)
@@ -142,6 +143,126 @@ let test_identical_bearing () = check_identical "bearing" (Lazy.force bearing)
 
 let test_identical_powerplant () =
   check_identical "powerplant" (Lazy.force powerplant)
+
+let test_identical_semidynamic () =
+  (* The acceptance property of the measured rescheduler: swapping LPT
+     schedules mid-run must not change a single bit of the trajectory. *)
+  check_identical ~scheduling:(R.Semidynamic 3) "bearing semidynamic"
+    (Lazy.force bearing);
+  check_identical ~scheduling:(R.Semidynamic 3) "powerplant semidynamic"
+    (Lazy.force powerplant)
+
+(* ---------- measured semi-dynamic execution ---------- *)
+
+let test_real_reschedules () =
+  (* Real_domains + Semidynamic must perform actual reschedules (the
+     rescheduler fires every [period] observed rounds), and the report's
+     telemetry must be measured, not placeholder. *)
+  let r = Lazy.force bearing in
+  let tend = 1e-4 in
+  let rep =
+    R.execute
+      ~config:
+        {
+          R.default_config with
+          execution = R.Real_domains 2;
+          scheduling = R.Semidynamic 5;
+        }
+      ~solver:(R.Rk4 (tend /. 10.)) ~tend r
+  in
+  (* Rk4 over 10 steps = 40 RHS rounds; period 5 -> several reschedules
+     even if a few rounds fall under clock granularity. *)
+  Alcotest.(check bool) "at least one real reschedule" true
+    (rep.reschedules >= 1);
+  Alcotest.(check bool) "reschedule overhead measured, nonnegative" true
+    (rep.sched_overhead_seconds >= 0.);
+  Alcotest.(check int) "per-worker compute array" 2
+    (Array.length rep.worker_compute_seconds);
+  Alcotest.(check int) "per-worker wait array" 2
+    (Array.length rep.worker_wait_seconds);
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "compute nonnegative" true (c >= 0.))
+    rep.worker_compute_seconds;
+  Array.iter
+    (fun w -> Alcotest.(check bool) "wait nonnegative" true (w >= 0.))
+    rep.worker_wait_seconds;
+  Alcotest.(check bool) "utilization in (0, 1]" true
+    (rep.worker_utilization > 0. && rep.worker_utilization <= 1.)
+
+let test_set_assignment () =
+  (* Swapping the live assignment between rounds changes the partition
+     without changing results. *)
+  let r = Lazy.force bearing in
+  let nworkers = 2 in
+  let desc = desc_of ~nworkers r in
+  let dim = r.compiled.dim in
+  let y = Om_lang.Flat_model.initial_values r.model in
+  let reference = Array.make dim 0. in
+  Bb.rhs_fn r.compiled 0. y reference;
+  Par_exec.with_executor ~nworkers desc r.compiled @@ fun px ->
+  let ydot = Array.make dim 0. in
+  Par_exec.rhs_fn px 0. y ydot;
+  Alcotest.(check bool) "original schedule matches sequential" true
+    (ydot = reference);
+  (* Invert the assignment: every task moves to the other worker. *)
+  let flipped = Array.map (fun w -> 1 - w) desc.assignment in
+  Par_exec.set_assignment px flipped;
+  let tasks = Par_exec.worker_tasks px in
+  Array.iteri
+    (fun w slice ->
+      Array.iter
+        (fun task ->
+          Alcotest.(check int) "flipped assignment respected" w
+            flipped.(task))
+        slice)
+    tasks;
+  Array.fill ydot 0 dim 0.;
+  Par_exec.rhs_fn px 0. y ydot;
+  Alcotest.(check bool) "flipped schedule matches sequential" true
+    (ydot = reference)
+
+let test_set_assignment_invalid () =
+  let r = Lazy.force bearing in
+  let nworkers = 2 in
+  let desc = desc_of ~nworkers r in
+  Par_exec.with_executor ~nworkers desc r.compiled @@ fun px ->
+  let ntasks = Array.length r.compiled.Bb.tasks in
+  Alcotest.(check bool) "wrong length rejected" true
+    (match Par_exec.set_assignment px [| 0 |] with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "worker id out of range rejected" true
+    (match Par_exec.set_assignment px (Array.make ntasks nworkers) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_measured_telemetry () =
+  let r = Lazy.force bearing in
+  let nworkers = 2 in
+  let desc = desc_of ~nworkers r in
+  Par_exec.with_measured ~nworkers ~tasks:r.tasks desc r.compiled @@ fun m ->
+  let dim = r.compiled.dim in
+  let y = Om_lang.Flat_model.initial_values r.model in
+  let ydot = Array.make dim 0. in
+  for _ = 1 to 20 do
+    Par_exec.measured_rhs_fn m 0. y ydot
+  done;
+  let st = Par_exec.stats m in
+  let module Rs = Om_parallel.Round_stats in
+  Alcotest.(check int) "rounds observed" 20 (Rs.rounds st);
+  Alcotest.(check int) "no reschedules without semidynamic" 0
+    (Rs.reschedules st);
+  Alcotest.(check bool) "round time positive" true (Rs.round_seconds st > 0.);
+  Alcotest.(check int) "compute per worker" nworkers
+    (Array.length (Rs.worker_compute st));
+  Alcotest.(check int) "wait per worker" nworkers
+    (Array.length (Rs.worker_wait st));
+  Array.iter
+    (fun w -> Alcotest.(check bool) "wait nonnegative" true (w >= 0.))
+    (Rs.worker_wait st);
+  let u = Rs.utilization st in
+  Alcotest.(check bool) "utilization in (0, 1]" true (u > 0. && u <= 1.)
 
 (* ---------- zero allocation in the steady state ---------- *)
 
@@ -169,6 +290,86 @@ let test_round_zero_alloc () =
   let d2 = words 550 in
   Alcotest.(check (float 0.)) "zero words per round" 0. (d2 -. d1)
 
+let test_measured_round_zero_alloc () =
+  (* The measured semi-dynamic path — per-task timing, telemetry
+     accumulation, share normalisation, EWMA observation — must also be
+     allocation-free on the supervisor in rounds where no reschedule
+     fires (period larger than the loop). *)
+  let r = Lazy.force bearing in
+  let nworkers = 2 in
+  let desc = desc_of ~nworkers r in
+  Par_exec.with_measured ~semidynamic:1_000_000 ~nworkers ~tasks:r.tasks desc
+    r.compiled
+  @@ fun m ->
+  let dim = r.compiled.dim in
+  let y = Om_lang.Flat_model.initial_values r.model in
+  let ydot = Array.make dim 0. in
+  let words n =
+    Par_exec.measured_rhs_fn m 0. y ydot;
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      Par_exec.measured_rhs_fn m 0. y ydot
+    done;
+    Gc.minor_words () -. before
+  in
+  let d1 = words 50 in
+  let d2 = words 550 in
+  Alcotest.(check (float 0.)) "zero words per measured round" 0. (d2 -. d1)
+
+(* ---------- scaling JSON ---------- *)
+
+let test_scaling_json_nan () =
+  (* Non-finite measurements must serialise as null, never as the
+     invalid-JSON tokens nan/inf. *)
+  let module S = Om_parallel.Scaling in
+  let point =
+    {
+      S.workers = 2;
+      rounds = 10;
+      seconds = Float.nan;
+      rhs_per_sec = Float.infinity;
+      speedup = Float.neg_infinity;
+      identical = false;
+      first_diff = Some 3;
+      worker_compute = [| 0.5; Float.nan |];
+      worker_wait = [| 0.; 0.1 |];
+      reschedules = 1;
+    }
+  in
+  let series =
+    {
+      S.model = "nan-model";
+      dim = 4;
+      ntasks = 7;
+      semidynamic = Some 10;
+      points = [ point ];
+    }
+  in
+  let path = Filename.temp_file "scaling" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.write_json ~path ~ncores:4 [ series ];
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let contains sub =
+        let n = String.length text and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "nan serialised as null" true
+        (contains "\"seconds\": null");
+      Alcotest.(check bool) "nan inside float array serialised as null" true
+        (contains "null]");
+      Alcotest.(check bool) "first_diff index present" true
+        (contains "\"first_diff\": 3");
+      Alcotest.(check bool) "no nan token" false (contains "nan,");
+      Alcotest.(check bool) "no inf token" false (contains "inf"))
+
 let () =
   Alcotest.run "om_parallel"
     [
@@ -184,11 +385,25 @@ let () =
           Alcotest.test_case "validation" `Quick test_exec_validation;
           Alcotest.test_case "partition" `Quick test_exec_partition;
           Alcotest.test_case "zero-alloc round" `Quick test_round_zero_alloc;
+          Alcotest.test_case "set_assignment" `Quick test_set_assignment;
+          Alcotest.test_case "set_assignment invalid" `Quick
+            test_set_assignment_invalid;
+        ] );
+      ( "measured",
+        [
+          Alcotest.test_case "telemetry" `Quick test_measured_telemetry;
+          Alcotest.test_case "real reschedules" `Quick test_real_reschedules;
+          Alcotest.test_case "zero-alloc measured round" `Quick
+            test_measured_round_zero_alloc;
         ] );
       ( "differential",
         [
           Alcotest.test_case "bearing identical" `Quick test_identical_bearing;
           Alcotest.test_case "powerplant identical" `Quick
             test_identical_powerplant;
+          Alcotest.test_case "semidynamic identical" `Quick
+            test_identical_semidynamic;
         ] );
+      ( "scaling",
+        [ Alcotest.test_case "nan json" `Quick test_scaling_json_nan ] );
     ]

@@ -209,7 +209,89 @@ let test_semidynamic_smoothing () =
   Semidynamic.observe sd [| 20. |];
   (* estimate = 10 -> 15 -> 17.5; no reschedule yet so the schedule is
      unchanged, but estimates converge toward measurements. *)
-  Alcotest.(check int) "no reschedule" 0 (Semidynamic.reschedule_count sd)
+  Alcotest.(check int) "no reschedule" 0 (Semidynamic.reschedule_count sd);
+  Alcotest.(check (float 1e-9)) "EWMA after two observations" 17.5
+    (Semidynamic.estimates sd).(0)
+
+let test_semidynamic_ewma_converges () =
+  (* Repeated observation of constant measured costs drives the EWMA
+     estimates geometrically toward the measurements. *)
+  let tasks = mk_tasks [ 10.; 10.; 10. ] in
+  let sd = Semidynamic.create ~period:1000 ~smoothing:0.5 tasks ~nprocs:2 in
+  let measured = [| 2.; 6.; 40. |] in
+  for _ = 1 to 30 do
+    Semidynamic.observe sd measured
+  done;
+  let est = Semidynamic.estimates sd in
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "estimate %d converged to %g" i m)
+        true
+        (Float.abs (est.(i) -. m) < 1e-6))
+    measured
+
+let test_semidynamic_exact_period () =
+  (* A reschedule fires on exactly every [period]-th observation:
+     the count is k after k*period observations and never in between. *)
+  let period = 4 in
+  let tasks = mk_tasks [ 1.; 1.; 1. ] in
+  let sd = Semidynamic.create ~period tasks ~nprocs:2 in
+  for i = 1 to 3 * period do
+    Semidynamic.observe sd [| 1.; 1.; 1. |];
+    Alcotest.(check int)
+      (Printf.sprintf "reschedule count after %d observations" i)
+      (i / period)
+      (Semidynamic.reschedule_count sd)
+  done
+
+let test_semidynamic_initial_costs () =
+  (* [?costs] overrides both the initial estimates and the initial
+     schedule; a mismatched length is rejected. *)
+  let tasks = mk_tasks [ 1.; 1. ] in
+  let sd = Semidynamic.create ~costs:[| 10.; 1. |] tasks ~nprocs:2 in
+  Alcotest.(check (float 1e-9)) "initial makespan from costs" 10.
+    (Semidynamic.current sd).makespan;
+  let est = Semidynamic.estimates sd in
+  Alcotest.(check (float 1e-9)) "initial estimate 0" 10. est.(0);
+  Alcotest.(check (float 1e-9)) "initial estimate 1" 1. est.(1);
+  Alcotest.(check bool) "wrong-length costs rejected" true
+    (match Semidynamic.create ~costs:[| 1. |] tasks ~nprocs:2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_semidynamic_cost_inversion () =
+  (* Static estimates put one heavy task alone and pile the light ones
+     on the other processor.  When measurements invert the costs, the
+     rebuilt schedule must break up the now-overloaded worker. *)
+  let tasks = mk_tasks [ 8.; 1.; 1.; 1.; 1.; 1. ] in
+  let sd = Semidynamic.create ~period:1 ~smoothing:1. tasks ~nprocs:2 in
+  let initial = Semidynamic.current sd in
+  let light_proc = initial.assignment.(1) in
+  Alcotest.(check int) "statically the heavy task sits alone"
+    (1 - light_proc)
+    initial.assignment.(0);
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "light task %d packed together" i)
+        light_proc initial.assignment.(i))
+    [ 1; 2; 3; 4; 5 ];
+  (* Reality inverted: task 0 is cheap, the "light" tasks are heavy. *)
+  Semidynamic.observe sd [| 1.; 4.; 4.; 4.; 4.; 4. |];
+  let rebuilt = Semidynamic.current sd in
+  Alcotest.(check int) "reschedule happened" 1
+    (Semidynamic.reschedule_count sd);
+  let heavy_on_light_proc =
+    List.filter (fun i -> rebuilt.assignment.(i) = light_proc) [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool)
+    "the overloaded worker sheds some of the now-heavy tasks" true
+    (List.length heavy_on_light_proc < 5);
+  (* LPT on {4,4,4,4,4,1}: loads 12 and 9 — the optimum for these
+     costs (every subset sum is 4k or 4k+1, so 11 is unreachable). *)
+  Alcotest.(check (float 1e-9)) "rebuilt makespan is the LPT optimum" 12.
+    rebuilt.makespan
 
 (* ---------- DAG scheduling ---------- *)
 
@@ -330,6 +412,27 @@ let test_pipeline_cycle_rejected () =
     (fun () ->
       ignore (Dag.pipeline_throughput g ~weights:[| 1.; 1. |] ~nprocs:2))
 
+let test_nprocs_boundary () =
+  (* Both entry points share the raise-on-nonpositive contract:
+     [pipeline_throughput] used to clamp [max 1 nprocs] silently while
+     [schedule] raised, hiding caller bugs on one path only. *)
+  let g = D.of_edges [ "a"; "b" ] [ ("a", "b") ] in
+  let w = [| 1.; 1. |] in
+  Alcotest.check_raises "schedule rejects 0"
+    (Invalid_argument "Dag_sched.schedule: nprocs < 1") (fun () ->
+      ignore (Dag.schedule g ~weights:w ~comm:0. ~nprocs:0));
+  Alcotest.check_raises "pipeline rejects 0"
+    (Invalid_argument "Dag_sched.pipeline_throughput: nprocs < 1") (fun () ->
+      ignore (Dag.pipeline_throughput g ~weights:w ~nprocs:0));
+  Alcotest.check_raises "pipeline rejects negative"
+    (Invalid_argument "Dag_sched.pipeline_throughput: nprocs < 1") (fun () ->
+      ignore (Dag.pipeline_throughput g ~weights:w ~nprocs:(-3)));
+  (* nprocs = 1 is the smallest legal value on both. *)
+  Alcotest.(check (float 1e-9)) "schedule at 1 proc" 2.
+    (Dag.schedule g ~weights:w ~comm:0. ~nprocs:1).makespan;
+  Alcotest.(check (float 1e-9)) "pipeline at 1 proc" 1.
+    (Dag.pipeline_throughput g ~weights:w ~nprocs:1)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "om_sched"
@@ -367,6 +470,14 @@ let () =
           Alcotest.test_case "smoothing" `Quick test_semidynamic_smoothing;
           Alcotest.test_case "wrong measurement vector" `Quick
             test_semidynamic_wrong_measurement;
+          Alcotest.test_case "EWMA converges" `Quick
+            test_semidynamic_ewma_converges;
+          Alcotest.test_case "exact period" `Quick
+            test_semidynamic_exact_period;
+          Alcotest.test_case "initial costs" `Quick
+            test_semidynamic_initial_costs;
+          Alcotest.test_case "cost inversion" `Quick
+            test_semidynamic_cost_inversion;
         ] );
       ( "dag",
         [
@@ -387,5 +498,6 @@ let () =
             `Quick test_pipeline_beats_dag_on_chains;
           Alcotest.test_case "cycle rejected" `Quick
             test_pipeline_cycle_rejected;
+          Alcotest.test_case "nprocs boundary" `Quick test_nprocs_boundary;
         ] );
     ]
