@@ -444,6 +444,48 @@ let bench_cmd =
     Term.(const run $ file_arg $ builtin_arg $ machine $ workers $ tend
           $ needed_only $ semidynamic $ fanout $ domains)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run cases seed out_dir verbose =
+    let log = if verbose then prerr_endline else ignore in
+    let summary = Om_fuzz.Runner.run ~out_dir ~cases ~seed ~log () in
+    Format.printf "%a@." Om_fuzz.Runner.pp_summary summary;
+    if summary.failures <> [] then begin
+      List.iter
+        (fun (fl : Om_fuzz.Runner.failure) ->
+          Printf.printf "case %d: %d violation(s); counterexample in %s\n"
+            fl.index
+            (List.length fl.violations)
+            out_dir)
+        summary.failures;
+      exit 1
+    end
+  in
+  let cases =
+    Arg.(value & opt int 100
+         & info [ "cases" ] ~docv:"N" ~doc:"Number of random models.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Base seed; case $(i)i$(i) uses the pair (S, i).")
+  in
+  let out =
+    Arg.(value & opt string "bench_out/fuzz"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk counterexample dumps.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"Log each discarded/failing case.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random models checked across all \
+             evaluator and scheduling strategies")
+    Term.(const run $ cases $ seed $ out $ verbose)
+
 let () =
   let doc = "ObjectMath reproduction compiler (PPoPP 1995)" in
   exit
@@ -451,5 +493,5 @@ let () =
        (Cmd.group (Cmd.info "omc" ~doc)
           [
             analyze_cmd; browse_cmd; flatten_cmd; compile_cmd; simulate_cmd;
-            bench_cmd;
+            bench_cmd; fuzz_cmd;
           ]))

@@ -38,7 +38,7 @@ let slot_of_target s =
 
 let no_env = [||]
 
-let compile ?(scope = Cse_per_task) ?(backend = Exec_vm)
+let compile ?(scope = Cse_per_task) ?(backend = Exec_vm) ?(optimize = true)
     (plan : Partition.plan) ~state_names =
   let dim = plan.dim in
   if Array.length state_names <> dim then
@@ -134,7 +134,7 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm)
                 block.roots
           in
           let prog =
-            Om_expr.Vm.compile_stmts
+            Om_expr.Vm.compile_stmts ~optimize
               ~private_env_slot:(fun s -> Iset.mem s priv)
               ~out_size names stmts
           in
@@ -195,7 +195,7 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm)
   let run_epilogue, epilogue_program =
     match backend with
     | Exec_vm ->
-        let eprog = Om_expr.Vm.compile_epilogue ~out_size epilogue in
+        let eprog = Om_expr.Vm.compile_epilogue ~optimize ~out_size epilogue in
         ((fun () -> Om_expr.Vm.exec eprog ~env:no_env ~out), Some eprog)
     | Exec_closures ->
         ( (fun () ->

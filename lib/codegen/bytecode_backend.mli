@@ -56,10 +56,14 @@ type t = {
 val compile :
   ?scope:cse_scope ->
   ?backend:exec_backend ->
+  ?optimize:bool ->
   Partition.plan ->
   state_names:string array ->
   t
-(** Default scope is [Cse_per_task]; default backend is [Exec_vm]. *)
+(** Default scope is [Cse_per_task]; default backend is [Exec_vm].
+    [optimize] (default [true], [Exec_vm] only) runs the peephole pass
+    over every task and epilogue program; the fuzz oracle compiles with
+    [~optimize:false] to check that the pass is bit-preserving. *)
 
 val rhs_fn : t -> float -> float array -> float array -> unit
 (** Sequential execution of every task plus the epilogue: the reference

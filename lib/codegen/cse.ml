@@ -20,6 +20,18 @@ let extractable e =
   | E.Const _ | E.Var _ -> false
   | E.Add _ | E.Mul _ | E.Pow _ | E.Call _ | E.If _ -> true
 
+(* All rewriting below goes through [E.map_exact]: the smart constructors
+   keep n-ary [Add]/[Mul] operands sorted, so replacing an extracted
+   subtree with its temp variable (whose sort position differs from the
+   subtree's) would reorder the operand list — and reordering a
+   left-to-right float fold is a reassociation that can change the result
+   by an ulp.  An order-preserving swap of a subtree for a variable bound
+   to its value is exactly value-preserving, which the differential fuzz
+   oracle relies on: every backend must reproduce the tree-walk
+   interpreter bitwise. *)
+let subst_exact = E.map_exact
+let subst_children = E.map_exact_children
+
 let eliminate ?(min_size = 3) ?(min_count = 2) ?(prefix = "cse$") targets =
   (* Pass 1: count syntactic occurrences of every candidate subtree. *)
   let counts = Etbl.create 256 in
@@ -47,13 +59,10 @@ let eliminate ?(min_size = 3) ?(min_count = 2) ?(prefix = "cse$") targets =
         (name, e))
       shared
   in
-  let rec rewrite e =
-    match Etbl.find_opt names e with
-    | Some n -> E.var n
-    | None -> E.map_children rewrite e
-  in
+  let lookup e = Option.map E.var (Etbl.find_opt names e) in
+  let rewrite = subst_exact lookup in
   let temps =
-    List.map (fun (name, e) -> { name; expr = E.map_children rewrite e }) defs
+    List.map (fun (name, e) -> { name; expr = subst_children lookup e }) defs
   in
   let roots = List.map (fun (t, e) -> (t, rewrite e)) targets in
   (* Pass 3: inline temps used at most once (their single consumer absorbs
@@ -76,7 +85,11 @@ let eliminate ?(min_size = 3) ?(min_count = 2) ?(prefix = "cse$") targets =
   List.iter (fun b -> record_uses b.expr) temps;
   List.iter (fun (_, e) -> record_uses e) roots;
   let dropped = ref Smap.empty in
-  let resolve e = Om_expr.Subst.apply_map !dropped e in
+  let resolve e =
+    subst_exact
+      (function E.Var v -> Smap.find_opt v !dropped | _ -> None)
+      e
+  in
   let kept =
     List.filter_map
       (fun b ->
@@ -94,7 +107,11 @@ let eliminate ?(min_size = 3) ?(min_count = 2) ?(prefix = "cse$") targets =
   let renaming =
     List.mapi (fun i b -> (b.name, E.var (prefix ^ string_of_int i))) kept
   in
-  let rn e = Om_expr.Subst.apply renaming e in
+  let rn e =
+    subst_exact
+      (function E.Var v -> List.assoc_opt v renaming | _ -> None)
+      e
+  in
   let temps =
     List.mapi
       (fun i b -> { name = prefix ^ string_of_int i; expr = rn b.expr })

@@ -45,7 +45,8 @@ let analyse (m : Om_lang.Flat_model.t) =
   in
   { graph; comps; condensed; nontrivial; scc_weights }
 
-let compile ?(config = default_config) (m : Om_lang.Flat_model.t) =
+let compile ?(config = default_config) ?backend ?optimize
+    (m : Om_lang.Flat_model.t) =
   let assigns = Assignments.of_flat_model m in
   let plan =
     Partition.partition ~merge_threshold:config.merge_threshold
@@ -54,7 +55,8 @@ let compile ?(config = default_config) (m : Om_lang.Flat_model.t) =
   Partition.validate plan;
   let state_names = Om_lang.Flat_model.state_names m in
   let compiled =
-    Bytecode_backend.compile ~scope:config.cse_scope plan ~state_names
+    Bytecode_backend.compile ~scope:config.cse_scope ?backend ?optimize plan
+      ~state_names
   in
   let tasks =
     Array.map

@@ -30,7 +30,16 @@ type result = {
 
 val analyse : Om_lang.Flat_model.t -> analysis
 
-val compile : ?config:config -> Om_lang.Flat_model.t -> result
+val compile :
+  ?config:config ->
+  ?backend:Bytecode_backend.exec_backend ->
+  ?optimize:bool ->
+  Om_lang.Flat_model.t ->
+  result
+(** [backend] and [optimize] are forwarded to
+    {!Bytecode_backend.compile}; the defaults (register VM, peephole on)
+    are what every driver uses.  The fuzz oracle overrides them to pit
+    the execution strategies against each other. *)
 
 val system_level_speedup : analysis -> comm:float -> nprocs:int -> float
 (** Speedup attainable by solving SCC subsystems in parallel on the

@@ -42,12 +42,12 @@ let build ?(weights = Cost.default) names e =
         in
         fun env acc ->
           acc := !acc +. op_cost;
-          Float.pow (fb env acc) n
+          Expr.eval_pow (fb env acc) n
     | Pow (b, ex) ->
         let fb = build b and fe = build ex in
         fun env acc ->
           acc := !acc +. w.w_pow;
-          Float.pow (fb env acc) (fe env acc)
+          Expr.eval_pow (fb env acc) (fe env acc)
     | Call (f, args) ->
         let fs = List.map build args in
         let fcost = w.w_call f in

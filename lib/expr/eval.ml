@@ -16,7 +16,7 @@ let rec eval env (e : Expr.t) =
       | None -> raise (Unbound v))
   | Add xs -> List.fold_left (fun acc x -> acc +. eval env x) 0. xs
   | Mul xs -> List.fold_left (fun acc x -> acc *. eval env x) 1. xs
-  | Pow (b, e') -> Float.pow (eval env b) (eval env e')
+  | Pow (b, e') -> Expr.eval_pow (eval env b) (eval env e')
   | Call (f, args) -> Expr.eval_func f (List.map (eval env) args)
   | If (c, t, e') ->
       if Expr.eval_rel c.rel (eval env c.lhs) (eval env c.rhs) then eval env t
@@ -52,7 +52,7 @@ let eval_fn names e =
           !acc
     | Pow (b, ex) ->
         let fb = build b and fe = build ex in
-        fun ys -> Float.pow (fb ys) (fe ys)
+        fun ys -> Expr.eval_pow (fb ys) (fe ys)
     | Call (f, args) -> (
         let fs = List.map build args in
         match fs with

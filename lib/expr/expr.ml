@@ -118,6 +118,13 @@ let power_split = function
   | Pow (b, Const n) -> (b, n)
   | e -> (e, 1.)
 
+let eval_pow b n =
+  if n = 2. then b *. b
+  else if n = -1. then 1. /. b
+  else if n = 1. then b
+  else if n = 0. then 1.
+  else Float.pow b n
+
 let rec add terms =
   let flat =
     List.concat_map (function Add xs -> xs | e -> [ e ]) terms
@@ -198,7 +205,7 @@ and pow base expo =
   | _, Const 1. -> base
   | Const 1., _ -> one
   | Const b, Const n ->
-      let r = Float.pow b n in
+      let r = eval_pow b n in
       if Float.is_finite r then Const r else Pow (base, expo)
   | Pow (b, Const m), Const n -> pow b (Const (m *. n))
   | _ -> Pow (base, expo)
@@ -325,6 +332,25 @@ let map_children f = function
   | Call (g, xs) -> call g (List.map f xs)
   | If (c, t, e) ->
       if_ { lhs = f c.lhs; rel = c.rel; rhs = f c.rhs } (f t) (f e)
+
+(* Order-preserving substitution: rebuilds with the raw constructors so
+   n-ary operand lists are not re-sorted (the smart constructors would),
+   keeping left-to-right float folds associated exactly as the input. *)
+let rec map_exact f e =
+  match f e with Some e' -> e' | None -> map_exact_children f e
+
+and map_exact_children f e =
+  match e with
+  | Const _ | Var _ -> e
+  | Add xs -> Add (List.map (map_exact f) xs)
+  | Mul xs -> Mul (List.map (map_exact f) xs)
+  | Pow (a, b) -> Pow (map_exact f a, map_exact f b)
+  | Call (g, xs) -> Call (g, List.map (map_exact f) xs)
+  | If (c, t, e') ->
+      If
+        ( { c with lhs = map_exact f c.lhs; rhs = map_exact f c.rhs },
+          map_exact f t,
+          map_exact f e' )
 
 let rec fold f acc e = List.fold_left (fold f) (f acc e) (children e)
 

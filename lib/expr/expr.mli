@@ -112,6 +112,22 @@ val map_children : (t -> t) -> t -> t
 (** Rebuild a node with every immediate child transformed by [f]; smart
     constructors re-normalise the result. *)
 
+val map_exact : (t -> t option) -> t -> t
+(** [map_exact f e] replaces every subtree [s] (pre-order, outermost
+    first) for which [f s = Some s'] by [s'], rebuilding the spine with
+    the {e raw} constructors so operand order is preserved exactly.
+    Unlike {!map_children}, no re-normalisation happens: the n-ary
+    [Add]/[Mul] operand lists keep their order, so a left-to-right float
+    fold over the result associates exactly as in the input — which
+    bitwise-reproducibility passes (e.g. CSE temp extraction) depend on.
+    The caller must ensure replacements keep the canonical form
+    downstream consumers expect (e.g. no [Add] directly under [Add]). *)
+
+val map_exact_children : (t -> t option) -> t -> t
+(** Like {!map_exact} but never replaces the root node itself, only
+    (transitively) its children — used to rewrite a definition of a
+    subtree without collapsing it to its own name. *)
+
 val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
 (** Pre-order fold over every node of the expression tree. *)
 
@@ -132,6 +148,17 @@ val eval_func : func -> float list -> float
     @raise Invalid_argument on arity mismatch. *)
 
 val eval_rel : rel -> float -> float -> bool
+
+val eval_pow : float -> float -> float
+(** The power semantics shared by {e every} evaluator in the repo — the
+    tree-walking interpreter, the compiled closures, the register and
+    stack VMs, the dynamic cost model, and constant folding.  Integer
+    exponents that the peephole pass strength-reduces get the same fast
+    paths here ([b ** 2.] is [b *. b], [b ** -1.] is [1. /. b],
+    [b ** 1.] is [b], [b ** 0.] is [1.]); everything else is
+    [Float.pow].  libm's [pow] is not correctly rounded for all inputs,
+    so routing each strategy through this one function is what makes
+    optimised and unoptimised code bit-identical. *)
 
 val pp : t Fmt.t
 (** Infix rendering, suitable for reading; see {!Prefix_form} for the

@@ -182,7 +182,7 @@ let optimize ?(private_env_slot = fun _ -> false) (p : t) =
           end
           else if o = op_pow then begin
             match (k fa.(i), k fb.(i)) with
-            | Some x, Some y -> set_ldc i (Float.pow x y)
+            | Some x, Some y -> set_ldc i (Expr.eval_pow x y)
             | None, Some 2. ->
                 op.(i) <- op_sqr;
                 fb.(i) <- 0;

@@ -332,7 +332,7 @@ let rec loop code consts regs env out stop pc =
           loop code consts regs env out stop (pc + 5)
       | 10 (* pow *) ->
           Array.unsafe_set regs d
-            (Float.pow (Array.unsafe_get regs a) (Array.unsafe_get regs b));
+            (Expr.eval_pow (Array.unsafe_get regs a) (Array.unsafe_get regs b));
           loop code consts regs env out stop (pc + 5)
       | 11 (* fma *) ->
           (* Two rounded operations, matching Eval.eval — not a hardware

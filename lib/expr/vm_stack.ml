@@ -142,7 +142,7 @@ let run p env =
         let e = stack.(!sp) in
         decr sp;
         let b = stack.(!sp) in
-        push (Float.pow b e);
+        push (Expr.eval_pow b e);
         incr pc
     | Call_f f ->
         let arity = Expr.func_arity f in

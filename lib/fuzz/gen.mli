@@ -1,0 +1,33 @@
+(** Seeded generator of random well-typed ObjectMath models.
+
+    Produces surface {!Om_lang.Ast.model} values that exercise every
+    frontend construct — single inheritance with [extends ... with]
+    parameter rebinding and equation overrides, composition through
+    parts, instance arrays with [index]-dependent bindings, and
+    cross-instance imports bound to earlier instances' state paths —
+    while remaining well-typed by construction: every state variable has
+    exactly one explicit ODE, every parameter reduces to a constant, and
+    every free name is bound.
+
+    Expression bodies come from a bounded, NaN-safe grammar (guarded
+    divisions, shifted-square [log]/[sqrt] arguments, integer powers),
+    and flat per-equation cost is kept below the partitioner's split
+    threshold so that the cross-strategy trajectory oracle
+    ({!Oracle.check}) compares bit-identical computations. *)
+
+val model : Random.State.t -> Om_lang.Ast.model
+(** Draw one model.  Deterministic in the state: equal seeds give equal
+    models. *)
+
+val source : Random.State.t -> string
+(** [Unparse.model (model rng)]. *)
+
+val gen_expr :
+  Random.State.t -> refs:Om_lang.Ast.sexpr list -> int -> Om_lang.Ast.sexpr
+(** The bounded expression grammar: draws an expression of at most the
+    given depth whose leaves are constants or members of [refs]. *)
+
+val stiff_model : ?rate:float -> unit -> Om_lang.Ast.model
+(** A two-state model with one fast mode (relaxation onto [cos t] at
+    [rate], default 2000) and one slow mode — stiff once the transient
+    decays, which drives LSODA's Adams→BDF mode switch. *)

@@ -1,0 +1,309 @@
+module A = Om_lang.Ast
+module E = Om_expr.Expr
+module FM = Om_lang.Flat_model
+module R = Objectmath.Runtime
+
+type violation = { invariant : string; detail : string }
+
+type result = {
+  dim : int;
+  n_tasks : int;
+  discarded : string option;
+  violations : violation list;
+}
+
+let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.invariant v.detail
+
+(* Integration window shared by every strategy: short enough that even
+   explosive polynomial dynamics rarely overflow, long enough to cross
+   several semi-dynamic rescheduling periods. *)
+let t0 = 0.
+let tend = 0.4
+let h = 0.025
+
+let bits = Int64.bits_of_float
+
+let finite_trajectory (tr : Om_ode.Odesys.trajectory) =
+  Array.for_all Float.is_finite tr.ts
+  && Array.for_all (Array.for_all Float.is_finite) tr.states
+
+(* The raw-equation interpreter: a tree walk over the flat model with a
+   hashtable environment, independent of the whole codegen pipeline. *)
+let interp_rhs (f : FM.t) =
+  let names = FM.state_names f in
+  let eqs = Array.of_list f.equations in
+  let tbl = Hashtbl.create (Array.length names + 1) in
+  fun t y ydot ->
+    Array.iteri (fun i n -> Hashtbl.replace tbl n y.(i)) names;
+    Hashtbl.replace tbl "t" t;
+    Array.iteri (fun i (_, rhs) -> ydot.(i) <- Om_expr.Eval.eval tbl rhs) eqs
+
+let integrate_seq (f : FM.t) rhs =
+  let sys =
+    Om_ode.Odesys.make ~names:(FM.state_names f) ~dim:(FM.dim f) rhs
+  in
+  Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0
+    ~y0:(FM.initial_values f) ~tend ~h
+
+let check (m : A.model) : result =
+  let vs = ref [] in
+  let fail invariant fmt =
+    Printf.ksprintf (fun detail -> vs := { invariant; detail } :: !vs) fmt
+  in
+  let dim = ref 0 and n_tasks = ref 0 and discarded = ref None in
+  (* ---- unparse → parse round trip ---------------------------------- *)
+  let src = Om_lang.Unparse.model m in
+  let reparsed =
+    match Om_lang.Parser.parse_model src with
+    | m2 ->
+        let src2 = Om_lang.Unparse.model m2 in
+        if src <> src2 then
+          fail "roundtrip" "unparse-parse-unparse is not a textual fixpoint";
+        Some m2
+    | exception Om_lang.Parser.Error (msg, pos) ->
+        fail "roundtrip" "generated source does not parse: %s at %d:%d" msg
+          pos.line pos.col;
+        None
+    | exception Om_lang.Lexer.Error (msg, pos) ->
+        fail "roundtrip" "generated source does not lex: %s at %d:%d" msg
+          pos.line pos.col;
+        None
+  in
+  (* ---- flatten + typecheck ----------------------------------------- *)
+  match Om_lang.Flatten.flatten m with
+  | exception Om_lang.Flatten.Error msg ->
+      fail "flatten" "%s" msg;
+      { dim = 0; n_tasks = 0; discarded = None; violations = List.rev !vs }
+  | f ->
+      dim := FM.dim f;
+      (match Om_lang.Typecheck.check f with
+      | () -> ()
+      | exception Invalid_argument msg -> fail "typecheck" "%s" msg);
+      (* Reparsed source must flatten to the same model. *)
+      (match reparsed with
+      | None -> ()
+      | Some m2 -> (
+          match Om_lang.Flatten.flatten m2 with
+          | exception Om_lang.Flatten.Error msg ->
+              fail "roundtrip" "reparsed model does not flatten: %s" msg
+          | f2 ->
+              if
+                not
+                  (List.length f.states = List.length f2.states
+                  && List.for_all2
+                       (fun (a, x) (b, y) -> a = b && bits x = bits y)
+                       f.states f2.states
+                  && List.for_all2
+                       (fun (a, x) (b, y) -> a = b && E.equal x y)
+                       f.equations f2.equations)
+              then
+                fail "roundtrip" "reparsed model flattens differently"));
+      (* ---- flatten idempotence ------------------------------------- *)
+      (let fsrc = Om_lang.Unparse.flat_model f in
+       match Om_lang.Flatten.flatten_string fsrc with
+       | exception Om_lang.Flatten.Error msg ->
+           fail "flatten-idempotence" "flat source does not reflatten: %s" msg
+       | exception Om_lang.Parser.Error (msg, _) ->
+           fail "flatten-idempotence" "flat source does not parse: %s" msg
+       | f2 ->
+           let ren v =
+             if v = "t" then "t" else "m." ^ Om_lang.Unparse.flat_name v
+           in
+           if
+             not
+               (List.length f.states = List.length f2.states
+               && List.for_all2
+                    (fun (a, x) (b, y) -> ren a = b && bits x = bits y)
+                    f.states f2.states
+               && List.for_all2
+                    (fun (a, x) (b, y) ->
+                      ren a = b && E.equal (Om_expr.Subst.rename ren x) y)
+                    f.equations f2.equations)
+           then fail "flatten-idempotence" "reflattened model differs");
+      (* ---- SCC / topo consistency ---------------------------------- *)
+      let g = FM.dependency_graph f in
+      let comps = Om_graph.Scc.tarjan g in
+      let n_nodes = Om_graph.Digraph.node_count g in
+      let seen = Array.make n_nodes 0 in
+      Array.iteri
+        (fun c members ->
+          List.iter
+            (fun v ->
+              seen.(v) <- seen.(v) + 1;
+              if comps.comp_of.(v) <> c then
+                fail "scc" "node %d: comp_of says %d but listed in %d" v
+                  comps.comp_of.(v) c)
+            members)
+        comps.members;
+      Array.iteri
+        (fun v k ->
+          if k <> 1 then
+            fail "scc" "node %d appears in %d components" v k)
+        seen;
+      let cond = Om_graph.Scc.condensation g comps in
+      if not (Om_graph.Topo.is_acyclic cond) then
+        fail "scc" "condensation has a cycle"
+      else begin
+        let order = Om_graph.Topo.sort cond in
+        let pos = Array.make (Om_graph.Digraph.node_count cond) 0 in
+        List.iteri (fun i v -> pos.(v) <- i) order;
+        List.iter
+          (fun (a, b) ->
+            if pos.(a) >= pos.(b) then
+              fail "topo" "order places component %d after its successor %d" a b)
+          (Om_graph.Digraph.edges cond)
+      end;
+      List.iter
+        (fun (a, b) ->
+          let ka = comps.comp_of.(a) and kb = comps.comp_of.(b) in
+          if ka <> kb && not (Om_graph.Digraph.mem_edge cond ka kb) then
+            fail "scc" "edge %d->%d lost by the condensation" a b)
+        (Om_graph.Digraph.edges g);
+      (* ---- pipeline ------------------------------------------------ *)
+      (match Om_codegen.Pipeline.compile f with
+      | exception exn ->
+          fail "pipeline" "compile raised %s" (Printexc.to_string exn)
+      | r ->
+          n_tasks := Array.length r.tasks;
+          if r.plan.n_partials <> 0 then
+            fail "no-split"
+              "partitioner split an equation (%d partials); the generator's \
+               cost bound should prevent this"
+              r.plan.n_partials;
+          (* ---- schedule validity ----------------------------------- *)
+          let check_sched what (s : Om_sched.Lpt.schedule) =
+            let n = Array.length r.tasks in
+            if Array.length s.assignment <> n then
+              fail "schedule" "%s: assignment length %d for %d tasks" what
+                (Array.length s.assignment) n;
+            Array.iteri
+              (fun tid p ->
+                if p < 0 || p >= s.nprocs then
+                  fail "schedule" "%s: task %d on processor %d of %d" what tid
+                    p s.nprocs)
+              s.assignment;
+            let makespan = Array.fold_left Float.max 0. s.loads in
+            if Float.abs (makespan -. s.makespan) > 1e-9 *. Float.max 1. makespan
+            then
+              fail "schedule" "%s: makespan %g but max load %g" what s.makespan
+                makespan;
+            let covered = Array.make n 0 in
+            for p = 0 to s.nprocs - 1 do
+              List.iter
+                (fun tid ->
+                  covered.(tid) <- covered.(tid) + 1;
+                  if s.assignment.(tid) <> p then
+                    fail "schedule" "%s: tasks_of %d lists task %d owned by %d"
+                      what p tid s.assignment.(tid))
+                (Om_sched.Lpt.tasks_of s p)
+            done;
+            Array.iteri
+              (fun tid k ->
+                if k <> 1 then
+                  fail "schedule" "%s: task %d scheduled %d times" what tid k)
+              covered
+          in
+          List.iter
+            (fun nprocs ->
+              check_sched
+                (Printf.sprintf "lpt-%d" nprocs)
+                (Om_sched.Lpt.schedule r.tasks ~nprocs))
+            [ 1; 2; 4 ];
+          (let sd = Om_sched.Semidynamic.create ~period:2 r.tasks ~nprocs:2 in
+           let costs = Array.map (fun t -> t.Om_sched.Task.cost) r.tasks in
+           for round = 1 to 5 do
+             let measured =
+               Array.mapi
+                 (fun i c ->
+                   Float.max 1. c *. (1.5 +. Float.sin (float_of_int (i + round))))
+                 costs
+             in
+             Om_sched.Semidynamic.observe sd measured;
+             check_sched
+               (Printf.sprintf "semidynamic-round-%d" round)
+               (Om_sched.Semidynamic.current sd)
+           done;
+           if Om_sched.Semidynamic.reschedule_count sd < 1 then
+             fail "schedule" "semidynamic never rescheduled in 5 rounds");
+          (* ---- bitwise trajectory identity ------------------------- *)
+          let reference = integrate_seq f (Om_codegen.Pipeline.rhs_fn r) in
+          if not (finite_trajectory reference) then
+            discarded := Some "non-finite reference trajectory"
+          else begin
+            let names = FM.state_names f in
+            let compare_traj what (tr : Om_ode.Odesys.trajectory) =
+              if Array.length tr.ts <> Array.length reference.ts then
+                fail "trajectory" "%s: %d steps, reference has %d" what
+                  (Array.length tr.ts)
+                  (Array.length reference.ts)
+              else begin
+                let diverged = ref false in
+                Array.iteri
+                  (fun k t ->
+                    if (not !diverged) && bits t <> bits reference.ts.(k) then begin
+                      diverged := true;
+                      fail "trajectory" "%s: time diverges at step %d: %h vs %h"
+                        what k t reference.ts.(k)
+                    end)
+                  tr.ts;
+                Array.iteri
+                  (fun k row ->
+                    Array.iteri
+                      (fun i x ->
+                        if
+                          (not !diverged)
+                          && bits x <> bits reference.states.(k).(i)
+                        then begin
+                          diverged := true;
+                          fail "trajectory"
+                            "%s: state %s diverges at t=%g: %h vs %h" what
+                            names.(i) reference.ts.(k) x
+                            reference.states.(k).(i)
+                        end)
+                      row)
+                  tr.states
+              end
+            in
+            let strategy what run =
+              match run () with
+              | tr -> compare_traj what tr
+              | exception exn ->
+                  fail "trajectory" "%s raised %s" what (Printexc.to_string exn)
+            in
+            strategy "eval-interp" (fun () -> integrate_seq f (interp_rhs f));
+            strategy "exec-closures" (fun () ->
+                let rc =
+                  Om_codegen.Pipeline.compile
+                    ~backend:Om_codegen.Bytecode_backend.Exec_closures f
+                in
+                integrate_seq f (Om_codegen.Pipeline.rhs_fn rc));
+            strategy "exec-vm-nopeephole" (fun () ->
+                let rn = Om_codegen.Pipeline.compile ~optimize:false f in
+                integrate_seq f (Om_codegen.Pipeline.rhs_fn rn));
+            let runtime what config =
+              strategy what (fun () ->
+                  (R.execute ~config ~solver:(R.Rk4 h) ~t0 ~tend r).trajectory)
+            in
+            runtime "simulated"
+              { R.default_config with nworkers = 2 };
+            runtime "simulated-semidynamic"
+              { R.default_config with nworkers = 2; scheduling = R.Semidynamic 3 };
+            List.iter
+              (fun n ->
+                runtime
+                  (Printf.sprintf "real-domains-%d" n)
+                  { R.default_config with execution = R.Real_domains n })
+              [ 1; 2; 4 ];
+            runtime "real-domains-2-semidynamic"
+              {
+                R.default_config with
+                execution = R.Real_domains 2;
+                scheduling = R.Semidynamic 3;
+              }
+          end);
+      {
+        dim = !dim;
+        n_tasks = !n_tasks;
+        discarded = !discarded;
+        violations = List.rev !vs;
+      }

@@ -1,0 +1,46 @@
+(** Cross-strategy invariant oracle for generated models.
+
+    {!check} pushes one surface model through the entire pipeline and
+    verifies every invariant the compiler's correctness story rests on:
+
+    - {b roundtrip}: [unparse → parse → unparse] is a textual fixpoint
+      and the reparsed model flattens identically;
+    - {b flatten} / {b typecheck}: a generated (well-typed by
+      construction) model flattens without error and typechecks;
+    - {b flatten-idempotence}: re-flattening the unparsed flat model
+      reproduces it up to the positional renaming of
+      {!Om_lang.Unparse.flat_model};
+    - {b scc} / {b topo}: Tarjan components partition the dependency
+      graph, the condensation is acyclic, preserves cross-component
+      edges, and topologically sorts consistently;
+    - {b no-split}: the partitioner never splits a generated equation
+      (the generator's cost bound guarantees it, and the bitwise
+      trajectory matrix depends on it);
+    - {b schedule}: LPT on 1/2/4 processors and the semi-dynamic
+      rescheduler produce valid schedules — every task exactly once, on
+      a processor in range, with consistent loads and makespan;
+    - {b trajectory}: bitwise ([Int64.bits_of_float]) identity of the
+      full RK4 trajectory across the raw-equation interpreter, compiled
+      closures, the register VM with and without the peephole pass, the
+      simulated machine (with and without semi-dynamic rescheduling),
+      and real OCaml domains with 1, 2 and 4 workers including live
+      reschedules.
+
+    When the reference trajectory is non-finite (explosive dynamics the
+    bounded grammar cannot fully rule out) the trajectory matrix is
+    skipped and the case is reported as discarded; every structural
+    invariant above still runs. *)
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : violation Fmt.t
+
+type result = {
+  dim : int;  (** flat state dimension, 0 if flattening failed *)
+  n_tasks : int;  (** generated task count, 0 if compilation failed *)
+  discarded : string option;
+      (** set when the trajectory matrix was skipped, with the reason *)
+  violations : violation list;  (** empty = all invariants hold *)
+}
+
+val check : Om_lang.Ast.model -> result

@@ -1,0 +1,39 @@
+(** Differential fuzzing driver: generate, check, shrink, dump.
+
+    Each case [i] draws a model from
+    [Random.State.make [| seed; i |]] — fully reproducible from the
+    [(seed, index)] pair — and runs the {!Oracle} on it.  Failing cases
+    are shrunk with {!Shrink.shrink} (predicate: the same invariant
+    still fails) and, when [out_dir] is given, dumped as
+    [caseNNNN-original.om], [caseNNNN-shrunk.om] and
+    [caseNNNN-report.txt] counterexample files. *)
+
+type failure = {
+  index : int;  (** case index; regenerate with [make [| seed; index |]] *)
+  violations : Oracle.violation list;  (** on the original model *)
+  original : Om_lang.Ast.model;
+  shrunk : Om_lang.Ast.model;
+  shrunk_violations : Oracle.violation list;
+}
+
+type summary = {
+  cases : int;
+  discarded : int;  (** trajectory matrix skipped (non-finite reference) *)
+  dim_total : int;  (** summed flat dimensions, for mean-size reporting *)
+  task_total : int;
+  failures : failure list;
+}
+
+val run :
+  ?out_dir:string ->
+  ?check:(Om_lang.Ast.model -> Oracle.result) ->
+  ?shrink_budget:int ->
+  ?log:(string -> unit) ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  summary
+(** [check] defaults to {!Oracle.check} (tests inject stubs);
+    [log] receives one line per noteworthy event. *)
+
+val pp_summary : summary Fmt.t

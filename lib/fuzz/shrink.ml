@@ -1,0 +1,120 @@
+module A = Om_lang.Ast
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+let set_nth l n x = List.mapi (fun i y -> if i = n then x else y) l
+
+let rec subterms (e : A.sexpr) : A.sexpr list =
+  let kids =
+    match e with
+    | A.Snum _ | A.Sname _ -> []
+    | A.Sbin (_, a, b) -> [ a; b ]
+    | A.Sneg a -> [ a ]
+    | A.Scall (_, args) -> args
+    | A.Sif (c, a, b) -> [ c.sc_lhs; c.sc_rhs; a; b ]
+  in
+  kids @ List.concat_map subterms kids
+
+(* Replacements for an expression, simplest first: the unit constant,
+   then every proper subterm. *)
+let expr_candidates (e : A.sexpr) : A.sexpr list =
+  (match e with A.Snum 1. -> [] | _ -> [ A.Snum 1. ]) @ subterms e
+
+let binding_candidates bs ~rebuild =
+  List.mapi (fun i _ -> rebuild (drop_nth bs i)) bs
+  @ List.concat
+      (List.mapi
+         (fun i (k, e) ->
+           List.map (fun e' -> rebuild (set_nth bs i (k, e'))) (expr_candidates e))
+         bs)
+
+let member_candidates (c : A.class_def) ~rebuild =
+  let upd i m' = rebuild (set_nth c.A.members i m') in
+  List.concat
+    (List.mapi
+       (fun i (m : A.member) ->
+         match m with
+         | A.Variable (v, init) ->
+             (* Dropping a state drops its equation(s) with it. *)
+             rebuild
+               (List.filter
+                  (function
+                    | A.Variable (n, _) | A.Equation (n, _) -> n <> v
+                    | _ -> true)
+                  c.A.members)
+             :: List.map (fun e' -> upd i (A.Variable (v, e'))) (expr_candidates init)
+         | A.Parameter (n, e) ->
+             rebuild (drop_nth c.A.members i)
+             :: List.map (fun e' -> upd i (A.Parameter (n, e'))) (expr_candidates e)
+         | A.Alias (n, e) ->
+             rebuild (drop_nth c.A.members i)
+             :: List.map (fun e' -> upd i (A.Alias (n, e'))) (expr_candidates e)
+         | A.Part (n, cls, bs) ->
+             rebuild (drop_nth c.A.members i)
+             :: binding_candidates bs ~rebuild:(fun bs' ->
+                    upd i (A.Part (n, cls, bs')))
+         | A.Equation (n, e) ->
+             (* Droppable only when it overrides an inherited equation —
+                otherwise the model stops flattening and the candidate is
+                rejected by the predicate. *)
+             rebuild (drop_nth c.A.members i)
+             :: List.map (fun e' -> upd i (A.Equation (n, e'))) (expr_candidates e))
+       c.A.members)
+
+let candidates (m : A.model) : A.model list =
+  let with_instances is = { m with A.instances = is } in
+  let with_classes cs = { m with A.classes = cs } in
+  let instance_drops =
+    if List.length m.A.instances > 1 then
+      List.mapi (fun i _ -> with_instances (drop_nth m.A.instances i)) m.A.instances
+    else []
+  in
+  let class_drops =
+    if List.length m.A.classes > 1 then
+      List.mapi (fun i _ -> with_classes (drop_nth m.A.classes i)) m.A.classes
+    else []
+  in
+  let instance_shrinks =
+    List.concat
+      (List.mapi
+         (fun i (inst : A.instance_def) ->
+           let upd inst' = with_instances (set_nth m.A.instances i inst') in
+           (match inst.A.range with
+           | Some (lo, hi) when hi > lo ->
+               [ upd { inst with A.range = Some (lo, hi - 1) } ]
+           | Some (_, _) -> [ upd { inst with A.range = None } ]
+           | None -> [])
+           @ binding_candidates inst.A.ibindings ~rebuild:(fun bs ->
+                 upd { inst with A.ibindings = bs }))
+         m.A.instances)
+  in
+  let class_shrinks =
+    List.concat
+      (List.mapi
+         (fun i (c : A.class_def) ->
+           let upd c' = with_classes (set_nth m.A.classes i c') in
+           (match c.A.parent with
+           | Some (p, binds) ->
+               upd { c with A.parent = None }
+               :: (if binds <> [] then [ upd { c with A.parent = Some (p, []) } ]
+                   else [])
+           | None -> [])
+           @ member_candidates c ~rebuild:(fun ms ->
+                 upd { c with A.members = ms }))
+         m.A.classes)
+  in
+  instance_drops @ class_drops @ instance_shrinks @ class_shrinks
+
+let shrink ?(budget = 300) (m : A.model) ~predicate =
+  let evals = ref 0 in
+  let pred m' =
+    if !evals >= budget then false
+    else begin
+      incr evals;
+      match predicate m' with v -> v | exception _ -> false
+    end
+  in
+  let rec go m = match List.find_opt pred (candidates m) with
+    | Some m' -> go m'
+    | None -> m
+  in
+  go m

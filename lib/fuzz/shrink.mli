@@ -1,0 +1,23 @@
+(** Greedy counterexample shrinking over surface models.
+
+    Candidate simplifications, tried biggest-cut first: drop an
+    instance, drop a class, shorten an instance-array range, drop a
+    member (a state variable takes its equations with it), sever or
+    simplify an inheritance link, drop a binding, and replace any
+    expression by [1.0] or one of its proper subterms.  A candidate is
+    kept when the caller's predicate still holds (typically: the oracle
+    still reports a violation of the same invariant); ill-formed
+    candidates are rejected by the predicate like any other. *)
+
+val candidates : Om_lang.Ast.model -> Om_lang.Ast.model list
+(** One-step simplifications of a model, in decreasing order of cut
+    size. *)
+
+val shrink :
+  ?budget:int ->
+  Om_lang.Ast.model ->
+  predicate:(Om_lang.Ast.model -> bool) ->
+  Om_lang.Ast.model
+(** Greedy fixpoint of {!candidates} under [predicate], which is assumed
+    to hold for the input.  [budget] (default 300) bounds the number of
+    predicate evaluations; a raising predicate counts as [false]. *)

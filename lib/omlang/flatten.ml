@@ -17,14 +17,21 @@ let member_key : Ast.member -> string = function
   | Part (n, _, _) -> "d:" ^ n
   | Equation (n, _) -> "e:" ^ n
 
-let resolve_class classes cname =
+let resolve_class ?referrer classes cname =
   let rec resolve seen cname =
     if List.mem cname seen then
-      err "inheritance cycle through class %s" cname;
+      err "inheritance cycle through class %s (chain: %s)" cname
+        (String.concat " -> " (List.rev (cname :: seen)));
     let cls =
       match Hashtbl.find_opt classes cname with
       | Some c -> c
-      | None -> err "unknown class %s" cname
+      | None -> (
+          match (seen, referrer) with
+          | child :: _, _ ->
+              err "unknown class %s (parent of class %s)" cname child
+          | [], Some r ->
+              err "unknown class %s (instantiated as %s)" cname r
+          | [], None -> err "unknown class %s" cname)
     in
     match cls.Ast.parent with
     | None -> cls.members
@@ -151,8 +158,15 @@ let local_table members =
       | Equation _ -> m)
     Smap.empty members
 
+(* Re-raise elaboration errors with the class member being elaborated, so
+   a bad expression deep inside an inheritance chain or part tree names
+   its definition site instead of surfacing as a bare message. *)
+let in_member ~cls what name f =
+  try f ()
+  with Error msg -> err "class %s, %s %s: %s" cls what name msg
+
 let rec instantiate classes acc ~prefix ~cls_name ~bindings =
-  let members = resolve_class classes cls_name in
+  let members = resolve_class ~referrer:prefix classes cls_name in
   let locals = local_table members in
   (* Names bound at the instantiation site that do not match a declared
      parameter are imports; those matching parameters override defaults. *)
@@ -172,18 +186,27 @@ let rec instantiate classes acc ~prefix ~cls_name ~bindings =
           let value =
             match Smap.find_opt n bindings with
             | Some pre_elaborated -> pre_elaborated
-            | None -> elab ctx default
+            | None ->
+                in_member ~cls:cls_name "parameter" n (fun () ->
+                    elab ctx default)
           in
           acc.defs <- (qualified prefix n, value) :: acc.defs
       | Alias (n, e) ->
-          acc.defs <- (qualified prefix n, elab ctx e) :: acc.defs
+          let value =
+            in_member ~cls:cls_name "alias" n (fun () -> elab ctx e)
+          in
+          acc.defs <- (qualified prefix n, value) :: acc.defs
       | Variable (n, init) ->
-          acc.states <- (qualified prefix n, elab ctx init) :: acc.states
+          let value =
+            in_member ~cls:cls_name "variable" n (fun () -> elab ctx init)
+          in
+          acc.states <- (qualified prefix n, value) :: acc.states
       | Part (pname, pcls, pbindings) ->
           let sub_bindings =
-            List.fold_left
-              (fun m (k, e) -> Smap.add k (elab ctx e) m)
-              Smap.empty pbindings
+            in_member ~cls:cls_name "part" pname (fun () ->
+                List.fold_left
+                  (fun m (k, e) -> Smap.add k (elab ctx e) m)
+                  Smap.empty pbindings)
           in
           instantiate classes acc
             ~prefix:(qualified prefix pname)
@@ -191,7 +214,10 @@ let rec instantiate classes acc ~prefix ~cls_name ~bindings =
       | Equation (n, rhs) ->
           if not (Smap.mem n locals) then
             err "equation for undeclared variable %s in class %s" n cls_name;
-          acc.eqs <- (qualified prefix n, elab ctx rhs) :: acc.eqs)
+          let rhs =
+            in_member ~cls:cls_name "equation der" n (fun () -> elab ctx rhs)
+          in
+          acc.eqs <- (qualified prefix n, rhs) :: acc.eqs)
     members
 
 (* Substitute parameters and aliases into each other in dependency order,
@@ -211,13 +237,20 @@ let eliminate_defs defs =
           | None -> ())
         (E.vars e))
     defs;
+  let by_id = Array.of_list names in
   let order =
     match Om_graph.Topo.sort g with
     | order -> order
     | exception Invalid_argument _ ->
-        err "algebraic loop among parameters/aliases"
+        let comps = Om_graph.Scc.tarjan g in
+        let cycle =
+          match Om_graph.Scc.nontrivial g comps with
+          | c :: _ -> List.map (fun id -> by_id.(id)) comps.members.(c)
+          | [] -> []
+        in
+        err "algebraic loop among parameters/aliases (%s)"
+          (String.concat " -> " (List.sort String.compare cycle))
   in
-  let by_id = Array.of_list names in
   List.fold_left
     (fun resolved id ->
       let n = by_id.(id) in

@@ -41,8 +41,25 @@ let intermediate_line_count m = List.length (intermediate_form m)
 let check (m : Flat_model.t) =
   let states = List.map fst m.states in
   let eq_states = List.map fst m.equations in
-  if List.sort compare states <> List.sort compare eq_states then
-    invalid_arg "Typecheck.check: states and equations do not match";
+  (if List.sort compare states <> List.sort compare eq_states then
+     let missing =
+       List.filter (fun s -> not (List.mem s eq_states)) states
+     in
+     let extra = List.filter (fun s -> not (List.mem s states)) eq_states in
+     let part what = function
+       | [] -> []
+       | names -> [ Printf.sprintf "%s %s" what (String.concat ", " names) ]
+     in
+     let detail =
+       part "states without an equation:" missing
+       @ part "equations without a state:" extra
+     in
+     let detail =
+       if detail = [] then "duplicate names" else String.concat "; " detail
+     in
+     invalid_arg
+       (Printf.sprintf "Typecheck.check: states and equations do not match (%s)"
+          detail));
   List.iter
     (fun (s, rhs) ->
       List.iter

@@ -16,3 +16,8 @@ val flat_model : Flat_model.t -> string
 (** Render a flattened model as a single-class model whose instance names
     are encoded into the variable names (dots become underscores), so that
     flattening output can itself be saved, inspected and re-flattened. *)
+
+val flat_name : string -> string
+(** The name mangling {!flat_model} applies to qualified state names
+    ([.], [\[], [\]] and [,] become [_]) — exposed so the fuzz oracle
+    can predict the variable names a re-flattened flat model gets. *)

@@ -1,0 +1,37 @@
+(* Deterministic seeding for every qcheck property in the suite.
+
+   qcheck-alcotest's [to_alcotest] defaults to a self-initialised RNG, so
+   a failing property run could not be reproduced from the test output
+   alone.  [to_alcotest] below threads one explicit seed — overridable
+   with the [QCHECK_SEED] (or [OM_QCHECK_SEED]) environment variable —
+   into every property, and prints that seed when a property fails so
+   the exact run can be replayed with e.g.
+
+     QCHECK_SEED=1234 dune exec test/test_expr.exe
+
+   This module is linked into every test executable (single dune [tests]
+   stanza), so it must have no top-level effects beyond computing the
+   seed. *)
+
+let seed =
+  let from_env name =
+    match Sys.getenv_opt name with
+    | Some s -> int_of_string_opt s
+    | None -> None
+  in
+  match (from_env "QCHECK_SEED", from_env "OM_QCHECK_SEED") with
+  | Some s, _ | None, Some s -> s
+  | None, None -> 42
+
+let to_alcotest cell =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) cell
+  in
+  let run' x =
+    try run x
+    with e ->
+      Printf.eprintf "[qcheck] property %S failed under seed %d (set \
+                      QCHECK_SEED to reproduce)\n%!" name seed;
+      raise e
+  in
+  (name, speed, run')

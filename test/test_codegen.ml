@@ -723,7 +723,7 @@ let prop_restrict_always_valid =
       && List.for_all (fun s -> List.mem s (List.map fst sub.states)) keep)
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Qcheck_seed.to_alcotest in
   Alcotest.run "om_codegen"
     [
       ("assignments", [ Alcotest.test_case "basic" `Quick test_assignments ]);

@@ -611,7 +611,7 @@ let prop_compare_total_order =
       Int.compare (E.compare a b) 0 = -Int.compare (E.compare b a) 0)
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Qcheck_seed.to_alcotest in
   Alcotest.run "om_expr"
     [
       ( "constructors",

@@ -242,7 +242,7 @@ let test_condensation_labels () =
     (List.exists (fun l -> contains l "(+1)") labels)
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Qcheck_seed.to_alcotest in
   Alcotest.run "om_graph"
     [
       ( "digraph",

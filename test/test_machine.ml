@@ -333,8 +333,8 @@ let () =
         ] );
       ( "properties",
         [
-          QCheck_alcotest.to_alcotest prop_message_time_monotone;
-          QCheck_alcotest.to_alcotest prop_round_at_least_compute;
+          Qcheck_seed.to_alcotest prop_message_time_monotone;
+          Qcheck_seed.to_alcotest prop_round_at_least_compute;
         ] );
       ( "tree",
         [

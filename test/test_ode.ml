@@ -590,8 +590,58 @@ let test_column () =
   Alcotest.(check int) "column length" (Array.length tr.ts) (Array.length xs);
   checkf "starts at 1" 1. xs.(0)
 
+(* ---------- corner cases ---------- *)
+
+(* A zero-dimensional system is degenerate but legal: integrators must
+   advance time and return empty state rows rather than crash. *)
+let test_zero_dim () =
+  let sys = Odesys.make ~names:[||] ~dim:0 (fun _ _ _ -> ()) in
+  let tr = Rk.integrate_fixed Rk.rk4 sys ~t0:0. ~y0:[||] ~tend:0.1 ~h:0.025 in
+  Alcotest.(check int) "rk4 steps" 5 (Array.length tr.ts);
+  Array.iter
+    (fun row -> Alcotest.(check int) "empty rows" 0 (Array.length row))
+    tr.states;
+  let res = Lsoda.integrate sys ~t0:0. ~y0:[||] ~tend:0.1 in
+  Alcotest.(check bool) "lsoda reaches tend" true
+    (Odesys.final_state res.trajectory |> Array.length = 0)
+
+(* One equation, x' = -x: every solver must track exp(-t). *)
+let test_single_equation_all_solvers () =
+  let run name trajectory =
+    let yf = (Odesys.final_state trajectory).(0) in
+    Alcotest.(check (float 1e-4)) name (Float.exp (-1.)) yf
+  in
+  let fresh () = Odesys.of_equations [ ("x", E.(mul [ const (-1.); var "x" ])) ] in
+  run "rk4"
+    (Rk.integrate_fixed Rk.rk4 (fresh ()) ~t0:0. ~y0:[| 1. |] ~tend:1.
+       ~h:0.01);
+  run "rkf45" (Rk.rkf45 (fresh ()) ~t0:0. ~y0:[| 1. |] ~tend:1.);
+  run "lsoda"
+    (Lsoda.integrate (fresh ()) ~t0:0. ~y0:[| 1. |] ~tend:1.).trajectory
+
+(* The fuzz generator's purpose-built stiff model must actually drive the
+   LSODA heuristic into its BDF regime: after the fast transient decays,
+   the accuracy-chosen Adams step keeps bumping into the stability bound
+   h·L ≈ 1 with L ≈ rate. *)
+let test_lsoda_stiff_generated_model () =
+  let f = Om_lang.Flatten.flatten (Om_fuzz.Gen.stiff_model ~rate:2000. ()) in
+  let sys = Odesys.of_equations f.equations in
+  let res =
+    Lsoda.integrate sys ~t0:0. ~y0:(Om_lang.Flat_model.initial_values f)
+      ~tend:2.
+  in
+  Alcotest.(check bool) "switched at least once" true
+    (List.length res.switches >= 1);
+  Alcotest.(check bool) "entered BDF mode" true
+    (List.exists (fun (_, m) -> m = Lsoda.Bdf_mode) res.switches);
+  (* The trajectory itself must stay sane: x relaxes onto cos t. *)
+  let xs = Odesys.column res.trajectory "s.x" sys in
+  let last = xs.(Array.length xs - 1) in
+  let t_last = res.trajectory.ts.(Array.length res.trajectory.ts - 1) in
+  Alcotest.(check (float 5e-2)) "x tracks cos t" (Float.cos t_last) last
+
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Qcheck_seed.to_alcotest in
   Alcotest.run "om_ode"
     [
       ( "linalg",
@@ -637,6 +687,14 @@ let () =
           Alcotest.test_case "stiff stability" `Quick test_ros2_stiff_stable;
           Alcotest.test_case "banded matches dense" `Quick
             test_ros2_banded_matches_dense;
+        ] );
+      ( "corner",
+        [
+          Alcotest.test_case "zero dimension" `Quick test_zero_dim;
+          Alcotest.test_case "single equation, all solvers" `Quick
+            test_single_equation_all_solvers;
+          Alcotest.test_case "generated stiff model switches" `Quick
+            test_lsoda_stiff_generated_model;
         ] );
       ( "lsoda",
         [

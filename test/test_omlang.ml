@@ -203,7 +203,8 @@ let test_inheritance_unknown_parent () =
     flat {|model M; class C extends Nope variable x; equation der(x) = x; end; instance c of C;|}
   with
   | exception Flatten.Error msg ->
-      Alcotest.(check string) "msg" "unknown class Nope" msg
+      Alcotest.(check string) "msg" "unknown class Nope (parent of class C)"
+        msg
   | _ -> Alcotest.fail "expected error"
 
 let test_inheritance_cycle () =
@@ -544,6 +545,80 @@ let prop_mutated_model_total =
       let mutated = String.mapi (fun i x -> if i = pos then c else x) base in
       well_behaved (fun () -> Flatten.flatten_string mutated))
 
+(* Directed error-path cases complementing the random properties above:
+   each malformed input must fail with the frontend's own typed error —
+   carrying a position — not a crash. *)
+
+let typed_error what src =
+  match Flatten.flatten_string src with
+  | _ -> Alcotest.failf "%s: expected a frontend error" what
+  | exception Lexer.Error (msg, pos) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: lexer error %S has a position" what msg)
+        true
+        (pos.line >= 1 && pos.col >= 1)
+  | exception Parser.Error (msg, pos) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: parser error %S has a position" what msg)
+        true
+        (pos.line >= 1 && pos.col >= 1)
+
+let test_unterminated_comment () =
+  typed_error "plain" "model M; (* never closed";
+  typed_error "nested" "model M; (* outer (* inner *) still open";
+  typed_error "nested at eof" "model M; (* a (* b (* c";
+  (* A properly closed nested comment is fine. *)
+  ignore
+    (Flatten.flatten_string
+       {|model M; (* outer (* inner *) closed *)
+         class C variable x init 1.0; equation der(x) = 0.0 - x; end;
+         instance c of C;|})
+
+let test_bad_tokens () =
+  typed_error "stray hash" "model M; # class";
+  typed_error "stray quote" "model M; class \"C\"";
+  typed_error "stray backslash" "model M; \\";
+  typed_error "lone rparen" "model M; class C variable x init );";
+  typed_error "bad exponent is two tokens" "model M; class C parameter k = 1e;"
+
+let test_deep_nesting () =
+  (* ~1000 balanced parentheses must parse (no stack overflow, value
+     preserved through constant folding)... *)
+  let depth = 1000 in
+  let deep =
+    String.concat ""
+      (List.init depth (fun _ -> "(")
+      @ [ "1.0" ]
+      @ List.init depth (fun _ -> ")"))
+  in
+  let src =
+    Printf.sprintf
+      "model M; class C variable x init %s; equation der(x) = 0.0 - x; \
+       end; instance c of C;"
+      deep
+  in
+  let f = Flatten.flatten_string src in
+  Alcotest.(check (float 0.)) "init survives nesting" 1.
+    (Om_lang.Flat_model.initial_values f).(0);
+  (* ...while unbalanced nesting is a typed parse error. *)
+  let unbalanced =
+    Printf.sprintf
+      "model M; class C variable x init %s1.0; equation der(x) = 0.0; end;"
+      (String.concat "" (List.init 40 (fun _ -> "(")))
+  in
+  typed_error "unbalanced" unbalanced
+
+let test_error_positions () =
+  (* Positions must point at the offending token, not the file start. *)
+  (match Flatten.flatten_string "model M;\nclass C\n  variable x init ?;\nend;" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error (_, pos) ->
+      Alcotest.(check int) "line of bad char" 3 pos.line);
+  match Flatten.flatten_string "model M;\nclass C\n  variable init 1.0;\nend;" with
+  | _ -> Alcotest.fail "expected parser error"
+  | exception Parser.Error (_, pos) ->
+      Alcotest.(check int) "line of bad syntax" 3 pos.line
+
 (* ---------- overrides ---------- *)
 
 module Override = Om_lang.Override
@@ -704,8 +779,13 @@ let () =
         ] );
       ( "robustness",
         [
-          QCheck_alcotest.to_alcotest prop_parser_total;
-          QCheck_alcotest.to_alcotest prop_mutated_model_total;
+          Qcheck_seed.to_alcotest prop_parser_total;
+          Qcheck_seed.to_alcotest prop_mutated_model_total;
+          Alcotest.test_case "unterminated comments" `Quick
+            test_unterminated_comment;
+          Alcotest.test_case "bad tokens" `Quick test_bad_tokens;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
         ] );
       ( "override",
         [

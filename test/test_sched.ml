@@ -434,7 +434,7 @@ let test_nprocs_boundary () =
     (Dag.pipeline_throughput g ~weights:w ~nprocs:1)
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Qcheck_seed.to_alcotest in
   Alcotest.run "om_sched"
     [
       ( "task",
