@@ -32,7 +32,15 @@ let servo = lazy (P.compile (Om_models.Servo.model ()))
 let config ?(machine = Machine.sparccenter_2000) ?(nworkers = 1)
     ?(strategy = Sup.Broadcast_state) ?(scheduling = R.Static)
     ?(topology = R.Flat) ?(execution = R.Simulated) () =
-  { R.machine; nworkers; strategy; scheduling; topology; execution }
+  {
+    R.default_config with
+    R.machine;
+    nworkers;
+    strategy;
+    scheduling;
+    topology;
+    execution;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: dependency graph / SCCs of the hydroelectric plant.       *)
@@ -720,6 +728,15 @@ let micro_pairs =
       "objectmath/bearing-rhs-bytecode" );
     ("simplify", "objectmath/simplify-roller-eq", "objectmath/simplify-roller-eq");
     ("cse", "objectmath/cse-servo", "objectmath/cse-servo");
+    (* The finite guard's overhead on a full RHS evaluation: the "after"
+       side scans the derivative vector after the round (EXPERIMENTS.md
+       targets < 2%). *)
+    ( "guard-bearing",
+      "objectmath/bearing-rhs-bytecode",
+      "objectmath/bearing-rhs-guarded" );
+    ( "guard-powerplant",
+      "objectmath/powerplant-rhs-bytecode",
+      "objectmath/powerplant-rhs-guarded" );
   ]
 
 let write_micro_json path rows =
@@ -785,6 +802,17 @@ let micro () =
     Array.init 20 (fun i ->
         Array.init 20 (fun j -> if i = j then 21. else 1. /. float_of_int (1 + i + j)))
   in
+  let bearing_guard =
+    Om_guard.Finite_guard.create ~names:state_names ~dim:(Fm.dim r.model)
+  in
+  let pp = Lazy.force plant in
+  let pp_y0 = Fm.initial_values pp.model in
+  let pp_ydot = Array.make (Fm.dim pp.model) 0. in
+  let plant_guard =
+    Om_guard.Finite_guard.create
+      ~names:(Fm.state_names pp.model)
+      ~dim:(Fm.dim pp.model)
+  in
   let targets =
     List.map (fun (s, e) -> (s, e)) (Lazy.force servo).model.equations
   in
@@ -812,6 +840,16 @@ let micro () =
         Test.make ~name:"bearing-rhs-closures"
           (Staged.stage (fun () ->
                Om_codegen.Bytecode_backend.rhs_fn bc_closures 0. y0 ydot));
+        Test.make ~name:"bearing-rhs-guarded"
+          (Staged.stage (fun () ->
+               P.rhs_fn r 0. y0 ydot;
+               Om_guard.Finite_guard.check bearing_guard ~time:0. ydot));
+        Test.make ~name:"powerplant-rhs-bytecode"
+          (Staged.stage (fun () -> P.rhs_fn pp 0. pp_y0 pp_ydot));
+        Test.make ~name:"powerplant-rhs-guarded"
+          (Staged.stage (fun () ->
+               P.rhs_fn pp 0. pp_y0 pp_ydot;
+               Om_guard.Finite_guard.check plant_guard ~time:0. pp_ydot));
         Test.make ~name:"lpt-71-tasks"
           (Staged.stage (fun () -> Om_sched.Lpt.schedule r.tasks ~nprocs:7));
       ]

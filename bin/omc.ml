@@ -257,16 +257,24 @@ let simulate_cmd =
       | None -> Om_lang.Flat_model.initial_values fm
     in
     let trajectory =
-      match solver with
-      | "lsoda" ->
-          (Om_ode.Lsoda.integrate sys ~t0:0. ~y0 ~tend).trajectory
-      | "rkf45" -> Om_ode.Rk.rkf45 sys ~t0:0. ~y0 ~tend
-      | "rk4" ->
-          let h = match hstep with Some h -> h | None -> tend /. 1000. in
-          Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0:0. ~y0 ~tend ~h
-      | other ->
-          Printf.eprintf "omc: unknown solver %s (lsoda, rkf45, rk4)\n" other;
-          exit 2
+      try
+        match solver with
+        | "lsoda" ->
+            (Om_ode.Lsoda.integrate sys ~t0:0. ~y0 ~tend).trajectory
+        | "rkf45" -> Om_ode.Rk.rkf45 sys ~t0:0. ~y0 ~tend
+        | "rk4" ->
+            let h = match hstep with Some h -> h | None -> tend /. 1000. in
+            Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0:0. ~y0 ~tend ~h
+        | other ->
+            Printf.eprintf "omc: unknown solver %s (lsoda, rkf45, rk4)\n"
+              other;
+            exit 2
+      with Om_guard.Om_error.Error e ->
+        (* Solver failures (blown retry or step budgets) are distinct
+           from model errors: exit 3, not 1. *)
+        Printf.eprintf "omc: solver failure: %s\n"
+          (Om_guard.Om_error.to_string e);
+        exit 3
     in
     Printf.printf
       "simulated %s to t=%g: %d steps, %d RHS calls, %d Jacobians\n" fm.name
@@ -339,7 +347,8 @@ let simulate_cmd =
 
 let bench_cmd =
   let run file builtin machine workers tend needed_only semidynamic fanout
-      domains =
+      domains chaos_nan chaos_inf chaos_stall stall_micros chaos_spawn
+      barrier_deadline no_guard =
     let _, fm = load file builtin in
     let r = Om_codegen.Pipeline.compile fm in
     let m =
@@ -352,8 +361,33 @@ let bench_cmd =
             other;
           exit 2
     in
+    let faults =
+      let fs =
+        (match chaos_nan with
+        | Some (task, round) ->
+            [ Om_guard.Fault_plan.Nan_task { task; round } ]
+        | None -> [])
+        @ (match chaos_inf with
+          | Some (task, round) ->
+              [ Om_guard.Fault_plan.Inf_task { task; round } ]
+          | None -> [])
+        @ (match chaos_stall with
+          | Some (worker, round) ->
+              [
+                Om_guard.Fault_plan.Delay_worker
+                  { worker; round; micros = stall_micros };
+              ]
+          | None -> [])
+        @
+        match chaos_spawn with
+        | Some worker -> [ Om_guard.Fault_plan.Fail_spawn { worker } ]
+        | None -> []
+      in
+      if fs = [] then None else Some (Om_guard.Fault_plan.make fs)
+    in
     let config =
       {
+        Objectmath.Runtime.default_config with
         Objectmath.Runtime.machine = m;
         nworkers = workers;
         strategy =
@@ -371,9 +405,18 @@ let bench_cmd =
           (match domains with
           | Some n -> Objectmath.Runtime.Real_domains n
           | None -> Objectmath.Runtime.Simulated);
+        guard = not no_guard;
+        faults;
+        barrier_deadline;
       }
     in
-    let rep = Objectmath.Runtime.execute ~config ~tend r in
+    let rep =
+      try Objectmath.Runtime.execute ~config ~tend r
+      with Om_guard.Om_error.Error e ->
+        Printf.eprintf "omc: solver failure: %s\n"
+          (Om_guard.Om_error.to_string e);
+        exit 3
+    in
     (match domains with
      | Some n ->
          Printf.printf
@@ -400,6 +443,16 @@ let bench_cmd =
             %.1f calls/s\n  supervisor messaging: %.4f s\n"
            fm.name m.name workers rep.rhs_calls rep.sim_seconds
            rep.rhs_calls_per_sec rep.supervisor_comm_seconds);
+    if rep.faults_injected > 0 || rep.retries > 0 || rep.degradations <> []
+    then begin
+      Printf.printf "  chaos: %d fault(s) injected, %d solver retry(ies)\n"
+        rep.faults_injected rep.retries;
+      List.iter
+        (fun d ->
+          Printf.printf "  degradation: %s\n"
+            (Fmt.str "%a" Om_guard.Om_error.pp_degradation d))
+        rep.degradations
+    end;
     let sp =
       Objectmath.Runtime.speedup ~machine:m ~nworkers:(max 1 workers) r
     in
@@ -438,18 +491,64 @@ let bench_cmd =
              ~doc:"Execute RHS rounds on N real OCaml domains (wall-clock \
                    measurement) instead of the simulated machine.")
   in
+  let chaos_nan =
+    Arg.(value & opt (some (pair ~sep:':' int int)) None
+         & info [ "chaos-nan" ] ~docv:"TASK:ROUND"
+             ~doc:"Fault injection: overwrite TASK's output with NaN at \
+                   round ROUND.  The finite guard catches it and the \
+                   solver retries.")
+  in
+  let chaos_inf =
+    Arg.(value & opt (some (pair ~sep:':' int int)) None
+         & info [ "chaos-inf" ] ~docv:"TASK:ROUND"
+             ~doc:"Like $(b,--chaos-nan) with +infinity.")
+  in
+  let chaos_stall =
+    Arg.(value & opt (some (pair ~sep:':' int int)) None
+         & info [ "chaos-stall-worker" ] ~docv:"WORKER:ROUND"
+             ~doc:"Fault injection: busy-delay WORKER at round ROUND \
+                   (see $(b,--chaos-stall-micros)).  With \
+                   $(b,--barrier-deadline) this forces a recorded \
+                   degradation.  Real domains only.")
+  in
+  let stall_micros =
+    Arg.(value & opt int 3000
+         & info [ "chaos-stall-micros" ] ~docv:"US"
+             ~doc:"Injected stall length in microseconds.")
+  in
+  let chaos_spawn =
+    Arg.(value & opt (some int) None
+         & info [ "chaos-fail-spawn" ] ~docv:"WORKER"
+             ~doc:"Fault injection: fail the spawn of WORKER, degrading \
+                   the run to fewer domains.  Real domains only.")
+  in
+  let barrier_deadline =
+    Arg.(value & opt float 0.
+         & info [ "barrier-deadline" ] ~docv:"SECONDS"
+             ~doc:"Arm barrier stall detection: a round outliving the \
+                   deadline drops the stalled worker (LPT reassignment). \
+                   0 disables.  Real domains only.")
+  in
+  let no_guard =
+    Arg.(value & flag
+         & info [ "no-guard" ]
+             ~doc:"Disable the post-round finite guard over the \
+                   derivative vector.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Execute the generated RHS on a simulated parallel machine")
     Term.(const run $ file_arg $ builtin_arg $ machine $ workers $ tend
-          $ needed_only $ semidynamic $ fanout $ domains)
+          $ needed_only $ semidynamic $ fanout $ domains $ chaos_nan
+          $ chaos_inf $ chaos_stall $ stall_micros $ chaos_spawn
+          $ barrier_deadline $ no_guard)
 
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
-  let run cases seed out_dir verbose =
+  let run cases seed out_dir verbose chaos =
     let log = if verbose then prerr_endline else ignore in
-    let summary = Om_fuzz.Runner.run ~out_dir ~cases ~seed ~log () in
+    let summary = Om_fuzz.Runner.run ~out_dir ~cases ~seed ~chaos ~log () in
     Format.printf "%a@." Om_fuzz.Runner.pp_summary summary;
     if summary.failures <> [] then begin
       List.iter
@@ -480,11 +579,19 @@ let fuzz_cmd =
     Arg.(value & flag
          & info [ "verbose" ] ~doc:"Log each discarded/failing case.")
   in
+  let chaos =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Additionally inject one seeded fault (NaN/Inf task \
+                   output or a worker stall) per case into a 2-domain run \
+                   and require the recovered trajectory to stay bitwise \
+                   identical to the fault-free reference.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzing: random models checked across all \
              evaluator and scheduling strategies")
-    Term.(const run $ cases $ seed $ out $ verbose)
+    Term.(const run $ cases $ seed $ out $ verbose $ chaos)
 
 let () =
   let doc = "ObjectMath reproduction compiler (PPoPP 1995)" in

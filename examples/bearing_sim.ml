@@ -125,10 +125,10 @@ let () =
       List.iter
         (fun workers ->
           let config =
-            { R.machine = m; nworkers = workers;
+            { R.default_config with
+              R.machine = m; nworkers = workers;
               strategy = Om_machine.Supervisor.Broadcast_state;
-              scheduling = R.Semidynamic 10; topology = R.Flat;
-              execution = R.Simulated }
+              scheduling = R.Semidynamic 10 }
           in
           let rep = R.execute ~config ~solver:(R.Rk4 2e-5) ~tend:1e-3 r in
           Printf.printf

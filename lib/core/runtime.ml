@@ -13,6 +13,10 @@ type config = {
   scheduling : scheduling;
   topology : topology;
   execution : execution;
+  guard : bool;
+  faults : Om_guard.Fault_plan.t option;
+  barrier_deadline : float;
+  retry_budget : int;
 }
 
 let default_config =
@@ -23,6 +27,10 @@ let default_config =
     scheduling = Static;
     topology = Flat;
     execution = Simulated;
+    guard = true;
+    faults = None;
+    barrier_deadline = 0.;
+    retry_budget = 8;
   }
 
 type solver = Rk4 of float | Rkf45 | Lsoda
@@ -39,6 +47,9 @@ type report = {
   worker_wait_seconds : float array;
   reschedules : int;
   solver_steps : int;
+  retries : int;
+  faults_injected : int;
+  degradations : Om_guard.Om_error.degradation list;
 }
 
 let task_arrays (r : Om_codegen.Pipeline.result) =
@@ -73,11 +84,28 @@ let simulate_round config (r : Om_codegen.Pipeline.result) assignment costs =
   (round.duration +. epilogue, round.supervisor_busy, utilization,
    round.worker_compute)
 
-let solve solver sys ~t0 ~tend ~y0 =
+let solve ?max_retries solver sys ~t0 ~tend ~y0 =
   match solver with
-  | Rk4 h -> Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0 ~y0 ~tend ~h
-  | Rkf45 -> Om_ode.Rk.rkf45 sys ~t0 ~y0 ~tend
-  | Lsoda -> (Om_ode.Lsoda.integrate sys ~t0 ~y0 ~tend).trajectory
+  | Rk4 h ->
+      Om_ode.Rk.integrate_fixed ?max_retries Om_ode.Rk.rk4 sys ~t0 ~y0 ~tend ~h
+  | Rkf45 -> Om_ode.Rk.rkf45 ?max_retries sys ~t0 ~y0 ~tend
+  | Lsoda -> (Om_ode.Lsoda.integrate ?max_retries sys ~t0 ~y0 ~tend).trajectory
+
+(* The post-round finite guard, armed by [config.guard]: scans the
+   derivative vector after every RHS evaluation and raises a typed
+   [Nonfinite_output] naming the flattened equation, which the solvers
+   above answer with retry/backoff. *)
+let guard_of config (compiled : Om_codegen.Bytecode_backend.t) =
+  if config.guard then
+    Some
+      (Om_guard.Finite_guard.create ~names:compiled.state_names
+         ~dim:compiled.dim)
+  else None
+
+let[@inline] guard_check guard ~time ydot =
+  match guard with
+  | None -> ()
+  | Some g -> Om_guard.Finite_guard.check g ~time ydot
 
 (* Real execution: the same LPT schedule as the simulator, but the round
    runs on [nworkers] domains and the clock is the wall clock.  Under
@@ -91,52 +119,167 @@ let solve solver sys ~t0 ~tend ~y0 =
 let execute_real config ~nworkers ~solver ~t0 ~tend
     (r : Om_codegen.Pipeline.result) =
   let compiled = r.compiled in
-  let costs =
-    match config.scheduling with
-    | Static_with costs -> costs
-    | Static | Semidynamic _ ->
-        Om_codegen.Bytecode_backend.task_costs_static compiled
-  in
-  let sched = Om_sched.Lpt.schedule ~costs r.tasks ~nprocs:nworkers in
-  let reads, writes = task_arrays r in
-  let desc =
-    Om_machine.Round_desc.make ~assignment:sched.assignment ~task_flops:costs
-      ~task_reads:reads ~task_writes:writes ~state_dim:compiled.dim
-  in
-  let semidynamic =
-    match config.scheduling with
-    | Semidynamic period -> Some period
-    | Static | Static_with _ -> None
-  in
-  Om_parallel.Par_exec.with_measured ?semidynamic ~nworkers ~tasks:r.tasks
-    desc compiled
-  @@ fun m ->
-  let sys =
-    Om_ode.Odesys.make
-      ~names:(Array.copy compiled.state_names)
-      ~dim:compiled.dim
-      (Om_parallel.Par_exec.measured_rhs_fn m)
-  in
+  let guard = guard_of config compiled in
   let y0 = Om_lang.Flat_model.initial_values r.model in
-  let start = Unix.gettimeofday () in
-  let trajectory = solve solver sys ~t0 ~tend ~y0 in
-  let wall = Unix.gettimeofday () -. start in
-  let rhs_calls = sys.counters.rhs_calls in
-  let st = Om_parallel.Par_exec.stats m in
-  {
-    trajectory;
-    rhs_calls;
-    sim_seconds = wall;
-    rhs_calls_per_sec =
-      (if wall > 0. then float_of_int rhs_calls /. wall else 0.);
-    sched_overhead_seconds = Om_parallel.Round_stats.reschedule_seconds st;
-    supervisor_comm_seconds = Om_parallel.Round_stats.barrier_seconds st;
-    worker_utilization = Om_parallel.Round_stats.utilization st;
-    worker_compute_seconds = Om_parallel.Round_stats.worker_compute st;
-    worker_wait_seconds = Om_parallel.Round_stats.worker_wait st;
-    reschedules = Om_parallel.Round_stats.reschedules st;
-    solver_steps = sys.counters.steps;
-  }
+  (* Degradation events accumulate across the ladder: spawn-time drops
+     (retry with one worker fewer), mid-run drops (a stalled worker's
+     tasks are LPT-reassigned to the survivors), and the final fall to
+     sequential evaluation on the supervisor. *)
+  let degradations = ref [] in
+  (* Rung 0 of the ladder: no live workers left, so the supervisor
+     evaluates the compiled tasks itself — still guarded, still the
+     same bytecode, so the trajectory is bit-identical. *)
+  let run_sequential () =
+    let f t y ydot =
+      Om_codegen.Bytecode_backend.rhs_fn compiled t y ydot;
+      guard_check guard ~time:t ydot
+    in
+    let sys =
+      Om_ode.Odesys.make
+        ~names:(Array.copy compiled.state_names)
+        ~dim:compiled.dim f
+    in
+    let start = Unix.gettimeofday () in
+    let trajectory = solve ~max_retries:config.retry_budget solver sys ~t0
+        ~tend ~y0 in
+    let wall = Unix.gettimeofday () -. start in
+    let rhs_calls = sys.counters.rhs_calls in
+    {
+      trajectory;
+      rhs_calls;
+      sim_seconds = wall;
+      rhs_calls_per_sec =
+        (if wall > 0. then float_of_int rhs_calls /. wall else 0.);
+      sched_overhead_seconds = 0.;
+      supervisor_comm_seconds = 0.;
+      worker_utilization = 1.;
+      worker_compute_seconds = [||];
+      worker_wait_seconds = [||];
+      reschedules = 0;
+      solver_steps = sys.counters.steps;
+      retries = sys.counters.retries;
+      faults_injected =
+        (match config.faults with
+        | None -> 0
+        | Some p -> Om_guard.Fault_plan.injected p);
+      degradations = List.rev !degradations;
+    }
+  in
+  let run_with nworkers =
+    let costs =
+      match config.scheduling with
+      | Static_with costs -> costs
+      | Static | Semidynamic _ ->
+          Om_codegen.Bytecode_backend.task_costs_static compiled
+    in
+    let sched = Om_sched.Lpt.schedule ~costs r.tasks ~nprocs:nworkers in
+    let reads, writes = task_arrays r in
+    let desc =
+      Om_machine.Round_desc.make ~assignment:sched.assignment
+        ~task_flops:costs ~task_reads:reads ~task_writes:writes
+        ~state_dim:compiled.dim
+    in
+    let semidynamic =
+      match config.scheduling with
+      | Semidynamic period -> Some period
+      | Static | Static_with _ -> None
+    in
+    let barrier_deadline =
+      if config.barrier_deadline > 0. then Some config.barrier_deadline
+      else None
+    in
+    Om_parallel.Par_exec.with_measured ?barrier_deadline ?fault:config.faults
+      ?semidynamic ~nworkers ~tasks:r.tasks desc compiled
+    @@ fun m ->
+    let exec = Om_parallel.Par_exec.executor m in
+    let f t y ydot =
+      Om_parallel.Par_exec.measured_rhs_fn m t y ydot;
+      (* A barrier-deadline overrun recorded by the pool steps the
+         ladder: drop the stalled worker (its tasks go to the survivors
+         by LPT; trajectories stay bit-identical because output slots
+         are disjoint and the epilogue folds in fixed order).  The round
+         itself always completed — detection is advisory — so [ydot] is
+         already consistent. *)
+      (match Om_parallel.Par_exec.take_stall exec with
+      | None -> ()
+      | Some cause ->
+          let live = Om_parallel.Par_exec.live_workers exec in
+          let dropped =
+            match cause with
+            | Om_guard.Om_error.Worker_stall { worker; _ } when live > 1 ->
+                Om_parallel.Par_exec.drop_worker exec worker;
+                Some worker
+            | _ -> None
+          in
+          let at_round =
+            match cause with
+            | Om_guard.Om_error.Worker_stall { round; _ }
+            | Om_guard.Om_error.Barrier_timeout { round; _ } ->
+                round
+            | _ -> Om_parallel.Par_exec.rounds exec
+          in
+          degradations :=
+            {
+              Om_guard.Om_error.at_round;
+              worker = (match dropped with Some w -> w | None -> -1);
+              remaining =
+                (match dropped with Some _ -> live - 1 | None -> live);
+              cause;
+            }
+            :: !degradations);
+      guard_check guard ~time:t ydot
+    in
+    let sys =
+      Om_ode.Odesys.make
+        ~names:(Array.copy compiled.state_names)
+        ~dim:compiled.dim f
+    in
+    let start = Unix.gettimeofday () in
+    let trajectory =
+      solve ~max_retries:config.retry_budget solver sys ~t0 ~tend ~y0
+    in
+    let wall = Unix.gettimeofday () -. start in
+    let rhs_calls = sys.counters.rhs_calls in
+    let st = Om_parallel.Par_exec.stats m in
+    {
+      trajectory;
+      rhs_calls;
+      sim_seconds = wall;
+      rhs_calls_per_sec =
+        (if wall > 0. then float_of_int rhs_calls /. wall else 0.);
+      sched_overhead_seconds = Om_parallel.Round_stats.reschedule_seconds st;
+      supervisor_comm_seconds = Om_parallel.Round_stats.barrier_seconds st;
+      worker_utilization = Om_parallel.Round_stats.utilization st;
+      worker_compute_seconds = Om_parallel.Round_stats.worker_compute st;
+      worker_wait_seconds = Om_parallel.Round_stats.worker_wait st;
+      reschedules = Om_parallel.Round_stats.reschedules st;
+      solver_steps = sys.counters.steps;
+      retries = sys.counters.retries;
+      faults_injected = Om_parallel.Par_exec.faults_injected exec;
+      degradations = List.rev !degradations;
+    }
+  in
+  (* Spawn-failure rungs: each failed pool construction retries with one
+     worker fewer, recording the drop, until sequential evaluation. *)
+  let rec attempt nworkers =
+    if nworkers < 1 then run_sequential ()
+    else
+      match run_with nworkers with
+      | report -> report
+      | exception
+          Om_guard.Om_error.Error
+            (Om_guard.Om_error.Spawn_failure { worker; _ } as cause) ->
+          degradations :=
+            {
+              Om_guard.Om_error.at_round = 0;
+              worker;
+              remaining = nworkers - 1;
+              cause;
+            }
+            :: !degradations;
+          attempt (nworkers - 1)
+  in
+  attempt nworkers
 
 let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
     (r : Om_codegen.Pipeline.result) =
@@ -170,14 +313,32 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
   let reschedules_seen = ref 0 in
   let compute_tot = Array.make (max 0 config.nworkers) 0. in
   let wait_tot = Array.make (max 0 config.nworkers) 0. in
+  let guard = guard_of config compiled in
+  let round_idx = ref 0 in
   let f t y ydot =
     compiled.set_state t y;
+    incr round_idx;
     (* Execute the tasks for real, measuring branch-resolved costs. *)
     for i = 0 to n_tasks - 1 do
-      measured.(i) <- compiled.tasks.(i).measured_eval ()
+      measured.(i) <- compiled.tasks.(i).measured_eval ();
+      (* Chaos under simulation: task poisons land exactly as they
+         would on a real worker, so solver-backoff behaviour can be
+         tested without domains.  (Delays and spawn failures have no
+         simulated analogue and are ignored here.) *)
+      match config.faults with
+      | None -> ()
+      | Some plan ->
+          let p =
+            Om_guard.Fault_plan.task_poison plan ~round:!round_idx ~task:i
+          in
+          if p <> 0. then
+            List.iter
+              (fun slot -> compiled.out.(slot) <- p)
+              compiled.tasks.(i).writes
     done;
     compiled.run_epilogue ();
     Array.blit compiled.out 0 ydot 0 compiled.dim;
+    guard_check guard ~time:t ydot;
     (* Charge simulated machine time for the round. *)
     let sched =
       match semidyn with
@@ -217,7 +378,9 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
   let solver =
     match solver with Some s -> s | None -> Rk4 ((tend -. t0) /. 400.)
   in
-  let trajectory = solve solver sys ~t0 ~tend ~y0 in
+  let trajectory =
+    solve ~max_retries:config.retry_budget solver sys ~t0 ~tend ~y0
+  in
   let rhs_calls = sys.counters.rhs_calls in
   let total = !sim_seconds +. !sched_overhead in
   {
@@ -233,6 +396,12 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
     worker_wait_seconds = wait_tot;
     reschedules = !reschedules_seen;
     solver_steps = sys.counters.steps;
+    retries = sys.counters.retries;
+    faults_injected =
+      (match config.faults with
+      | None -> 0
+      | Some p -> Om_guard.Fault_plan.injected p);
+    degradations = [];
   }
 
 let execute ?(config = default_config) ?solver ?(t0 = 0.) ~tend r =
@@ -261,16 +430,10 @@ let speedup ?(strategy = Om_machine.Supervisor.Broadcast_state) ~machine
     ~nworkers r =
   let base =
     round_seconds
-      ~config:
-        { machine; nworkers = 0; strategy; scheduling = Static;
-          topology = Flat; execution = Simulated }
+      ~config:{ default_config with machine; nworkers = 0; strategy }
       r
   in
   let par =
-    round_seconds
-      ~config:
-        { machine; nworkers; strategy; scheduling = Static; topology = Flat;
-          execution = Simulated }
-      r
+    round_seconds ~config:{ default_config with machine; nworkers; strategy } r
   in
   base /. par

@@ -50,11 +50,30 @@ type config = {
   scheduling : scheduling;
   topology : topology;
   execution : execution;
+  guard : bool;
+      (** post-round finite check over the derivative vector (default
+          on): a NaN/Inf produced by any task raises a typed
+          [Nonfinite_output] naming the flattened equation instead of
+          flowing silently into the solver's error estimator, and the
+          solvers answer with retry/backoff *)
+  faults : Om_guard.Fault_plan.t option;
+      (** chaos: a deterministic fault-injection plan threaded into the
+          executor (task output poisoning, worker delays, spawn
+          failures; see [Om_guard.Fault_plan]).  Under {!Simulated}
+          execution only task poisons apply. *)
+  barrier_deadline : float;
+      (** seconds before a round barrier records a worker stall and the
+          runtime drops the stalled worker (degradation ladder);
+          [0.] (default) disarms detection.  {!Real_domains} only. *)
+  retry_budget : int;
+      (** bound on consecutive solver step retries after guarded faults
+          (default 8) *)
 }
 
 val default_config : config
 (** One simulated worker on the SPARCCenter 2000, broadcast state,
-    static LPT. *)
+    static LPT; guard on, no fault plan, stall detection disarmed,
+    retry budget 8. *)
 
 type solver =
   | Rk4 of float  (** fixed step *)
@@ -92,6 +111,14 @@ type report = {
           [worker_compute_seconds] *)
   reschedules : int;
   solver_steps : int;
+  retries : int;
+      (** solver step retries triggered by guarded runtime faults
+          ([Odesys.counters.retries]) *)
+  faults_injected : int;
+      (** faults actually fired by [config.faults] ([0] without a plan) *)
+  degradations : Om_guard.Om_error.degradation list;
+      (** degradation-ladder steps taken, oldest first: spawn-time
+          worker drops, mid-run stall drops, fall to sequential *)
 }
 
 val execute :
@@ -102,7 +129,18 @@ val execute :
   Om_codegen.Pipeline.result ->
   report
 (** Integrate the compiled model from its initial state.  Default solver
-    [Rk4 (tend /. 400.)]. *)
+    [Rk4 (tend /. 400.)].
+
+    Robustness under {!Real_domains}: a failed pool construction
+    ([Spawn_failure]) retries with one worker fewer down to sequential
+    evaluation on the supervisor; a barrier-deadline stall drops the
+    stalled worker and LPT-reassigns its tasks to the survivors.  Every
+    rung is recorded in [report.degradations], and trajectories stay
+    bit-identical across all of them.  Guarded non-finite RHS output is
+    retried with step-size backoff inside the solvers (bounded by
+    [config.retry_budget]).
+    @raise Om_guard.Om_error.Error ([Step_failure]) when a solver
+    exhausts its retry or step budget. *)
 
 val round_seconds :
   ?config:config ->

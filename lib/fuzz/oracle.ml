@@ -45,7 +45,7 @@ let integrate_seq (f : FM.t) rhs =
   Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0
     ~y0:(FM.initial_values f) ~tend ~h
 
-let check (m : A.model) : result =
+let check ?chaos (m : A.model) : result =
   let vs = ref [] in
   let fail invariant fmt =
     Printf.ksprintf (fun detail -> vs := { invariant; detail } :: !vs) fmt
@@ -299,7 +299,42 @@ let check (m : A.model) : result =
                 R.default_config with
                 execution = R.Real_domains 2;
                 scheduling = R.Semidynamic 3;
-              }
+              };
+            (* ---- chaos: one seeded fault, recovery must be bitwise --- *)
+            (match chaos with
+            | None -> ()
+            | Some cseed when !n_tasks > 0 ->
+                let plan =
+                  Om_guard.Fault_plan.seeded ~seed:cseed ~ntasks:!n_tasks
+                    ~nworkers:2 ~max_round:40
+                in
+                let has_delay =
+                  List.exists
+                    (function
+                      | Om_guard.Fault_plan.Delay_worker _ -> true
+                      | _ -> false)
+                    (Om_guard.Fault_plan.faults plan)
+                in
+                let config =
+                  {
+                    R.default_config with
+                    execution = R.Real_domains 2;
+                    faults = Some plan;
+                    barrier_deadline = (if has_delay then 1e-4 else 0.);
+                  }
+                in
+                (match R.execute ~config ~solver:(R.Rk4 h) ~t0 ~tend r with
+                | rep ->
+                    compare_traj "chaos-real-domains-2" rep.R.trajectory;
+                    if rep.R.faults_injected < 1 then
+                      fail "chaos"
+                        "seeded plan (%s) injected nothing over the run"
+                        (Fmt.str "%a" Om_guard.Fault_plan.pp plan)
+                | exception exn ->
+                    fail "chaos" "recovery from %s raised %s"
+                      (Fmt.str "%a" Om_guard.Fault_plan.pp plan)
+                      (Printexc.to_string exn))
+            | Some _ -> ())
           end);
       {
         dim = !dim;

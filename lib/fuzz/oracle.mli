@@ -29,7 +29,15 @@
     When the reference trajectory is non-finite (explosive dynamics the
     bounded grammar cannot fully rule out) the trajectory matrix is
     skipped and the case is reported as discarded; every structural
-    invariant above still runs. *)
+    invariant above still runs.
+
+    With [?chaos:seed], a {b chaos} invariant joins the matrix: one
+    fault drawn by {!Om_guard.Fault_plan.seeded} (NaN/Inf poisoned into
+    a task output, or a worker delay long enough to trip the barrier
+    deadline) is injected into a 2-domain run.  The runtime must mask it
+    — guard, retry, or degrade — and still reproduce the fault-free
+    reference trajectory bitwise; a plan that injects nothing over the
+    whole run is itself a violation. *)
 
 type violation = { invariant : string; detail : string }
 
@@ -43,4 +51,6 @@ type result = {
   violations : violation list;  (** empty = all invariants hold *)
 }
 
-val check : Om_lang.Ast.model -> result
+val check : ?chaos:int -> Om_lang.Ast.model -> result
+(** [check ?chaos m] runs every invariant; [chaos] seeds the optional
+    fault-injection strategy (see above). *)

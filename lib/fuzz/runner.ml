@@ -42,8 +42,15 @@ let dump_failure dir ~seed (fl : failure) =
   in
   write_file (base fl.index "report.txt") report
 
-let run ?out_dir ?(check = Oracle.check) ?(shrink_budget = 300) ?(log = ignore)
+let run ?out_dir ?check ?(shrink_budget = 300) ?(chaos = false) ?(log = ignore)
     ~cases ~seed () =
+  let check_for i =
+    match check with
+    | Some c -> c
+    | None ->
+        if chaos then Oracle.check ~chaos:(seed lxor (i * 0x9e3779b1))
+        else Oracle.check ?chaos:None
+  in
   let failures = ref [] in
   let discarded = ref 0 in
   let dim_total = ref 0 in
@@ -51,6 +58,7 @@ let run ?out_dir ?(check = Oracle.check) ?(shrink_budget = 300) ?(log = ignore)
   for i = 0 to cases - 1 do
     let rng = Random.State.make [| seed; i |] in
     let m = Gen.model rng in
+    let check = check_for i in
     let res = check m in
     dim_total := !dim_total + res.Oracle.dim;
     task_total := !task_total + res.Oracle.n_tasks;
@@ -61,17 +69,29 @@ let run ?out_dir ?(check = Oracle.check) ?(shrink_budget = 300) ?(log = ignore)
     | None -> ());
     if res.Oracle.violations <> [] then begin
       let first = List.hd res.Oracle.violations in
-      log
-        (Printf.sprintf "case %d: VIOLATION %s — shrinking..." i
-           (Fmt.str "%a" Oracle.pp_violation first));
-      (* Shrink while the same invariant keeps failing. *)
-      let predicate m' =
-        List.exists
-          (fun v -> v.Oracle.invariant = first.Oracle.invariant)
-          (check m').Oracle.violations
+      let shrunk, shrunk_violations =
+        if chaos then begin
+          (* A fault plan's (round, task) coordinates are meaningless on
+             a shrunk model, so chaos failures are reported as-is. *)
+          log
+            (Printf.sprintf "case %d: VIOLATION %s (chaos: not shrinking)" i
+               (Fmt.str "%a" Oracle.pp_violation first));
+          (m, res.Oracle.violations)
+        end
+        else begin
+          log
+            (Printf.sprintf "case %d: VIOLATION %s — shrinking..." i
+               (Fmt.str "%a" Oracle.pp_violation first));
+          (* Shrink while the same invariant keeps failing. *)
+          let predicate m' =
+            List.exists
+              (fun v -> v.Oracle.invariant = first.Oracle.invariant)
+              (check m').Oracle.violations
+          in
+          let shrunk = Shrink.shrink ~budget:shrink_budget m ~predicate in
+          (shrunk, (check shrunk).Oracle.violations)
+        end
       in
-      let shrunk = Shrink.shrink ~budget:shrink_budget m ~predicate in
-      let shrunk_violations = (check shrunk).Oracle.violations in
       let fl =
         { index = i; violations = res.Oracle.violations; original = m; shrunk;
           shrunk_violations }

@@ -28,12 +28,20 @@ val run :
   ?out_dir:string ->
   ?check:(Om_lang.Ast.model -> Oracle.result) ->
   ?shrink_budget:int ->
+  ?chaos:bool ->
   ?log:(string -> unit) ->
   cases:int ->
   seed:int ->
   unit ->
   summary
 (** [check] defaults to {!Oracle.check} (tests inject stubs);
-    [log] receives one line per noteworthy event. *)
+    [log] receives one line per noteworthy event.
+
+    With [~chaos:true] (default false) each case additionally injects
+    one seeded fault (derived from the [(seed, index)] pair) into a
+    2-domain run and demands bitwise recovery — see {!Oracle.check}.
+    Chaos failures are never shrunk: the fault plan's (round, task)
+    coordinates do not survive model reduction, so [shrunk] is the
+    original model. *)
 
 val pp_summary : summary Fmt.t

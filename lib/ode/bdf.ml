@@ -31,7 +31,8 @@ let solve_implicit_stage ?banded (sys : Odesys.t) ~tol ~max_iter ~t_next
   let fy = Array.make n 0. in
   let rec iterate k =
     if k >= max_iter then
-      failwith "Bdf: Newton iteration failed to converge";
+      Om_guard.Om_error.(
+        error (Newton_failure { time = t_next; iterations = max_iter }));
     Odesys.rhs_into sys t_next y fy;
     let g =
       Array.init n (fun i ->

@@ -21,7 +21,8 @@ val integrate :
   h:float ->
   Odesys.trajectory
 (** @raise Invalid_argument for orders outside 1..3.
-    @raise Failure if Newton fails to converge. *)
+    @raise Om_guard.Om_error.Error ([Newton_failure]) if Newton fails to
+    converge. *)
 
 val solve_implicit_stage :
   ?banded:int * int ->
@@ -38,4 +39,5 @@ val solve_implicit_stage :
     Newton; shared with the LSODA-style driver.  With [banded = (ml, mu)]
     the Newton matrix factorises inside the band in O(n (ml+mu)^2) — the
     right choice for method-of-lines PDE systems.
-    @raise Failure on non-convergence. *)
+    @raise Om_guard.Om_error.Error ([Newton_failure]) on
+    non-convergence. *)

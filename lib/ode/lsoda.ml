@@ -22,8 +22,8 @@ let error_weights atol rtol a b =
       atol +. (rtol *. Float.max (Float.abs a.(i)) (Float.abs b.(i))))
 
 let integrate ?(atol = 1e-8) ?(rtol = 1e-6) ?h0 ?(max_steps = 2_000_000)
-    ?(stiffness_window = 5) ?(start_mode = Adams_mode) (sys : Odesys.t) ~t0
-    ~y0 ~tend =
+    ?(stiffness_window = 5) ?(start_mode = Adams_mode) ?(max_retries = 8)
+    (sys : Odesys.t) ~t0 ~y0 ~tend =
   let n = sys.dim in
   let span = tend -. t0 in
   if span <= 0. then invalid_arg "Lsoda.integrate: tend <= t0";
@@ -120,7 +120,9 @@ let integrate ?(atol = 1e-8) ?(rtol = 1e-6) ?h0 ?(max_steps = 2_000_000)
       Bdf.solve_implicit_stage sys ~tol:1e-8 ~max_iter:12 ~t_next
         ~beta_h:h' ~rhs_const ~alpha0 ~y_guess:pred
     with
-    | exception Failure _ -> None
+    | exception Om_guard.Om_error.Error (Om_guard.Om_error.Newton_failure _)
+      ->
+        None
     | y_new ->
         let f_new = Odesys.rhs sys t_next y_new in
         let diff = Array.map2 ( -. ) y_new pred in
@@ -133,38 +135,66 @@ let integrate ?(atol = 1e-8) ?(rtol = 1e-6) ?h0 ?(max_steps = 2_000_000)
         let l = lipschitz f_pred f_new pred y_new in
         Some (y_new, f_new, l, err)
   in
+  (* Consecutive guarded-fault retries at the current time; reset by any
+     attempt that runs to completion (accepted or error-rejected). *)
+  let consec = ref 0 in
+  let step_failure step retries reason =
+    Om_guard.Om_error.(
+      error (Step_failure { solver = "lsoda"; time = !t; step; retries; reason }))
+  in
+  (* Backoff ladder shared by both modes: a guarded runtime fault inside
+     an attempt is retried at the same step first (transient faults —
+     injected poisons fire once — then recover bitwise-identically), then
+     with halved steps, bounded by [max_retries]. *)
+  let retry_fault h' cause =
+    sys.counters.retries <- sys.counters.retries + 1;
+    incr consec;
+    if !consec > max_retries then
+      step_failure h' (!consec - 1) (Om_guard.Om_error.to_string cause);
+    if !consec > 1 then h := h' /. 2.
+  in
   while !t < tend -. 1e-12 do
     incr steps;
-    if !steps > max_steps then failwith "Lsoda.integrate: too many steps";
-    if !h < h_min then failwith "Lsoda.integrate: step size underflow";
+    if !steps > max_steps then
+      step_failure !h sys.counters.retries "step budget exhausted";
+    if !h < h_min then
+      step_failure !h sys.counters.retries "step size underflow";
     let h' = Float.min !h (tend -. !t) in
     match !mode with
-    | Adams_mode ->
-        let corr, fcorr, l, err = adams_attempt h' in
-        if err <= 1. then begin
-          (* Stiffness monitor: the error-controlled step wants to grow
-             but h·L pins us at the stability boundary. *)
-          if h' *. l > 0.8 then incr stiff_score
-          else if h' *. l < 0.5 then stiff_score := 0;
-          accept h' corr fcorr;
-          if !stiff_score >= stiffness_window && !cooldown = 0 then
-            switch_to Bdf_mode
-        end
-        else sys.counters.rejected <- sys.counters.rejected + 1;
-        let factor =
-          if err = 0. then 4.
-          else Float.min 4. (Float.max 0.1 (0.9 /. Float.sqrt (Float.sqrt err)))
-        in
-        (* Never let the Adams step grow far past the stability bound;
-           LSODA caps the non-stiff step similarly. *)
-        h := h' *. factor
+    | Adams_mode -> (
+        match adams_attempt h' with
+        | exception Om_guard.Om_error.Error cause -> retry_fault h' cause
+        | corr, fcorr, l, err ->
+            consec := 0;
+            if err <= 1. then begin
+              (* Stiffness monitor: the error-controlled step wants to grow
+                 but h·L pins us at the stability boundary. *)
+              if h' *. l > 0.8 then incr stiff_score
+              else if h' *. l < 0.5 then stiff_score := 0;
+              accept h' corr fcorr;
+              if !stiff_score >= stiffness_window && !cooldown = 0 then
+                switch_to Bdf_mode
+            end
+            else sys.counters.rejected <- sys.counters.rejected + 1;
+            let factor =
+              if err = 0. then 4.
+              else
+                Float.min 4.
+                  (Float.max 0.1 (0.9 /. Float.sqrt (Float.sqrt err)))
+            in
+            (* Never let the Adams step grow far past the stability bound;
+               LSODA caps the non-stiff step similarly. *)
+            h := h' *. factor)
     | Bdf_mode -> (
         match bdf_attempt h' with
+        | exception Om_guard.Om_error.Error cause -> retry_fault h' cause
         | None ->
             (* Newton failure: retry with a smaller step. *)
+            consec := 0;
             sys.counters.rejected <- sys.counters.rejected + 1;
             h := h' /. 4.
         | Some (y_new, f_new, l, err) ->
+            consec := 0;
             if err <= 1. then begin
               if h' *. l < 0.2 then incr nonstiff_score
               else nonstiff_score := 0;

@@ -28,12 +28,20 @@ val integrate :
   ?max_steps:int ->
   ?stiffness_window:int ->
   ?start_mode:mode ->
+  ?max_retries:int ->
   Odesys.t ->
   t0:float ->
   y0:float array ->
   tend:float ->
   result
-(** @raise Failure when the step count budget (default 2_000_000) is
-    exhausted or the step size underflows. *)
+(** Guarded runtime faults ({!Om_guard.Om_error.Error}) raised by the RHS
+    during an attempted step are answered with backoff — same-size retry
+    first (bitwise-identical recovery from transient faults), then step
+    halving — bounded by [max_retries] (default 8) consecutive attempts.
+    Newton non-convergence inside a BDF attempt keeps its classic
+    treatment (reject, quarter the step).
+    @raise Om_guard.Om_error.Error ([Step_failure]) when the step count
+    budget (default 2_000_000), the retry budget, or the minimum step
+    size is exhausted. *)
 
 val pp_mode : mode Fmt.t

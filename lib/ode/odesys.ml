@@ -5,6 +5,7 @@ type counters = {
   mutable rejected : int;
   mutable newton_iters : int;
   mutable lu_factorisations : int;
+  mutable retries : int;
 }
 
 type t = {
@@ -24,6 +25,7 @@ let fresh_counters () =
     rejected = 0;
     newton_iters = 0;
     lu_factorisations = 0;
+    retries = 0;
   }
 
 let reset_counters sys =
@@ -33,11 +35,13 @@ let reset_counters sys =
   c.steps <- 0;
   c.rejected <- 0;
   c.newton_iters <- 0;
-  c.lu_factorisations <- 0
+  c.lu_factorisations <- 0;
+  c.retries <- 0
 
 let pp_counters ppf c =
-  Fmt.pf ppf "steps=%d rhs=%d jac=%d rejected=%d newton=%d lu=%d" c.steps
-    c.rhs_calls c.jac_calls c.rejected c.newton_iters c.lu_factorisations
+  Fmt.pf ppf "steps=%d rhs=%d jac=%d rejected=%d newton=%d lu=%d retries=%d"
+    c.steps c.rhs_calls c.jac_calls c.rejected c.newton_iters
+    c.lu_factorisations c.retries
 
 let make ?names ?jac ~dim f =
   let names =

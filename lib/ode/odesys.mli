@@ -13,6 +13,10 @@ type counters = {
   mutable rejected : int;
   mutable newton_iters : int;
   mutable lu_factorisations : int;
+  mutable retries : int;
+      (** solver step retries after a guarded runtime fault
+          ({!Om_guard.Om_error.t}), counted by the backoff loops in
+          [Rk] and [Lsoda] *)
 }
 
 type t = {
@@ -32,7 +36,7 @@ val reset_counters : t -> unit
 
 val pp_counters : counters Fmt.t
 (** One-line rendering:
-    [steps=.. rhs=.. jac=.. rejected=.. newton=.. lu=..]. *)
+    [steps=.. rhs=.. jac=.. rejected=.. newton=.. lu=.. retries=..]. *)
 
 val make :
   ?names:string array ->

@@ -28,14 +28,41 @@ let rk4 : fixed_stepper =
 
 let step (s : fixed_stepper) = s
 
-let integrate_fixed stepper (sys : Odesys.t) ~t0 ~y0 ~tend ~h =
+let integrate_fixed ?(max_retries = 8) stepper (sys : Odesys.t) ~t0 ~y0 ~tend
+    ~h =
   if h <= 0. then invalid_arg "Rk.integrate_fixed: nonpositive step";
   let ts = ref [ t0 ] and ys = ref [ Array.copy y0 ] in
   let t = ref t0 and y = ref (Array.copy y0) in
   while !t < tend -. 1e-12 do
     let h' = Float.min h (tend -. !t) in
-    y := stepper sys !t !y h';
-    t := !t +. h';
+    (* Guarded advance.  The first retry re-runs the step at the {e same}
+       size: a transient fault (an injected poison fires at most once)
+       re-evaluates to the exact same bits, so the recovered trajectory
+       is Int64-identical to a fault-free run.  Only a repeated failure —
+       a genuinely non-finite RHS at this (t, h) — backs off by halving,
+       up to the retry budget. *)
+    let rec attempt h_try retries =
+      match stepper sys !t !y h_try with
+      | y' -> (y', h_try)
+      | exception Om_guard.Om_error.Error cause ->
+          sys.counters.retries <- sys.counters.retries + 1;
+          if retries >= max_retries then
+            Om_guard.Om_error.(
+              error
+                (Step_failure
+                   {
+                     solver = "rk-fixed";
+                     time = !t;
+                     step = h_try;
+                     retries;
+                     reason = to_string cause;
+                   }))
+          else
+            attempt (if retries = 0 then h_try else h_try /. 2.) (retries + 1)
+    in
+    let y', h_used = attempt h' 0 in
+    y := y';
+    t := !t +. h_used;
     sys.counters.steps <- sys.counters.steps + 1;
     ts := !t :: !ts;
     ys := !y :: !ys
@@ -64,7 +91,7 @@ let rkf_b5 =
 let rkf_b4 = [| 25. /. 216.; 0.; 1408. /. 2565.; 2197. /. 4104.; -0.2; 0. |]
 
 let rkf45 ?(atol = 1e-8) ?(rtol = 1e-6) ?h0 ?(max_steps = 1_000_000)
-    (sys : Odesys.t) ~t0 ~y0 ~tend =
+    ?(max_retries = 8) (sys : Odesys.t) ~t0 ~y0 ~tend =
   let n = sys.dim in
   let span = tend -. t0 in
   if span <= 0. then invalid_arg "Rk.rkf45: tend <= t0";
@@ -73,55 +100,93 @@ let rkf45 ?(atol = 1e-8) ?(rtol = 1e-6) ?h0 ?(max_steps = 1_000_000)
   let ts = ref [ t0 ] and ys = ref [ Array.copy y0 ] in
   let k = Array.make 6 [||] in
   let steps = ref 0 in
+  (* Consecutive guarded-fault retries at the current time; reset on any
+     attempt that completes its six stages. *)
+  let consec = ref 0 in
   while !t < tend -. 1e-12 do
     incr steps;
-    if !steps > max_steps then failwith "Rk.rkf45: too many steps";
+    if !steps > max_steps then
+      Om_guard.Om_error.(
+        error
+          (Step_failure
+             {
+               solver = "rkf45";
+               time = !t;
+               step = !h;
+               retries = sys.counters.retries;
+               reason = "step budget exhausted";
+             }));
     let h' = Float.min !h (tend -. !t) in
-    for s = 0 to 5 do
-      let ys_stage =
+    let attempt () =
+      for s = 0 to 5 do
+        let ys_stage =
+          Array.init n (fun i ->
+              let acc = ref !y.(i) in
+              for j = 0 to s - 1 do
+                acc := !acc +. (h' *. rkf_a.(s).(j) *. k.(j).(i))
+              done;
+              !acc)
+        in
+        k.(s) <- Odesys.rhs sys (!t +. (rkf_c.(s) *. h')) ys_stage
+      done;
+      let y5 =
         Array.init n (fun i ->
             let acc = ref !y.(i) in
-            for j = 0 to s - 1 do
-              acc := !acc +. (h' *. rkf_a.(s).(j) *. k.(j).(i))
+            for s = 0 to 5 do
+              acc := !acc +. (h' *. rkf_b5.(s) *. k.(s).(i))
             done;
             !acc)
       in
-      k.(s) <- Odesys.rhs sys (!t +. (rkf_c.(s) *. h')) ys_stage
-    done;
-    let y5 =
-      Array.init n (fun i ->
-          let acc = ref !y.(i) in
-          for s = 0 to 5 do
-            acc := !acc +. (h' *. rkf_b5.(s) *. k.(s).(i))
-          done;
-          !acc)
+      let err =
+        Array.init n (fun i ->
+            let acc = ref 0. in
+            for s = 0 to 5 do
+              acc := !acc +. (h' *. (rkf_b5.(s) -. rkf_b4.(s)) *. k.(s).(i))
+            done;
+            !acc)
+      in
+      (y5, err)
     in
-    let err =
-      Array.init n (fun i ->
-          let acc = ref 0. in
-          for s = 0 to 5 do
-            acc := !acc +. (h' *. (rkf_b5.(s) -. rkf_b4.(s)) *. k.(s).(i))
-          done;
-          !acc)
-    in
-    let weights =
-      Array.init n (fun i ->
-          atol +. (rtol *. Float.max (Float.abs !y.(i)) (Float.abs y5.(i))))
-    in
-    let e = Linalg.wrms_norm err weights in
-    if e <= 1. then begin
-      t := !t +. h';
-      y := y5;
-      sys.counters.steps <- sys.counters.steps + 1;
-      ts := !t :: !ts;
-      ys := Array.copy y5 :: !ys
-    end
-    else sys.counters.rejected <- sys.counters.rejected + 1;
-    (* Standard step-size update with safety factor, clamped growth. *)
-    let factor =
-      if e = 0. then 5. else Float.min 5. (Float.max 0.2 (0.9 *. (e ** (-0.2))))
-    in
-    h := h' *. factor
+    match attempt () with
+    | exception Om_guard.Om_error.Error cause ->
+        (* Same backoff ladder as [integrate_fixed]: retry at the same
+           step first (bitwise-identical recovery from transient faults),
+           then halve. *)
+        sys.counters.retries <- sys.counters.retries + 1;
+        incr consec;
+        if !consec > max_retries then
+          Om_guard.Om_error.(
+            error
+              (Step_failure
+                 {
+                   solver = "rkf45";
+                   time = !t;
+                   step = h';
+                   retries = !consec - 1;
+                   reason = to_string cause;
+                 }));
+        if !consec > 1 then h := h' /. 2.
+    | y5, err ->
+        consec := 0;
+        let weights =
+          Array.init n (fun i ->
+              atol +. (rtol *. Float.max (Float.abs !y.(i)) (Float.abs y5.(i))))
+        in
+        let e = Linalg.wrms_norm err weights in
+        if e <= 1. then begin
+          t := !t +. h';
+          y := y5;
+          sys.counters.steps <- sys.counters.steps + 1;
+          ts := !t :: !ts;
+          ys := Array.copy y5 :: !ys
+        end
+        else sys.counters.rejected <- sys.counters.rejected + 1;
+        (* Standard step-size update with safety factor, clamped growth. *)
+        let factor =
+          if e = 0. then 5.
+          else Float.min 5. (Float.max 0.2 (0.9 *. (e ** (-0.2))))
+        in
+        h := h' *. factor
   done;
   {
     Odesys.ts = Array.of_list (List.rev !ts);

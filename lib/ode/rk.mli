@@ -11,6 +11,7 @@ val rk4 : fixed_stepper
 val step : fixed_stepper -> Odesys.t -> float -> float array -> float -> float array
 
 val integrate_fixed :
+  ?max_retries:int ->
   fixed_stepper ->
   Odesys.t ->
   t0:float ->
@@ -19,13 +20,22 @@ val integrate_fixed :
   h:float ->
   Odesys.trajectory
 (** March from [t0] to [tend] with constant step (the last step is shortened
-    to land exactly on [tend]).  Records every step. *)
+    to land exactly on [tend]).  Records every step.
+
+    A guarded runtime fault ({!Om_guard.Om_error.Error}) raised by the RHS
+    during a step is answered with backoff: the step is first retried at
+    the {e same} size (a transient fault — e.g. an injected poison that
+    fires once — then recovers with a bitwise-identical trajectory), then
+    with halved sizes, up to [max_retries] (default 8) attempts.
+    @raise Om_guard.Om_error.Error ([Step_failure], naming the offending
+    equation in [reason]) when the retry budget is exhausted. *)
 
 val rkf45 :
   ?atol:float ->
   ?rtol:float ->
   ?h0:float ->
   ?max_steps:int ->
+  ?max_retries:int ->
   Odesys.t ->
   t0:float ->
   y0:float array ->
@@ -33,5 +43,8 @@ val rkf45 :
   Odesys.trajectory
 (** Adaptive Runge–Kutta–Fehlberg 4(5).  Steps are accepted when the
     embedded error estimate passes the weighted RMS test with weights
-    [atol + rtol * |y|].
-    @raise Failure if [max_steps] (default 1_000_000) is exhausted. *)
+    [atol + rtol * |y|].  Guarded runtime faults back off like
+    {!integrate_fixed}: same-size retry first, then halving, bounded by
+    [max_retries] (default 8) consecutive attempts.
+    @raise Om_guard.Om_error.Error ([Step_failure]) if [max_steps]
+    (default 1_000_000) or the retry budget is exhausted. *)

@@ -27,8 +27,12 @@ type t = {
   done_mutex : Mutex.t;
   done_cond : Condition.t;
   spin_budget : int;
+  deadline : float; (* barrier deadline in seconds; 0. = none *)
   compute : float array; (* per-worker job seconds of the last round *)
   timing : float array; (* timing.(0) = wall seconds of the last round *)
+  arrived : int array; (* last generation each worker completed *)
+  failures : exn option array; (* contained worker exceptions, per worker *)
+  mutable stall : Om_guard.Om_error.t option; (* last barrier-deadline event *)
   mutable domains : unit Domain.t array;
   mutable rounds : int;
 }
@@ -77,10 +81,18 @@ let worker pool w =
       (* Time the job with the unboxed monotonic clock and store the
          delta straight into this worker's pre-allocated slot — no
          allocation on the worker in steady state.  The write is
-         published to the supervisor by the [ndone] bump below. *)
+         published to the supervisor by the [ndone] bump below.
+
+         A raising job is contained here rather than killing the domain:
+         the exception is parked in this worker's failure slot, the
+         barrier still completes (every sibling and the supervisor would
+         otherwise wait forever on [ndone]) and the domain keeps serving
+         rounds, so the pool always joins cleanly at shutdown.  The
+         supervisor re-raises the parked exception after the round. *)
       let t0 = Monotonic.now () in
-      pool.job w;
+      (try pool.job w with e -> pool.failures.(w) <- Some e);
       Array.unsafe_set pool.compute w (Monotonic.now () -. t0);
+      Array.unsafe_set pool.arrived w g;
       if Atomic.fetch_and_add pool.ndone 1 = pool.nworkers - 1 then begin
         Mutex.lock pool.done_mutex;
         Condition.broadcast pool.done_cond;
@@ -91,9 +103,21 @@ let worker pool w =
   in
   serve ()
 
-let create ?(spin_budget = 2000) ~job nworkers =
+let create ?(spin_budget = 2000) ?(barrier_deadline = 0.)
+    ?(spawn_fail = fun _ -> false) ~job nworkers =
   if nworkers < 1 then invalid_arg "Domain_pool.create: nworkers < 1";
   if spin_budget < 0 then invalid_arg "Domain_pool.create: spin_budget < 0";
+  if barrier_deadline < 0. then
+    invalid_arg "Domain_pool.create: barrier_deadline < 0";
+  (* Injected spawn failures are checked before any domain exists, so a
+     failing create leaks nothing. *)
+  for w = 0 to nworkers - 1 do
+    if spawn_fail w then
+      Om_guard.Om_error.(
+        error
+          (Spawn_failure
+             { worker = w; nworkers; reason = "injected spawn failure" }))
+  done;
   let pool =
     {
       nworkers;
@@ -105,13 +129,39 @@ let create ?(spin_budget = 2000) ~job nworkers =
       done_mutex = Mutex.create ();
       done_cond = Condition.create ();
       spin_budget;
+      deadline = barrier_deadline;
       compute = Array.make nworkers 0.;
       timing = Array.make 1 0.;
+      arrived = Array.make nworkers 0;
+      failures = Array.make nworkers None;
+      stall = None;
       domains = [||];
       rounds = 0;
     }
   in
-  pool.domains <- Array.init nworkers (fun w -> Domain.spawn (fun () -> worker pool w));
+  (* A real [Domain.spawn] failure part-way through must not leak the
+     domains already spawned: publish the shutdown generation, join what
+     exists, then surface the typed fault. *)
+  let spawned = ref [] in
+  (try
+     for w = 0 to nworkers - 1 do
+       spawned := Domain.spawn (fun () -> worker pool w) :: !spawned
+     done
+   with e ->
+     Mutex.lock pool.start_mutex;
+     Atomic.set pool.round (-1);
+     Condition.broadcast pool.start_cond;
+     Mutex.unlock pool.start_mutex;
+     List.iter Domain.join !spawned;
+     Om_guard.Om_error.(
+       error
+         (Spawn_failure
+            {
+              worker = List.length !spawned;
+              nworkers;
+              reason = Printexc.to_string e;
+            })));
+  pool.domains <- Array.of_list (List.rev !spawned);
   pool
 
 (* Top level (not a local closure over [pool]) so a steady-state round
@@ -131,6 +181,74 @@ let rec supervisor_wait pool budget =
       Mutex.unlock pool.done_mutex
     end
 
+(* Deadline-aware wait: after the spin budget, poll in short sleeps and
+   the first time the deadline passes with workers still outstanding,
+   record a stall event attributing the missing worker (reads of
+   [arrived] are advisory — plain racy int reads, good enough for
+   diagnostics).  Detection never abandons the barrier: the supervisor
+   still waits for completion (a stalled worker that eventually arrives
+   left consistent output), and the caller decides whether to degrade
+   via {!take_stall}. *)
+let supervisor_poll pool t0 =
+  let recorded = ref (match pool.stall with None -> false | Some _ -> true) in
+  while Atomic.get pool.ndone < pool.nworkers do
+    (if (not !recorded) && Monotonic.now () -. t0 > pool.deadline then begin
+       recorded := true;
+       let g = Atomic.get pool.round in
+       let missing = ref 0 and culprit = ref (-1) in
+       for w = pool.nworkers - 1 downto 0 do
+         if Array.unsafe_get pool.arrived w <> g then begin
+           incr missing;
+           culprit := w
+         end
+       done;
+       let waited = Monotonic.now () -. t0 in
+       if !missing = 1 then
+         pool.stall <-
+           Some
+             (Om_guard.Om_error.Worker_stall
+                { worker = !culprit; round = pool.rounds; waited_s = waited })
+       else if !missing > 1 then
+         pool.stall <-
+           Some
+             (Om_guard.Om_error.Barrier_timeout
+                {
+                  round = pool.rounds;
+                  missing = !missing;
+                  deadline_s = pool.deadline;
+                })
+     end);
+    if Atomic.get pool.ndone < pool.nworkers then Unix.sleepf 20e-6
+  done
+
+let take_stall pool =
+  let s = pool.stall in
+  pool.stall <- None;
+  s
+
+(* Re-raise a contained worker exception on the supervisor.  Typed
+   runtime faults pass through unchanged (they already carry their own
+   attribution); anything else is wrapped so the caller learns which
+   worker and round died. *)
+let check_failures pool =
+  for w = 0 to pool.nworkers - 1 do
+    match Array.unsafe_get pool.failures w with
+    | None -> ()
+    | Some e -> (
+        pool.failures.(w) <- None;
+        match e with
+        | Om_guard.Om_error.Error _ -> raise e
+        | e ->
+            Om_guard.Om_error.(
+              error
+                (Worker_exception
+                   {
+                     worker = w;
+                     round = pool.rounds - 1;
+                     detail = Printexc.to_string e;
+                   })))
+  done
+
 let round pool =
   if not (active pool) then invalid_arg "Domain_pool.round: pool is shut down";
   let t0 = Monotonic.now () in
@@ -139,9 +257,23 @@ let round pool =
   Atomic.incr pool.round;
   Condition.broadcast pool.start_cond;
   Mutex.unlock pool.start_mutex;
-  supervisor_wait pool pool.spin_budget;
+  if pool.deadline > 0. then begin
+    (* Spin first as usual; only fall to the polling loop (which can
+       observe the deadline) if the round is genuinely slow. *)
+    let rec spin budget =
+      if Atomic.get pool.ndone < pool.nworkers then
+        if budget > 0 then begin
+          Domain.cpu_relax ();
+          spin (budget - 1)
+        end
+        else supervisor_poll pool t0
+    in
+    spin pool.spin_budget
+  end
+  else supervisor_wait pool pool.spin_budget;
   pool.timing.(0) <- Monotonic.now () -. t0;
-  pool.rounds <- pool.rounds + 1
+  pool.rounds <- pool.rounds + 1;
+  check_failures pool
 
 let shutdown pool =
   if active pool then begin

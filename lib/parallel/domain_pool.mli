@@ -16,18 +16,52 @@
 
 type t
 
-val create : ?spin_budget:int -> job:(int -> unit) -> int -> t
+val create :
+  ?spin_budget:int ->
+  ?barrier_deadline:float ->
+  ?spawn_fail:(int -> bool) ->
+  job:(int -> unit) ->
+  int ->
+  t
 (** [create ~job n] spawns [n] worker domains.  [job w] is the fixed
     body worker [w] executes each round; it must only touch state that
     is safe to share between domains (disjoint array slots, its own
     register files).  [spin_budget] (default 2000) bounds the busy-wait
     before a worker or the supervisor blocks.
-    @raise Invalid_argument if [n < 1] or [spin_budget < 0]. *)
+
+    [barrier_deadline] (seconds, default [0.] = disabled) arms stall
+    detection: a round that outlives the deadline records a typed
+    {!Om_guard.Om_error.Worker_stall} / [Barrier_timeout] event,
+    retrievable with {!take_stall}.  Detection is advisory — the round
+    still waits for every worker, so a slow worker's writes are never
+    torn.
+
+    [spawn_fail] is a fault-injection hook consulted per worker id
+    before any domain is spawned ([Om_guard.Fault_plan.spawn_should_fail]
+    in chaos runs).
+    @raise Invalid_argument if [n < 1], [spin_budget < 0] or
+    [barrier_deadline < 0].
+    @raise Om_guard.Om_error.Error ([Spawn_failure]) when [spawn_fail]
+    trips or [Domain.spawn] itself fails; already-spawned domains are
+    joined first, so nothing leaks. *)
 
 val round : t -> unit
 (** Run one round: every worker executes its job once; returns when all
-    are done.  Allocation-free in steady state.
+    are done.  Allocation-free in steady state (with stall detection
+    disarmed).
+
+    A job that raises does not kill its domain or hang the barrier: the
+    exception is contained on the worker, the round completes, and the
+    exception is re-raised here on the supervisor — typed
+    {!Om_guard.Om_error.Error} faults unchanged, anything else wrapped
+    as [Worker_exception] with the worker and round attached.  The pool
+    stays fully operational for subsequent rounds and {!shutdown}.
     @raise Invalid_argument after {!shutdown}. *)
+
+val take_stall : t -> Om_guard.Om_error.t option
+(** The stall event recorded by the last deadline overrun, if any;
+    clears it.  [None] when stall detection is disarmed or every round
+    met its deadline. *)
 
 val shutdown : t -> unit
 (** Terminate and join the worker domains.  Idempotent.  The pool

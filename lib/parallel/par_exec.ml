@@ -33,6 +33,10 @@ type t = {
   nworkers : int;
   worker_tasks : int array array; (* worker -> task ids, ascending *)
   task_seconds : float array; (* per-task wall seconds of the last round *)
+  task_costs : float array; (* static costs, for degradation LPT *)
+  live : bool array; (* live worker set (degradation ladder) *)
+  round_box : int array; (* round_box.(0): round index seen by workers *)
+  fault : Om_guard.Fault_plan.t option;
 }
 
 let worker_tasks t = t.worker_tasks
@@ -41,6 +45,15 @@ let rounds t = Domain_pool.rounds t.pool
 let task_seconds t = t.task_seconds
 let worker_compute t = Domain_pool.compute_seconds t.pool
 let last_round_seconds t = Domain_pool.last_round_seconds t.pool
+let take_stall t = Domain_pool.take_stall t.pool
+
+let live_workers t =
+  let n = ref 0 in
+  Array.iter (fun l -> if l then incr n) t.live;
+  !n
+
+let faults_injected t =
+  match t.fault with None -> 0 | Some p -> Om_guard.Fault_plan.injected p
 
 (* Per-worker slices of an assignment, each ascending — shared by
    [create] and [set_assignment]. *)
@@ -63,8 +76,8 @@ let slices_of ~who ~nworkers ~ntasks assignment =
     assignment;
   slices
 
-let create ?spin_budget ~nworkers (desc : Om_machine.Round_desc.t)
-    (compiled : Bb.t) =
+let create ?spin_budget ?barrier_deadline ?fault ~nworkers
+    (desc : Om_machine.Round_desc.t) (compiled : Bb.t) =
   if nworkers < 1 then invalid_arg "Par_exec.create: nworkers < 1";
   let ntasks = Array.length compiled.Bb.tasks in
   let slices =
@@ -74,7 +87,8 @@ let create ?spin_budget ~nworkers (desc : Om_machine.Round_desc.t)
   Array.blit slices 0 worker_tasks 0 nworkers;
   let task_seconds = Array.make ntasks 0. in
   let tasks = compiled.Bb.tasks in
-  let job w =
+  let round_box = Array.make 1 0 in
+  let plain_job w =
     (* [worker_tasks] is re-read every round, so a slice swapped in by
        [set_assignment] between rounds takes effect at the next round
        (the pool's generation atomics publish the write). *)
@@ -86,8 +100,59 @@ let create ?spin_budget ~nworkers (desc : Om_machine.Round_desc.t)
       Array.unsafe_set task_seconds tid (Monotonic.now () -. t0)
     done
   in
-  let pool = Domain_pool.create ?spin_budget ~job nworkers in
-  { pool; compiled; nworkers; worker_tasks; task_seconds }
+  (* The instrumented job only exists when a fault plan is supplied, so
+     a fault-free executor carries no chaos branches at all on its hot
+     path.  [round_box] is a plain write on the supervisor before the
+     round, published to the workers by the pool's generation atomics. *)
+  let job =
+    match fault with
+    | None -> plain_job
+    | Some plan ->
+        fun w ->
+          let round = Array.unsafe_get round_box 0 in
+          let mine = Array.unsafe_get worker_tasks w in
+          for i = 0 to Array.length mine - 1 do
+            let tid = Array.unsafe_get mine i in
+            let t0 = Monotonic.now () in
+            (Array.unsafe_get tasks tid).Bb.eval ();
+            Array.unsafe_set task_seconds tid (Monotonic.now () -. t0);
+            let p = Om_guard.Fault_plan.task_poison plan ~round ~task:tid in
+            if p <> 0. then
+              (* Overwrite every output slot the task owns; NaN/Inf then
+                 survives the reduction epilogue into the derivative
+                 vector, exactly like a genuinely non-finite task. *)
+              List.iter
+                (fun slot -> compiled.Bb.out.(slot) <- p)
+                (Array.unsafe_get tasks tid).Bb.writes
+          done;
+          let d = Om_guard.Fault_plan.delay_micros plan ~round ~worker:w in
+          if d > 0 then begin
+            let until = Monotonic.now () +. (float_of_int d *. 1e-6) in
+            while Monotonic.now () < until do
+              Domain.cpu_relax ()
+            done
+          end
+  in
+  let spawn_fail =
+    match fault with
+    | None -> None
+    | Some plan ->
+        Some (fun w -> Om_guard.Fault_plan.spawn_should_fail plan ~worker:w)
+  in
+  let pool =
+    Domain_pool.create ?spin_budget ?barrier_deadline ?spawn_fail ~job nworkers
+  in
+  {
+    pool;
+    compiled;
+    nworkers;
+    worker_tasks;
+    task_seconds;
+    task_costs = Bb.task_costs_static compiled;
+    live = Array.make nworkers true;
+    round_box;
+    fault;
+  }
 
 let set_assignment t assignment =
   let ntasks = Array.length t.compiled.Bb.tasks in
@@ -100,17 +165,58 @@ let set_assignment t assignment =
      the supervisor, never concurrently with [rhs_fn]). *)
   Array.blit slices 0 t.worker_tasks 0 t.nworkers
 
+(* Degradation ladder: give [w] an empty slice and redistribute every
+   task over the remaining live workers by LPT on the static costs
+   (sort by cost descending, ties by id, give each task to the
+   least-loaded live worker).  The pool itself is untouched — the dead
+   worker's domain stays in the barrier with nothing to do, so shutdown
+   still joins everything — and because tasks write disjoint slots and
+   the epilogue folds on the supervisor in fixed order, the trajectory
+   stays bit-identical across the reassignment. *)
+let drop_worker t w =
+  if w < 0 || w >= t.nworkers then
+    invalid_arg "Par_exec.drop_worker: worker id out of range";
+  if not t.live.(w) then invalid_arg "Par_exec.drop_worker: already dropped";
+  if live_workers t <= 1 then
+    invalid_arg "Par_exec.drop_worker: cannot drop the last live worker";
+  t.live.(w) <- false;
+  let live_ids =
+    Array.of_seq
+      (Seq.filter (fun i -> t.live.(i)) (Seq.init t.nworkers Fun.id))
+  in
+  let ntasks = Array.length t.compiled.Bb.tasks in
+  let order = Array.init ntasks Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare t.task_costs.(b) t.task_costs.(a) in
+      if c <> 0 then c else compare a b)
+    order;
+  let loads = Array.make (Array.length live_ids) 0. in
+  let assignment = Array.make ntasks 0 in
+  Array.iter
+    (fun tid ->
+      let best = ref 0 in
+      for k = 1 to Array.length live_ids - 1 do
+        if loads.(k) < loads.(!best) then best := k
+      done;
+      assignment.(tid) <- live_ids.(!best);
+      loads.(!best) <- loads.(!best) +. t.task_costs.(tid))
+    order;
+  set_assignment t assignment
+
 let rhs_fn t time y ydot =
   let c = t.compiled in
   c.Bb.set_state time y;
+  t.round_box.(0) <- t.round_box.(0) + 1;
   Domain_pool.round t.pool;
   c.Bb.run_epilogue ();
   Array.blit c.Bb.out 0 ydot 0 c.Bb.dim
 
 let shutdown t = Domain_pool.shutdown t.pool
 
-let with_executor ?spin_budget ~nworkers desc compiled f =
-  let t = create ?spin_budget ~nworkers desc compiled in
+let with_executor ?spin_budget ?barrier_deadline ?fault ~nworkers desc
+    compiled f =
+  let t = create ?spin_budget ?barrier_deadline ?fault ~nworkers desc compiled in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* ---------------------------------------------------------------- *)
@@ -137,9 +243,9 @@ let normalized costs =
   if sum <= 0. then Array.map (fun _ -> 1.) costs
   else Array.map (fun c -> c /. sum) costs
 
-let create_measured ?spin_budget ?semidynamic ~nworkers ~tasks
-    (desc : Om_machine.Round_desc.t) compiled =
-  let exec = create ?spin_budget ~nworkers desc compiled in
+let create_measured ?spin_budget ?barrier_deadline ?fault ?semidynamic
+    ~nworkers ~tasks (desc : Om_machine.Round_desc.t) compiled =
+  let exec = create ?spin_budget ?barrier_deadline ?fault ~nworkers desc compiled in
   let ntasks = Array.length exec.task_seconds in
   let stats = Round_stats.create ~nworkers in
   let semidyn =
@@ -195,8 +301,10 @@ let measured_rhs_fn m time y ydot =
 
 let shutdown_measured m = shutdown m.exec
 
-let with_measured ?spin_budget ?semidynamic ~nworkers ~tasks desc compiled f =
+let with_measured ?spin_budget ?barrier_deadline ?fault ?semidynamic ~nworkers
+    ~tasks desc compiled f =
   let m =
-    create_measured ?spin_budget ?semidynamic ~nworkers ~tasks desc compiled
+    create_measured ?spin_budget ?barrier_deadline ?fault ?semidynamic
+      ~nworkers ~tasks desc compiled
   in
   Fun.protect ~finally:(fun () -> shutdown_measured m) (fun () -> f m)

@@ -30,16 +30,28 @@ type t
 
 val create :
   ?spin_budget:int ->
+  ?barrier_deadline:float ->
+  ?fault:Om_guard.Fault_plan.t ->
   nworkers:int ->
   Om_machine.Round_desc.t ->
   Om_codegen.Bytecode_backend.t ->
   t
 (** Spawn the worker domains and distribute the descriptor's task
     assignment over them (each worker's tasks in ascending id order).
-    [spin_budget] is forwarded to {!Domain_pool.create}.
+    [spin_budget] and [barrier_deadline] are forwarded to
+    {!Domain_pool.create}.
+
+    [fault] arms chaos instrumentation: worker jobs consult the plan
+    after each task (output poisoning), after their slice (injected
+    delays), and pool construction consults it per worker id (spawn
+    failures).  Without a plan the job carries no instrumentation at
+    all.  Plan queries mutate the plan from worker domains; a plan must
+    not be shared between concurrently-running executors.
     @raise Invalid_argument if [nworkers < 1], if the assignment length
     does not match the compiled task count, or if a worker id is outside
-    [0 .. nworkers-1]. *)
+    [0 .. nworkers-1].
+    @raise Om_guard.Om_error.Error ([Spawn_failure]) when spawning
+    fails, by injection or for real. *)
 
 val rhs_fn : t -> float -> float array -> float array -> unit
 (** [rhs_fn t time y ydot]: one parallel round — publish [(time, y)] to
@@ -57,11 +69,34 @@ val set_assignment : t -> int array -> unit
     @raise Invalid_argument on a wrong-length assignment or a worker id
     outside [0 .. nworkers-1]. *)
 
+val drop_worker : t -> int -> unit
+(** One step down the degradation ladder: remove [worker] from the live
+    set and redistribute {e all} tasks over the remaining live workers
+    by LPT on the static costs.  The dead worker keeps its domain (it
+    joins every barrier with an empty slice, so {!shutdown} is
+    unaffected); trajectories stay bit-identical across the
+    reassignment because output slots are disjoint and the epilogue
+    folds on the supervisor in fixed order.
+    @raise Invalid_argument on an unknown, already-dropped, or last
+    remaining worker. *)
+
+val take_stall : t -> Om_guard.Om_error.t option
+(** {!Domain_pool.take_stall} of the underlying pool: the stall event
+    recorded by the last barrier-deadline overrun, if any (cleared). *)
+
+val live_workers : t -> int
+(** Workers still in the live set ([nworkers] minus drops). *)
+
+val faults_injected : t -> int
+(** Faults fired so far by the executor's plan ([0] without a plan). *)
+
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent. *)
 
 val with_executor :
   ?spin_budget:int ->
+  ?barrier_deadline:float ->
+  ?fault:Om_guard.Fault_plan.t ->
   nworkers:int ->
   Om_machine.Round_desc.t ->
   Om_codegen.Bytecode_backend.t ->
@@ -108,6 +143,8 @@ type measured = {
 
 val create_measured :
   ?spin_budget:int ->
+  ?barrier_deadline:float ->
+  ?fault:Om_guard.Fault_plan.t ->
   ?semidynamic:int ->
   nworkers:int ->
   tasks:Om_sched.Task.t array ->
@@ -135,6 +172,8 @@ val shutdown_measured : measured -> unit
 
 val with_measured :
   ?spin_budget:int ->
+  ?barrier_deadline:float ->
+  ?fault:Om_guard.Fault_plan.t ->
   ?semidynamic:int ->
   nworkers:int ->
   tasks:Om_sched.Task.t array ->

@@ -1,0 +1,113 @@
+(* Deterministic fault injection: a small list of faults, each firing at
+   most once when its (round, task/worker) coordinates match.  Queries
+   run on the hot path of an instrumented round, so they are plain
+   array scans over a handful of entries with no allocation. *)
+
+type fault =
+  | Nan_task of { task : int; round : int }
+  | Inf_task of { task : int; round : int }
+  | Delay_worker of { worker : int; round : int; micros : int }
+  | Fail_spawn of { worker : int }
+
+type t = {
+  faults : fault array;
+  fired : bool array;
+  mutable injected : int;
+}
+
+let make faults =
+  let faults = Array.of_list faults in
+  { faults; fired = Array.make (Array.length faults) false; injected = 0 }
+
+let faults t = Array.to_list t.faults
+let injected t = t.injected
+
+let fire t i =
+  t.fired.(i) <- true;
+  t.injected <- t.injected + 1
+
+(* One seeded fault, reproducible from the integer seed alone.  The
+   chaos fuzz oracle draws one per generated model; every kind must be
+   recoverable without changing the trajectory, so the generator only
+   picks faults the runtime can mask (NaN/Inf task output, a worker
+   delay long enough to trip the barrier deadline). *)
+let seeded ~seed ~ntasks ~nworkers ~max_round =
+  let st = Random.State.make [| 0x0c4a05; seed |] in
+  let round = 1 + Random.State.int st (max 1 max_round) in
+  match Random.State.int st 3 with
+  | 0 -> make [ Nan_task { task = Random.State.int st (max 1 ntasks); round } ]
+  | 1 -> make [ Inf_task { task = Random.State.int st (max 1 ntasks); round } ]
+  | _ ->
+      make
+        [
+          Delay_worker
+            {
+              worker = Random.State.int st (max 1 nworkers);
+              round;
+              micros = 2_000 + Random.State.int st 4_000;
+            };
+        ]
+
+(* Hot-path queries.  The float-returning ones use 0. as "no fault":
+   the only values ever injected are nan and +inf, both of which compare
+   unequal to 0. (nan compares unequal to everything), so callers test
+   [p <> 0.] without boxing an option.
+
+   Each query consumes at most ONE matching fault, so a plan listing the
+   same coordinates twice fires on two separate queries — e.g. two
+   [Fail_spawn] entries on worker 0 fail two successive rungs of the
+   degradation ladder, which re-checks worker ids from 0. *)
+
+let task_poison t ~round ~task =
+  let n = Array.length t.faults in
+  let p = ref 0. in
+  for i = 0 to n - 1 do
+    if !p = 0. && not t.fired.(i) then
+      match t.faults.(i) with
+      | Nan_task f when f.task = task && f.round = round ->
+          fire t i;
+          p := Float.nan
+      | Inf_task f when f.task = task && f.round = round ->
+          fire t i;
+          p := Float.infinity
+      | Nan_task _ | Inf_task _ | Delay_worker _ | Fail_spawn _ -> ()
+  done;
+  !p
+
+let delay_micros t ~round ~worker =
+  let n = Array.length t.faults in
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    if !d = 0 && not t.fired.(i) then
+      match t.faults.(i) with
+      | Delay_worker f when f.worker = worker && f.round = round ->
+          fire t i;
+          d := f.micros
+      | Nan_task _ | Inf_task _ | Delay_worker _ | Fail_spawn _ -> ()
+  done;
+  !d
+
+let spawn_should_fail t ~worker =
+  let n = Array.length t.faults in
+  let hit = ref false in
+  for i = 0 to n - 1 do
+    if (not !hit) && not t.fired.(i) then
+      match t.faults.(i) with
+      | Fail_spawn f when f.worker = worker ->
+          fire t i;
+          hit := true
+      | Nan_task _ | Inf_task _ | Delay_worker _ | Fail_spawn _ -> ()
+  done;
+  !hit
+
+let pp_fault ppf = function
+  | Nan_task { task; round } ->
+      Fmt.pf ppf "nan into task %d at round %d" task round
+  | Inf_task { task; round } ->
+      Fmt.pf ppf "inf into task %d at round %d" task round
+  | Delay_worker { worker; round; micros } ->
+      Fmt.pf ppf "delay worker %d by %dus at round %d" worker micros round
+  | Fail_spawn { worker } -> Fmt.pf ppf "fail spawn of worker %d" worker
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.array ~sep:Fmt.cut pp_fault) t.faults

@@ -1,0 +1,75 @@
+type t =
+  | Nonfinite_output of {
+      slot : int;
+      equation : string;
+      value : float;
+      time : float;
+    }
+  | Worker_stall of { worker : int; round : int; waited_s : float }
+  | Spawn_failure of { worker : int; nworkers : int; reason : string }
+  | Barrier_timeout of { round : int; missing : int; deadline_s : float }
+  | Worker_exception of { worker : int; round : int; detail : string }
+  | Newton_failure of { time : float; iterations : int }
+  | Step_failure of {
+      solver : string;
+      time : float;
+      step : float;
+      retries : int;
+      reason : string;
+    }
+
+exception Error of t
+
+let error e = raise (Error e)
+
+(* Render the float with %h only when it is non-finite garbage worth
+   quoting exactly; %g otherwise keeps messages readable (and stable for
+   the cram tests). *)
+let value_str v =
+  if Float.is_nan v then "nan"
+  else if v = Float.infinity then "inf"
+  else if v = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%g" v
+
+let to_string = function
+  | Nonfinite_output { slot; equation; value; time } ->
+      Printf.sprintf "non-finite RHS output %s in %s (state slot %d) at t=%g"
+        (value_str value) equation slot time
+  | Worker_stall { worker; round; waited_s } ->
+      Printf.sprintf "worker %d stalled in round %d (waited %.4fs)" worker
+        round waited_s
+  | Spawn_failure { worker; nworkers; reason } ->
+      Printf.sprintf "failed to spawn worker domain %d of %d: %s" worker
+        nworkers reason
+  | Barrier_timeout { round; missing; deadline_s } ->
+      Printf.sprintf
+        "round %d barrier timed out after %.4fs with %d worker(s) missing"
+        round deadline_s missing
+  | Worker_exception { worker; round; detail } ->
+      Printf.sprintf "worker %d raised in round %d: %s" worker round detail
+  | Newton_failure { time; iterations } ->
+      Printf.sprintf "Newton iteration failed to converge at t=%g (%d iters)"
+        time iterations
+  | Step_failure { solver; time; step; retries; reason } ->
+      Printf.sprintf "%s step failed at t=%g (h=%g) after %d retries: %s"
+        solver time step retries reason
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Om_guard.Om_error.Error: %s" (to_string e))
+    | _ -> None)
+
+type degradation = {
+  at_round : int;
+  worker : int;
+  remaining : int;
+  cause : t;
+}
+
+let pp_degradation ppf d =
+  Fmt.pf ppf "round %d: dropped worker %d -> %s (%a)" d.at_round d.worker
+    (if d.remaining = 0 then "sequential"
+     else Printf.sprintf "%d live worker(s)" d.remaining)
+    pp d.cause

@@ -124,3 +124,64 @@ reproducible from (seed, case index):
 
   $ omc fuzz --cases 5 --seed 7
   5 cases: 0 failed, 0 discarded (mean dim 11.0, mean tasks 4.6)
+
+Solver failures exit with a distinct code (3) and a typed message, unlike
+model errors (1) and usage errors (2).  A finite-time blowup underflows
+the adaptive step:
+
+  $ cat > blowup.om <<'MODEL'
+  > model Blowup;
+  > class B
+  >   variable x init 1.0;
+  >   equation der(x) = x * x;
+  > end;
+  > instance b of B;
+  > MODEL
+  $ omc simulate blowup.om --solver lsoda --tend 2.0
+  omc: solver failure: lsoda step failed at t=0.999941 (h=1.98631e-14) after 0 retries: step size underflow
+  [3]
+
+Under the runtime's finite guard the same blowup is caught the moment a
+derivative goes non-finite, attributed to its equation, and reported
+after the retry budget is exhausted:
+
+  $ omc bench blowup.om --workers 2 --tend 2.0
+  omc: solver failure: rk-fixed step failed at t=1.01 (h=3.90625e-05) after 8 retries: non-finite RHS output inf in der(b.x) (state slot 0) at t=1.01
+  [3]
+
+An injected transient NaN, by contrast, is masked: the guard catches it,
+the solver retries the step (the fault fires once), and the run completes
+with the injection recorded in the report:
+
+  $ omc bench --model servo --workers 2 --chaos-nan 0:3
+  Servo on SPARCCenter 2000 with 2 workers:
+    1603 RHS calls in 0.0769 simulated s -> 20850.7 calls/s
+    supervisor messaging: 0.0482 s
+    chaos: 1 fault(s) injected, 1 solver retry(ies)
+    static speedup vs local evaluation: 1.01x
+
+A worker stalled past the barrier deadline is dropped and its tasks are
+reassigned to the survivors (wall-clock numbers elided; OS jitter may
+record additional advisory stalls, so only the first drop is checked):
+
+  $ omc bench --model servo --domains 2 --tend 0.0002 --chaos-stall-worker 0:5 \
+  >   --chaos-stall-micros 20000 --barrier-deadline 0.002 > stall.out
+  $ grep -o "chaos: 1 fault(s) injected" stall.out
+  chaos: 1 fault(s) injected
+  $ grep -o "dropped worker 0 -> 1 live worker(s)" stall.out | head -1
+  dropped worker 0 -> 1 live worker(s)
+
+A worker domain that fails to spawn degrades the run to fewer domains
+before the first round:
+
+  $ omc bench --model servo --domains 2 --tend 0.0002 --chaos-fail-spawn 1 \
+  >   | grep -E "chaos:|degradation:"
+    chaos: 1 fault(s) injected, 0 solver retry(ies)
+    degradation: round 0: dropped worker 1 -> 1 live worker(s) (failed to spawn worker domain 1 of 2: injected spawn failure)
+
+Chaos fuzzing injects one seeded fault per generated model and demands
+the recovered 2-domain trajectory stay bitwise identical to the
+fault-free reference:
+
+  $ omc fuzz --chaos --cases 5 --seed 7
+  5 cases: 0 failed, 0 discarded (mean dim 11.0, mean tasks 4.6)

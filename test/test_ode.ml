@@ -548,7 +548,7 @@ let test_pp_counters () =
   ignore (Odesys.rhs sys 0. [| 1. |]);
   let text = Fmt.str "%a" Odesys.pp_counters sys.counters in
   Alcotest.(check string) "render"
-    "steps=0 rhs=1 jac=0 rejected=0 newton=0 lu=0" text
+    "steps=0 rhs=1 jac=0 rejected=0 newton=0 lu=0 retries=0" text
 
 let test_counters_reset () =
   let sys = decay () in
@@ -640,6 +640,100 @@ let test_lsoda_stiff_generated_model () =
   let t_last = res.trajectory.ts.(Array.length res.trajectory.ts - 1) in
   Alcotest.(check (float 5e-2)) "x tracks cos t" (Float.cos t_last) last
 
+(* ---------- typed-fault backoff ---------- *)
+
+module Ge = Om_guard.Om_error
+
+(* x' = -x whose output is poisoned with NaN for the RHS-call numbers
+   selected by [poison]; a finite guard turns the poison into the typed
+   error the solvers' retry ladders catch.  Poisoning by call number
+   keeps the fault transient and deterministic: after the solver
+   re-evaluates, the step sees only clean outputs. *)
+let faulty_decay ~poison =
+  let calls = ref 0 in
+  let g = Om_guard.Finite_guard.create ~names:[| "x" |] ~dim:1 in
+  let rhs t y ydot =
+    incr calls;
+    ydot.(0) <- (if poison !calls then Float.nan else Float.neg y.(0));
+    Om_guard.Finite_guard.check g ~time:t ydot
+  in
+  Odesys.make ~names:[| "x" |] ~dim:1 rhs
+
+let clean_decay () =
+  Odesys.make ~names:[| "x" |] ~dim:1 (fun _ y ydot ->
+      ydot.(0) <- Float.neg y.(0))
+
+let test_rk4_transient_retry () =
+  (* One poisoned (t, step): the fixed-step ladder retries at the SAME
+     step size, so the recovered trajectory is bitwise identical. *)
+  let reference =
+    Rk.integrate_fixed Rk.rk4 (clean_decay ()) ~t0:0. ~y0:[| 1. |] ~tend:1.
+      ~h:0.1
+  in
+  let sys = faulty_decay ~poison:(fun n -> n = 7) in
+  let tr = Rk.integrate_fixed Rk.rk4 sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h:0.1 in
+  Alcotest.(check int) "one retry counted" 1 sys.counters.retries;
+  Alcotest.(check bool) "times identical" true (tr.ts = reference.ts);
+  Alcotest.(check bool) "states identical" true (tr.states = reference.states)
+
+let test_rk4_budget_exhausted () =
+  (* A permanent fault exhausts the budget and fails typed, naming the
+     offending equation in the reason chain. *)
+  let sys = faulty_decay ~poison:(fun n -> n >= 7) in
+  match
+    Rk.integrate_fixed Rk.rk4 sys ~t0:0. ~y0:[| 1. |] ~tend:1. ~h:0.1
+  with
+  | _ -> Alcotest.fail "permanent fault not detected"
+  | exception Ge.Error (Ge.Step_failure { solver; retries; reason; _ }) ->
+      Alcotest.(check string) "solver named" "rk-fixed" solver;
+      Alcotest.(check int) "budget spent" 8 retries;
+      Alcotest.(check bool) "equation attributed" true
+        (let n = String.length reason and m = String.length "der(x)" in
+         let rec go i =
+           i + m <= n && (String.sub reason i m = "der(x)" || go (i + 1))
+         in
+         go 0);
+      Alcotest.(check bool) "every attempt counted" true
+        (sys.counters.retries > retries)
+
+let test_rkf45_transient_retry () =
+  let reference =
+    Rk.rkf45 (clean_decay ()) ~t0:0. ~y0:[| 1. |] ~tend:1.
+  in
+  let sys = faulty_decay ~poison:(fun n -> n = 10) in
+  let tr = Rk.rkf45 sys ~t0:0. ~y0:[| 1. |] ~tend:1. in
+  Alcotest.(check int) "one retry counted" 1 sys.counters.retries;
+  Alcotest.(check bool) "times identical" true (tr.ts = reference.ts);
+  Alcotest.(check bool) "states identical" true (tr.states = reference.states)
+
+let test_rkf45_budget_exhausted () =
+  let sys = faulty_decay ~poison:(fun n -> n >= 10) in
+  match Rk.rkf45 sys ~t0:0. ~y0:[| 1. |] ~tend:1. with
+  | _ -> Alcotest.fail "permanent fault not detected"
+  | exception Ge.Error (Ge.Step_failure { solver; retries; _ }) ->
+      Alcotest.(check string) "solver named" "rkf45" solver;
+      Alcotest.(check int) "budget spent" 8 retries
+
+let test_lsoda_transient_retry () =
+  let reference =
+    (Lsoda.integrate (clean_decay ()) ~t0:0. ~y0:[| 1. |] ~tend:1.).trajectory
+  in
+  let sys = faulty_decay ~poison:(fun n -> n = 10) in
+  let res = Lsoda.integrate sys ~t0:0. ~y0:[| 1. |] ~tend:1. in
+  Alcotest.(check int) "one retry counted" 1 sys.counters.retries;
+  Alcotest.(check bool) "times identical" true
+    (res.trajectory.ts = reference.ts);
+  Alcotest.(check bool) "states identical" true
+    (res.trajectory.states = reference.states)
+
+let test_lsoda_budget_exhausted () =
+  let sys = faulty_decay ~poison:(fun n -> n >= 10) in
+  match Lsoda.integrate sys ~t0:0. ~y0:[| 1. |] ~tend:1. with
+  | _ -> Alcotest.fail "permanent fault not detected"
+  | exception Ge.Error (Ge.Step_failure { solver; retries; _ }) ->
+      Alcotest.(check string) "solver named" "lsoda" solver;
+      Alcotest.(check int) "budget spent" 8 retries
+
 let () =
   let q = Qcheck_seed.to_alcotest in
   Alcotest.run "om_ode"
@@ -729,6 +823,21 @@ let () =
           Alcotest.test_case "time event" `Quick test_event_time_function;
           Alcotest.test_case "multiple functions" `Quick
             test_event_multiple_functions;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "rk4 transient retry" `Quick
+            test_rk4_transient_retry;
+          Alcotest.test_case "rk4 budget exhausted" `Quick
+            test_rk4_budget_exhausted;
+          Alcotest.test_case "rkf45 transient retry" `Quick
+            test_rkf45_transient_retry;
+          Alcotest.test_case "rkf45 budget exhausted" `Quick
+            test_rkf45_budget_exhausted;
+          Alcotest.test_case "lsoda transient retry" `Quick
+            test_lsoda_transient_retry;
+          Alcotest.test_case "lsoda budget exhausted" `Quick
+            test_lsoda_budget_exhausted;
         ] );
       ( "odesys",
         [

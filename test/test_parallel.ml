@@ -46,6 +46,222 @@ let test_pool_invalid () =
     (Invalid_argument "Domain_pool.create: nworkers < 1") (fun () ->
       ignore (Domain_pool.create ~job:ignore 0))
 
+(* ---------- fault containment and degradation ---------- *)
+
+let busy_wait seconds =
+  let t0 = Om_parallel.Monotonic.now () in
+  while Om_parallel.Monotonic.now () -. t0 < seconds do
+    Domain.cpu_relax ()
+  done
+
+let test_pool_exception_containment () =
+  (* A job that raises mid-round must not kill its domain or hang the
+     barrier: the exception surfaces on the supervisor as a typed
+     Worker_exception, and the pool keeps working afterwards. *)
+  let boom = Atomic.make false in
+  let hits = Array.make 2 0 in
+  let job w =
+    hits.(w) <- hits.(w) + 1;
+    if w = 1 && Atomic.get boom then failwith "kaboom"
+  in
+  let pool = Domain_pool.create ~job 2 in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      Domain_pool.round pool;
+      Atomic.set boom true;
+      (match Domain_pool.round pool with
+      | () -> Alcotest.fail "worker exception swallowed"
+      | exception
+          Om_guard.Om_error.(
+            Error (Worker_exception { worker; round; detail })) ->
+          Alcotest.(check int) "worker attributed" 1 worker;
+          Alcotest.(check int) "round attributed" 1 round;
+          Alcotest.(check bool) "detail carries the original" true
+            (String.length detail > 0));
+      (* The failed round still completed on every worker... *)
+      Alcotest.(check (array int)) "barrier completed" [| 2; 2 |] hits;
+      (* ...and the pool is fully operational for subsequent rounds. *)
+      Atomic.set boom false;
+      for _ = 1 to 3 do
+        Domain_pool.round pool
+      done;
+      Alcotest.(check (array int)) "pool reusable" [| 5; 5 |] hits);
+  Alcotest.(check bool) "clean shutdown" false (Domain_pool.active pool);
+  (* A fresh pool spawns fine after the poisoned one died. *)
+  let pool2 = Domain_pool.create ~job:ignore 2 in
+  Domain_pool.round pool2;
+  Domain_pool.shutdown pool2
+
+let test_pool_typed_fault_passthrough () =
+  (* Typed guard errors raised inside a job cross the barrier as-is,
+     not wrapped as Worker_exception. *)
+  let fire = Atomic.make false in
+  let job _w =
+    if Atomic.get fire then
+      Om_guard.Om_error.(
+        error
+          (Nonfinite_output
+             { slot = 0; equation = "der(x)"; value = Float.nan; time = 0. }))
+  in
+  let pool = Domain_pool.create ~job 2 in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      Domain_pool.round pool;
+      Atomic.set fire true;
+      Alcotest.(check bool) "typed fault passes through unwrapped" true
+        (match Domain_pool.round pool with
+        | () -> false
+        | exception
+            Om_guard.Om_error.(Error (Nonfinite_output { equation; _ })) ->
+            equation = "der(x)"
+        | exception _ -> false))
+
+let test_pool_stall_detection () =
+  (* A worker outliving the barrier deadline is recorded (and
+     attributed) without corrupting the round: the barrier still waits
+     for it. *)
+  let stall = Atomic.make false in
+  let done_flags = Array.make 2 0 in
+  let job w =
+    if w = 1 && Atomic.get stall then busy_wait 0.01;
+    done_flags.(w) <- done_flags.(w) + 1
+  in
+  let pool = Domain_pool.create ~barrier_deadline:0.002 ~job 2 in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      Domain_pool.round pool;
+      ignore (Domain_pool.take_stall pool);
+      Atomic.set stall true;
+      Domain_pool.round pool;
+      Atomic.set stall false;
+      (match Domain_pool.take_stall pool with
+      | Some (Om_guard.Om_error.Worker_stall { worker; waited_s; _ }) ->
+          Alcotest.(check int) "stalled worker attributed" 1 worker;
+          Alcotest.(check bool) "waited past the deadline" true
+            (waited_s >= 0.002)
+      | Some e ->
+          (* More than one worker can miss the deadline under load. *)
+          Alcotest.(check bool) "timeout event" true
+            (match e with
+            | Om_guard.Om_error.Barrier_timeout _ -> true
+            | _ -> false)
+      | None -> Alcotest.fail "stall not detected");
+      Alcotest.(check bool) "event consumed" true
+        (Domain_pool.take_stall pool = None);
+      (* The slow worker's write completed before round returned. *)
+      Alcotest.(check (array int)) "barrier waited for the straggler"
+        [| 2; 2 |] done_flags)
+
+let test_pool_spawn_fail () =
+  (* Injected spawn failure: typed error, nothing leaks, and the same
+     job can immediately be spawned without injection. *)
+  (match
+     Domain_pool.create ~spawn_fail:(fun w -> w = 1) ~job:ignore 3
+   with
+  | _ -> Alcotest.fail "injected spawn failure ignored"
+  | exception
+      Om_guard.Om_error.(Error (Spawn_failure { worker; nworkers; _ })) ->
+      Alcotest.(check int) "failing worker" 1 worker;
+      Alcotest.(check int) "pool size attributed" 3 nworkers);
+  let pool = Domain_pool.create ~job:ignore 3 in
+  Domain_pool.round pool;
+  Domain_pool.shutdown pool
+
+let test_drop_worker () =
+  (* The degradation ladder: dropping a worker moves all its tasks to
+     the survivors and changes no output bit. *)
+  let r = Lazy.force bearing in
+  let nworkers = 3 in
+  let desc = desc_of ~nworkers r in
+  let dim = r.compiled.dim in
+  let y = Om_lang.Flat_model.initial_values r.model in
+  let reference = Array.make dim 0. in
+  Bb.rhs_fn r.compiled 0. y reference;
+  Par_exec.with_executor ~nworkers desc r.compiled @@ fun px ->
+  let ydot = Array.make dim 0. in
+  Par_exec.rhs_fn px 0. y ydot;
+  Alcotest.(check bool) "before drop: matches sequential" true
+    (ydot = reference);
+  Alcotest.(check int) "all live" 3 (Par_exec.live_workers px);
+  Par_exec.drop_worker px 1;
+  Alcotest.(check int) "one dropped" 2 (Par_exec.live_workers px);
+  let tasks = Par_exec.worker_tasks px in
+  Alcotest.(check int) "dead worker has an empty slice" 0
+    (Array.length tasks.(1));
+  let covered = Array.make (Round_desc.n_tasks desc) 0 in
+  Array.iter
+    (Array.iter (fun task -> covered.(task) <- covered.(task) + 1))
+    tasks;
+  Array.iteri
+    (fun task n ->
+      Alcotest.(check int)
+        (Printf.sprintf "task %d still scheduled once" task)
+        1 n)
+    covered;
+  Array.fill ydot 0 dim 0.;
+  Par_exec.rhs_fn px 0. y ydot;
+  Alcotest.(check bool) "after drop: matches sequential bitwise" true
+    (ydot = reference);
+  (* Ladder bottom and misuse are rejected. *)
+  Alcotest.(check bool) "double drop rejected" true
+    (match Par_exec.drop_worker px 1 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Par_exec.drop_worker px 0;
+  Alcotest.(check bool) "last worker cannot be dropped" true
+    (match Par_exec.drop_worker px 2 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Array.fill ydot 0 dim 0.;
+  Par_exec.rhs_fn px 0. y ydot;
+  Alcotest.(check bool) "single survivor still matches" true
+    (ydot = reference)
+
+let test_exec_fault_injection () =
+  (* A Nan_task fault poisons the task's output slots in exactly its
+     round; the next round is clean again (fire-once). *)
+  let r = Lazy.force bearing in
+  let nworkers = 2 in
+  let desc = desc_of ~nworkers r in
+  let dim = r.compiled.dim in
+  let y = Om_lang.Flat_model.initial_values r.model in
+  let reference = Array.make dim 0. in
+  Bb.rhs_fn r.compiled 0. y reference;
+  let plan =
+    Om_guard.Fault_plan.make
+      [ Om_guard.Fault_plan.Nan_task { task = 0; round = 2 } ]
+  in
+  Par_exec.with_executor ~fault:plan ~nworkers desc r.compiled @@ fun px ->
+  let ydot = Array.make dim 0. in
+  Par_exec.rhs_fn px 0. y ydot;
+  Alcotest.(check bool) "round 1 clean" true (ydot = reference);
+  Alcotest.(check int) "nothing injected yet" 0
+    (Par_exec.faults_injected px);
+  Par_exec.rhs_fn px 0. y ydot;
+  Alcotest.(check int) "fault fired in round 2" 1
+    (Par_exec.faults_injected px);
+  Alcotest.(check bool) "round 2 poisoned" true
+    (Array.exists Float.is_nan ydot);
+  Par_exec.rhs_fn px 0. y ydot;
+  Alcotest.(check bool) "round 3 clean again" true (ydot = reference)
+
+let test_exec_spawn_fail_injection () =
+  let r = Lazy.force bearing in
+  let desc = desc_of ~nworkers:2 r in
+  let plan =
+    Om_guard.Fault_plan.make [ Om_guard.Fault_plan.Fail_spawn { worker = 0 } ]
+  in
+  Alcotest.(check bool) "spawn failure surfaces from create" true
+    (match Par_exec.create ~fault:plan ~nworkers:2 desc r.compiled with
+    | px ->
+        Par_exec.shutdown px;
+        false
+    | exception Om_guard.Om_error.(Error (Spawn_failure { worker = 0; _ })) ->
+        true)
+
 (* ---------- round descriptor ---------- *)
 
 let test_desc_validation () =
@@ -377,6 +593,12 @@ let () =
         [
           Alcotest.test_case "round protocol" `Quick test_pool_rounds;
           Alcotest.test_case "invalid" `Quick test_pool_invalid;
+          Alcotest.test_case "exception containment" `Quick
+            test_pool_exception_containment;
+          Alcotest.test_case "typed fault passthrough" `Quick
+            test_pool_typed_fault_passthrough;
+          Alcotest.test_case "stall detection" `Quick test_pool_stall_detection;
+          Alcotest.test_case "spawn failure" `Quick test_pool_spawn_fail;
         ] );
       ( "round_desc",
         [ Alcotest.test_case "validation" `Quick test_desc_validation ] );
@@ -388,6 +610,10 @@ let () =
           Alcotest.test_case "set_assignment" `Quick test_set_assignment;
           Alcotest.test_case "set_assignment invalid" `Quick
             test_set_assignment_invalid;
+          Alcotest.test_case "drop_worker" `Quick test_drop_worker;
+          Alcotest.test_case "fault injection" `Quick test_exec_fault_injection;
+          Alcotest.test_case "spawn-fail injection" `Quick
+            test_exec_spawn_fail_injection;
         ] );
       ( "measured",
         [

@@ -14,7 +14,15 @@ let bearing = lazy (P.compile (Om_models.Bearing2d.model ()))
 let config ?(machine = Machine.sparccenter_2000) ?(nworkers = 1)
     ?(strategy = Sup.Broadcast_state) ?(scheduling = R.Static)
     ?(topology = R.Flat) ?(execution = R.Simulated) () =
-  { R.machine; nworkers; strategy; scheduling; topology; execution }
+  {
+    R.default_config with
+    R.machine;
+    nworkers;
+    strategy;
+    scheduling;
+    topology;
+    execution;
+  }
 
 let test_report_basics () =
   let r = Lazy.force servo in
@@ -223,6 +231,154 @@ let test_odesys_of_result () =
   Alcotest.(check bool) "integrates" true
     (Array.for_all Float.is_finite (Om_ode.Odesys.final_state tr))
 
+(* ---------- chaos: faults, recovery, degradation ---------- *)
+
+let test_simulated_chaos_bitwise_recovery () =
+  (* A seeded NaN/Inf poisoned into one simulated round must be caught
+     by the guard, retried away, and leave the trajectory bitwise
+     identical to the fault-free run — with the injection and the retry
+     visible in the report. *)
+  let r = Lazy.force servo in
+  let tend = 0.05 in
+  let solver = R.Rk4 (tend /. 10.) in
+  let clean = R.execute ~config:(config ~nworkers:2 ()) ~solver ~tend r in
+  Alcotest.(check int) "clean run: no faults" 0 clean.faults_injected;
+  Alcotest.(check int) "clean run: no retries" 0 clean.retries;
+  Alcotest.(check bool) "clean run: no degradations" true
+    (clean.degradations = []);
+  List.iter
+    (fun fault ->
+      let plan = Om_guard.Fault_plan.make [ fault ] in
+      let cfg =
+        { (config ~nworkers:2 ()) with R.faults = Some plan }
+      in
+      let rep = R.execute ~config:cfg ~solver ~tend r in
+      Alcotest.(check int) "fault injected" 1 rep.faults_injected;
+      Alcotest.(check bool) "solver retried" true (rep.retries >= 1);
+      Alcotest.(check bool) "times identical" true
+        (rep.trajectory.ts = clean.trajectory.ts);
+      Alcotest.(check bool) "states identical" true
+        (rep.trajectory.states = clean.trajectory.states))
+    [
+      Om_guard.Fault_plan.Nan_task { task = 0; round = 5 };
+      Om_guard.Fault_plan.Inf_task { task = 1; round = 9 };
+    ]
+
+let test_simulated_guard_stops_blowup () =
+  (* Genuinely divergent dynamics exhaust the retry budget and surface
+     as a typed step failure instead of a NaN-filled trajectory. *)
+  let f = Om_lang.Flatten.flatten_string
+      "model Blowup; class B variable x init 1.0; equation der(x) = x * x; \
+       end; instance b of B;"
+  in
+  let r = P.compile f in
+  match R.execute ~config:(config ()) ~solver:(R.Rk4 0.05) ~tend:2. r with
+  | _ -> Alcotest.fail "blowup not detected"
+  | exception Om_guard.Om_error.(Error (Step_failure { reason; _ })) ->
+      Alcotest.(check bool) "equation attributed" true
+        (let sub = "der(b.x)" in
+         let n = String.length reason and m = String.length sub in
+         let rec go i =
+           i + m <= n && (String.sub reason i m = sub || go (i + 1))
+         in
+         go 0)
+
+let test_no_guard_config_disables_detection () =
+  (* With the guard off and no faults, execution still works (the knob
+     exists for overhead measurements). *)
+  let r = Lazy.force servo in
+  let cfg = { (config ~nworkers:2 ()) with R.guard = false } in
+  let rep = R.execute ~config:cfg ~solver:(R.Rk4 5e-3) ~tend:0.05 r in
+  Alcotest.(check bool) "finite result" true
+    (Array.for_all Float.is_finite (Om_ode.Odesys.final_state rep.trajectory))
+
+let test_real_domains_chaos_bitwise_recovery () =
+  let r = Lazy.force servo in
+  let tend = 1e-4 in
+  let solver = R.Rk4 (tend /. 10.) in
+  let clean =
+    R.execute ~config:(config ~execution:(R.Real_domains 2) ()) ~solver ~tend
+      r
+  in
+  let plan =
+    Om_guard.Fault_plan.make
+      [ Om_guard.Fault_plan.Nan_task { task = 0; round = 3 } ]
+  in
+  let cfg =
+    { (config ~execution:(R.Real_domains 2) ()) with R.faults = Some plan }
+  in
+  let rep = R.execute ~config:cfg ~solver ~tend r in
+  Alcotest.(check int) "fault injected" 1 rep.faults_injected;
+  Alcotest.(check bool) "solver retried" true (rep.retries >= 1);
+  Alcotest.(check bool) "times identical" true
+    (rep.trajectory.ts = clean.trajectory.ts);
+  Alcotest.(check bool) "states identical" true
+    (rep.trajectory.states = clean.trajectory.states)
+
+let test_spawn_failure_degrades () =
+  (* An injected spawn failure walks the degradation ladder: the run
+     completes on fewer domains, records the degradation, and changes
+     no output bit. *)
+  let r = Lazy.force servo in
+  let tend = 1e-4 in
+  let solver = R.Rk4 (tend /. 10.) in
+  let clean =
+    R.execute ~config:(config ~execution:(R.Real_domains 2) ()) ~solver ~tend
+      r
+  in
+  let plan =
+    Om_guard.Fault_plan.make
+      [ Om_guard.Fault_plan.Fail_spawn { worker = 1 } ]
+  in
+  let cfg =
+    { (config ~execution:(R.Real_domains 3) ()) with R.faults = Some plan }
+  in
+  let rep = R.execute ~config:cfg ~solver ~tend r in
+  (match rep.degradations with
+  | [ d ] ->
+      Alcotest.(check int) "failed worker recorded" 1 d.Om_guard.Om_error.worker;
+      Alcotest.(check int) "remaining workers recorded" 2
+        d.Om_guard.Om_error.remaining;
+      Alcotest.(check bool) "cause is the spawn failure" true
+        (match d.Om_guard.Om_error.cause with
+        | Om_guard.Om_error.Spawn_failure { worker = 1; nworkers = 3; _ } ->
+            true
+        | _ -> false)
+  | ds ->
+      Alcotest.failf "expected exactly one degradation, got %d"
+        (List.length ds));
+  Alcotest.(check bool) "times identical" true
+    (rep.trajectory.ts = clean.trajectory.ts);
+  Alcotest.(check bool) "states identical" true
+    (rep.trajectory.states = clean.trajectory.states)
+
+let test_spawn_failure_ladder_to_sequential () =
+  (* Every domain failing to spawn bottoms out at guarded sequential
+     execution — still bitwise identical. *)
+  let r = Lazy.force servo in
+  let tend = 1e-4 in
+  let solver = R.Rk4 (tend /. 10.) in
+  let clean =
+    R.execute ~config:(config ~execution:(R.Real_domains 1) ()) ~solver ~tend
+      r
+  in
+  (* Two fire-once faults on worker 0: one per rung of the ladder (the
+     retry with fewer domains re-checks worker ids from 0). *)
+  let plan =
+    Om_guard.Fault_plan.make
+      [
+        Om_guard.Fault_plan.Fail_spawn { worker = 0 };
+        Om_guard.Fault_plan.Fail_spawn { worker = 0 };
+      ]
+  in
+  let cfg =
+    { (config ~execution:(R.Real_domains 2) ()) with R.faults = Some plan }
+  in
+  let rep = R.execute ~config:cfg ~solver ~tend r in
+  Alcotest.(check int) "two rungs recorded" 2 (List.length rep.degradations);
+  Alcotest.(check bool) "states identical" true
+    (rep.trajectory.states = clean.trajectory.states)
+
 let () =
   Alcotest.run "runtime"
     [
@@ -273,5 +429,20 @@ let () =
         [
           Alcotest.test_case "odesys_of_source" `Quick test_odesys_of_source;
           Alcotest.test_case "odesys_of_result" `Quick test_odesys_of_result;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "simulated bitwise recovery" `Quick
+            test_simulated_chaos_bitwise_recovery;
+          Alcotest.test_case "guard stops blowup" `Quick
+            test_simulated_guard_stops_blowup;
+          Alcotest.test_case "guard off" `Quick
+            test_no_guard_config_disables_detection;
+          Alcotest.test_case "real domains bitwise recovery" `Quick
+            test_real_domains_chaos_bitwise_recovery;
+          Alcotest.test_case "spawn failure degrades" `Quick
+            test_spawn_failure_degrades;
+          Alcotest.test_case "spawn ladder to sequential" `Quick
+            test_spawn_failure_ladder_to_sequential;
         ] );
     ]
