@@ -543,6 +543,205 @@ let bench_cmd =
           $ chaos_inf $ chaos_stall $ stall_micros $ chaos_spawn
           $ barrier_deadline $ no_guard)
 
+(* ---- sweep / ensemble ---- *)
+
+(* Shared by [sweep] and [ensemble]: resolve the metric state name and
+   fail with the model-error exit code when it does not exist. *)
+let metric_of fm metric =
+  let names = Om_lang.Flat_model.state_names fm in
+  let name = match metric with Some m -> m | None -> names.(0) in
+  if not (Array.exists (( = ) name) names) then begin
+    Printf.eprintf "omc: unknown metric state %s (states: %s)\n" name
+      (String.concat ", " (Array.to_list names));
+    exit 1
+  end;
+  (name, Objectmath.Sweep.final_value name)
+
+let sweep_cmd =
+  let run file builtin cls param values tend metric domains =
+    if values = [] then begin
+      Printf.eprintf "omc: --values requires at least one value\n";
+      exit 2
+    end;
+    let src, fm = load file builtin in
+    let metric_name, metric = metric_of fm metric in
+    let prepared =
+      match Objectmath.Sweep.prepare ~source:src ~cls ~param with
+      | p -> p
+      | exception Om_lang.Override.Unknown_target what ->
+          Printf.eprintf "omc: unknown sweep target: %s\n" what;
+          exit 1
+    in
+    let points, engine =
+      try
+        match prepared with
+        | Objectmath.Sweep.Promoted c ->
+            ( Objectmath.Sweep.run_compiled ~domains c ~values ~tend ~metric
+                (),
+              "compile-once ensemble" )
+        | Objectmath.Sweep.Legacy _ ->
+            ( Objectmath.Sweep.run ~source:src ~cls ~param ~values ~tend
+                ~metric (),
+              "legacy per-value" )
+      with Om_guard.Om_error.Error e ->
+        Printf.eprintf "omc: solver failure: %s\n"
+          (Om_guard.Om_error.to_string e);
+        exit 3
+    in
+    Printf.printf "sweep %s.%s over %d values to t=%g (engine: %s)\n" cls
+      param (List.length points) tend engine;
+    Printf.printf "%14s %16s %8s %10s\n" "value"
+      ("final " ^ metric_name)
+      "steps" "rhs-calls";
+    List.iter
+      (fun (p : Objectmath.Sweep.point) ->
+        Printf.printf "%14g % .9e %8d %10d\n" p.value p.metric p.steps
+          p.rhs_calls)
+      points
+  in
+  let cls =
+    Arg.(required & opt (some string) None
+         & info [ "class" ] ~docv:"CLASS"
+             ~doc:"Class declaring the swept parameter.")
+  in
+  let param =
+    Arg.(required & opt (some string) None
+         & info [ "param" ] ~docv:"NAME" ~doc:"Parameter to sweep.")
+  in
+  let values =
+    Arg.(value & opt (list float) []
+         & info [ "values" ] ~docv:"V1,V2,..."
+             ~doc:"Comma-separated parameter values, one ensemble member \
+                   each.")
+  in
+  let tend =
+    Arg.(value & opt float 1.0
+         & info [ "tend" ] ~docv:"T" ~doc:"Simulation end time.")
+  in
+  let metric =
+    Arg.(value & opt (some string) None
+         & info [ "metric" ] ~docv:"STATE"
+             ~doc:"State whose final value is reported (default: the \
+                   first state).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Split batched RHS rounds across N OCaml domains.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep a parameter: compile once, integrate all values as one \
+             lockstep ensemble")
+    Term.(const run $ file_arg $ builtin_arg $ cls $ param $ values $ tend
+          $ metric $ domains)
+
+let ensemble_cmd =
+  let parse_dist s =
+    let fail () =
+      Printf.eprintf
+        "omc: bad distribution %s (want uniform:LO,HI or normal:MU,SIGMA)\n"
+        s;
+      exit 2
+    in
+    match String.index_opt s ':' with
+    | None -> fail ()
+    | Some i -> (
+        let kind = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match
+          (kind, String.split_on_char ',' rest |> List.map float_of_string)
+        with
+        | "uniform", [ a; b ] -> Objectmath.Sweep.Uniform (a, b)
+        | "normal", [ mu; sigma ] -> Objectmath.Sweep.Normal (mu, sigma)
+        | _ -> fail ()
+        | exception _ -> fail ())
+  in
+  let run file builtin cls param dist samples seed tend metric domains
+      show_samples =
+    let src, fm = load file builtin in
+    let metric_name, metric = metric_of fm metric in
+    let dist = parse_dist dist in
+    let rep =
+      try
+        Objectmath.Sweep.monte_carlo ~source:src
+          ~specs:[ (cls, param, dist) ]
+          ~samples ~seed ~tend ~domains ~metric ()
+      with
+      | Om_lang.Override.Unknown_target what ->
+          Printf.eprintf "omc: unknown ensemble target: %s\n" what;
+          exit 1
+      | Om_guard.Om_error.Error e ->
+          Printf.eprintf "omc: solver failure: %s\n"
+            (Om_guard.Om_error.to_string e);
+          exit 3
+    in
+    Printf.printf
+      "monte carlo %s.%s: %d samples, seed %d, t=%g (engine: %s)\n" cls param
+      samples seed tend
+      (if rep.Objectmath.Sweep.promoted then "compile-once ensemble"
+       else "legacy per-sample");
+    Printf.printf "final %s: mean % .9e, stddev %.9e\n" metric_name
+      rep.Objectmath.Sweep.mean rep.Objectmath.Sweep.stddev;
+    if show_samples then begin
+      Printf.printf "%14s %16s\n" param ("final " ^ metric_name);
+      List.iter
+        (fun (s : Objectmath.Sweep.mc_sample) ->
+          Printf.printf "%14.6f % .9e\n" s.draws.(0) s.mc_metric)
+        rep.Objectmath.Sweep.samples
+    end
+  in
+  let cls =
+    Arg.(required & opt (some string) None
+         & info [ "class" ] ~docv:"CLASS"
+             ~doc:"Class declaring the varied parameter.")
+  in
+  let param =
+    Arg.(required & opt (some string) None
+         & info [ "param" ] ~docv:"NAME" ~doc:"Parameter to vary.")
+  in
+  let dist =
+    Arg.(value & opt string "uniform:0.5,2.0"
+         & info [ "dist" ] ~docv:"SPEC"
+             ~doc:"Sampling distribution: uniform:LO,HI or \
+                   normal:MU,SIGMA.")
+  in
+  let samples =
+    Arg.(value & opt int 32
+         & info [ "samples" ] ~docv:"N" ~doc:"Ensemble members to draw.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Deterministic draw seed: the same seed reproduces the \
+                   same report.")
+  in
+  let tend =
+    Arg.(value & opt float 1.0
+         & info [ "tend" ] ~docv:"T" ~doc:"Simulation end time.")
+  in
+  let metric =
+    Arg.(value & opt (some string) None
+         & info [ "metric" ] ~docv:"STATE"
+             ~doc:"State whose final value is summarised (default: the \
+                   first state).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Split batched RHS rounds across N OCaml domains.")
+  in
+  let show_samples =
+    Arg.(value & flag
+         & info [ "show-samples" ] ~doc:"Print every drawn sample.")
+  in
+  Cmd.v
+    (Cmd.info "ensemble"
+       ~doc:"Seeded Monte Carlo over a parameter distribution, integrated \
+             as one lockstep ensemble")
+    Term.(const run $ file_arg $ builtin_arg $ cls $ param $ dist $ samples
+          $ seed $ tend $ metric $ domains $ show_samples)
+
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
@@ -568,7 +767,7 @@ let fuzz_cmd =
   let seed =
     Arg.(value & opt int 42
          & info [ "seed" ] ~docv:"S"
-             ~doc:"Base seed; case $(i)i$(i) uses the pair (S, i).")
+             ~doc:"Base seed; case $(i,i) uses the pair (S, i).")
   in
   let out =
     Arg.(value & opt string "bench_out/fuzz"
@@ -600,5 +799,5 @@ let () =
        (Cmd.group (Cmd.info "omc" ~doc)
           [
             analyze_cmd; browse_cmd; flatten_cmd; compile_cmd; simulate_cmd;
-            bench_cmd; fuzz_cmd;
+            sweep_cmd; ensemble_cmd; bench_cmd; fuzz_cmd;
           ]))

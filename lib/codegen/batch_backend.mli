@@ -1,0 +1,38 @@
+(** Batched (SoA) execution of a compiled bytecode backend.
+
+    Wraps the register programs of a {!Bytecode_backend.t} compiled with
+    [Exec_vm] into {!Om_expr.Vm_batch} instances sharing one
+    structure-of-arrays environment, and exposes the batched right-hand
+    side [brhs]: per lane it computes exactly what
+    {!Bytecode_backend.rhs_fn} computes (set state, evaluate every task
+    in order, run the reduction epilogue, copy derivative slots out) —
+    Int64-bitwise, per the {!Om_expr.Vm_batch} contract.
+
+    The [brhs] signature matches {!Ode.Ensemble.brhs}, so a batch
+    backend plugs directly into the lockstep ensemble steppers.
+
+    All mutable state (environment columns, output columns, register
+    rows) is lane-indexed, so disjoint lane ranges of the same instance
+    may be driven concurrently from different domains without cloning.
+    [brhs] is allocation-free. *)
+
+type t
+
+val create : Bytecode_backend.t -> width:int -> t
+(** @raise Invalid_argument if the backend is not [Exec_vm] or
+    [width < 1]. *)
+
+val width : t -> int
+val dim : t -> int
+
+val brhs :
+  t ->
+  times:float array ->
+  y:float array array ->
+  ydot:float array array ->
+  lo:int ->
+  hi:int ->
+  unit
+(** Evaluate the system derivative for lanes [lo..hi-1]:
+    [ydot.(i).(j)] from state columns [y.(i).(j)] at time [times.(j)].
+    Lanes outside the range are untouched. *)

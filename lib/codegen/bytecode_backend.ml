@@ -19,6 +19,7 @@ type t = {
   set_state : float -> float array -> unit;
   out : float array;
   run_epilogue : unit -> unit;
+  epilogue_program : Om_expr.Vm.program option;
   epilogue_flops : float;
   state_names : string array;
   cse_temp_total : int;
@@ -227,6 +228,7 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm) ?(optimize = true)
     set_state;
     out;
     run_epilogue;
+    epilogue_program;
     epilogue_flops = plan.epilogue_flops;
     state_names;
     cse_temp_total = List.length temp_names;

@@ -42,6 +42,9 @@ type t = {
   set_state : float -> float array -> unit;
   out : float array;  (** output slots: derivatives then partials *)
   run_epilogue : unit -> unit;
+  epilogue_program : Om_expr.Vm.program option;
+      (** the reduction-epilogue program ([Exec_vm] only), for engines
+          that reinterpret it (e.g. {!Batch_backend}) *)
   epilogue_flops : float;
   state_names : string array;
   cse_temp_total : int;  (** temporaries across all tasks *)

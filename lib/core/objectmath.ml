@@ -26,6 +26,7 @@ module Cost = Om_expr.Cost
 module Prefix_form = Om_expr.Prefix_form
 module Vm = Om_expr.Vm
 module Vm_code = Om_expr.Vm_code
+module Vm_batch = Om_expr.Vm_batch
 module Vm_stack = Om_expr.Vm_stack
 module Peephole = Om_expr.Peephole
 
@@ -46,6 +47,7 @@ module Dot = Om_graph.Dot
 module Linalg = Om_ode.Linalg
 module Odesys = Om_ode.Odesys
 module Rk = Om_ode.Rk
+module Ensemble = Om_ode.Ensemble
 module Adams = Om_ode.Adams
 module Bdf = Om_ode.Bdf
 module Rosenbrock = Om_ode.Rosenbrock
@@ -73,6 +75,7 @@ module Cse = Om_codegen.Cse
 module Partition = Om_codegen.Partition
 module Comm_analysis = Om_codegen.Comm_analysis
 module Bytecode_backend = Om_codegen.Bytecode_backend
+module Batch_backend = Om_codegen.Batch_backend
 module Fortran = Om_codegen.Fortran
 module C_backend = Om_codegen.C_backend
 module Mathematica_backend = Om_codegen.Mathematica_backend
@@ -92,6 +95,7 @@ module Discretize = Om_pde.Discretize
 
 module Runtime = Runtime
 module Sweep = Sweep
+module Ensemble_exec = Ensemble_exec
 
 (** Compile an ObjectMath source text down to an ODE system ready for any
     solver in {!Rk}, {!Adams}, {!Bdf} or {!Lsoda}. *)

@@ -437,6 +437,27 @@ let[@inline] run p env =
   exec p ~env ~out:no_out;
   Array.unsafe_get p.regs p.result
 
+(* ---- raw view ---- *)
+
+type raw = {
+  rw_code : int array;
+  rw_consts : float array;
+  rw_nregs : int;
+  rw_result : int;
+  rw_env_size : int;
+  rw_out_size : int;
+}
+
+let raw p =
+  {
+    rw_code = p.code;
+    rw_consts = p.consts;
+    rw_nregs = p.nregs;
+    rw_result = p.result;
+    rw_env_size = p.env_size;
+    rw_out_size = p.out_size;
+  }
+
 (* ---- inspection ---- *)
 
 let length p = Array.length p.code / Vm_code.stride

@@ -64,6 +64,24 @@ val exec : program -> env:float array -> out:float array -> unit
     [env] ([out]) must be at least the compile-time env (out) size;
     expression programs accept [out = [||]]. *)
 
+(** The validated innards of a program, for engines that reinterpret the
+    same instruction stream — currently the batched SoA interpreter
+    ({!Vm_batch}).  The arrays are the live program, not copies: treat
+    them as read-only. *)
+type raw = {
+  rw_code : int array;
+  rw_consts : float array;
+  rw_nregs : int;
+  rw_result : int;  (** result register, or [-1] for statement programs *)
+  rw_env_size : int;
+  rw_out_size : int;
+}
+
+val raw : program -> raw
+(** Every operand of [rw_code] has been checked by compile-time
+    validation, so a reinterpreting engine may use unsafe array access
+    with the same justification as {!exec}. *)
+
 val length : program -> int
 (** Instruction count. *)
 

@@ -1,0 +1,73 @@
+(** Batched structure-of-arrays interpreter for register-VM programs.
+
+    A batch instance re-executes a validated {!Vm.program} over [width]
+    independent environments at once: every virtual register becomes a
+    [float array] of length [width] (batch-major SoA layout), so one
+    instruction decode drives a tight float-array kernel over the whole
+    batch instead of one lane.  This amortises the scalar VM's per-op
+    dispatch the same way the register VM amortised the tree walker's
+    per-node dispatch.
+
+    {b Bitwise contract.}  Per lane, the arithmetic is the scalar
+    interpreter's, operation for operation ({!Expr.eval_pow}, inlined
+    [Float.min]/[Float.max], two-rounding [fma]) — lane [j] of a batch
+    run is Int64-bitwise identical to a scalar {!Vm.exec} over lane
+    [j]'s environment, and batch width 1 reproduces the scalar VM
+    exactly.
+
+    {b Control flow} is linearised SIMT-style with a per-lane wake-up
+    counter: a lane failing a [jnot] sleeps until the branch target, a
+    [jmp] puts the awake lanes to sleep until the join.  Forward-only
+    structured jumps (the only kind {!Vm} emits) make this exact: each
+    lane executes precisely the scalar taken path.  Jump-free programs
+    use an unmasked fast path, and a hybrid driver extends it to
+    branchy programs: while no lane sleeps, jump-free segments run
+    unmasked and a unanimous [jnot] jumps over the untaken arm exactly
+    like the scalar interpreter — the per-lane masked walk only runs
+    while lanes genuinely diverge.
+
+    {b Program conditioning.}  [create] rewrites the instruction stream
+    for batched execution, preserving per-lane semantics bitwise: the
+    compiler's write-once virtual registers are renamed onto a small
+    physical file by occurrence-interval reuse (a few hundred
+    [width]-float rows would fall out of cache), and single-use
+    [ldv]s are fused into their consumer as batch-only env-operand
+    opcodes, deleting a row round-trip per load.
+
+    {b Concurrency.}  All mutable state is lane-indexed, so disjoint
+    lane ranges of the same instance may run concurrently from
+    different domains.  Overlapping ranges race, as do concurrent runs
+    over shared env/out columns with overlapping lanes.
+
+    {b Allocation.}  [exec] performs zero heap allocation: the register
+    file is preallocated at {!create} and the interpreter loops are
+    closure-free. *)
+
+type t
+
+val create : Vm.program -> width:int -> t
+(** Wrap a compiled (and therefore validated) program for batched
+    execution at the given width.  The instruction stream and constant
+    pool are shared with the program; the register file is fresh.
+    @raise Invalid_argument if [width < 1]. *)
+
+val width : t -> int
+
+val has_jumps : t -> bool
+(** [true] when the program contains conditional code and the masked
+    interpreter runs instead of the straight-line fast path. *)
+
+val exec :
+  t -> env:float array array -> out:float array array -> lo:int -> hi:int ->
+  unit
+(** [exec t ~env ~out ~lo ~hi] runs the program for lanes [lo..hi-1].
+    [env] and [out] are SoA columns: [env.(slot).(lane)] mirrors the
+    scalar [env.(slot)], and must provide at least the compile-time
+    env/out sizes, each column at least [hi] long.  Expression programs
+    accept [out = [||]].  Allocation-free.
+    @raise Invalid_argument on a bad lane range or undersized arrays. *)
+
+val result_row : t -> float array
+(** For expression programs: the result register's lane row (the live
+    array, not a copy — valid until the next {!exec}).
+    @raise Invalid_argument for statement programs. *)

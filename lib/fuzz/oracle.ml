@@ -300,6 +300,109 @@ let check ?chaos (m : A.model) : result =
                 execution = R.Real_domains 2;
                 scheduling = R.Semidynamic 3;
               };
+            (* ---- batched ensemble: lockstep RK4 ≡ scalar runs -------- *)
+            let run_batch y0s =
+              let bb =
+                Om_codegen.Batch_backend.create r.compiled
+                  ~width:(Array.length y0s)
+              in
+              let ens =
+                Om_ode.Ensemble.create ~dim:(FM.dim f)
+                  ~f:(Om_codegen.Batch_backend.brhs bb)
+                  y0s
+              in
+              let rep = Om_ode.Ensemble.rk4 ~record:true ens ~t0 ~tend ~h in
+              match rep.trajectories with
+              | Some trs -> trs
+              | None -> failwith "ensemble rk4 recorded no trajectories"
+            in
+            (* Batch of one over the model's own initial state must be
+               bitwise identical to the scalar reference trajectory. *)
+            strategy "ensemble-batch-1" (fun () ->
+                (run_batch [| FM.initial_values f |]).(0));
+            (* A batch of perturbed members: each member must reproduce a
+               scalar integrate_fixed run from its own initial state.  On
+               divergence, shrink along the batch index — re-run the
+               offending member alone to separate VM batching from
+               lockstep interaction between members. *)
+            let scalar_run y0 =
+              let sys =
+                Om_ode.Odesys.make ~names ~dim:(FM.dim f)
+                  (Om_codegen.Pipeline.rhs_fn r)
+              in
+              Om_ode.Rk.integrate_fixed Om_ode.Rk.rk4 sys ~t0 ~y0 ~tend ~h
+            in
+            let diverges (a : Om_ode.Odesys.trajectory)
+                (b : Om_ode.Odesys.trajectory) =
+              if Array.length a.ts <> Array.length b.ts then
+                Some
+                  (Printf.sprintf "%d steps vs %d" (Array.length a.ts)
+                     (Array.length b.ts))
+              else begin
+                let d = ref None in
+                Array.iteri
+                  (fun k t ->
+                    if !d = None && bits t <> bits b.ts.(k) then
+                      d :=
+                        Some
+                          (Printf.sprintf "time at step %d: %h vs %h" k t
+                             b.ts.(k)))
+                  a.ts;
+                Array.iteri
+                  (fun k row ->
+                    Array.iteri
+                      (fun i x ->
+                        if !d = None && bits x <> bits b.states.(k).(i) then
+                          d :=
+                            Some
+                              (Printf.sprintf "state %s at t=%g: %h vs %h"
+                                 names.(i) b.ts.(k) x b.states.(k).(i)))
+                      row)
+                  a.states;
+                !d
+              end
+            in
+            let nbatch = 3 in
+            let member_y0 m =
+              Array.mapi
+                (fun i v ->
+                  v +. (1e-9 *. float_of_int (((m * 31) + (i * 7)) mod 13)))
+                (FM.initial_values f)
+            in
+            let y0s = Array.init nbatch member_y0 in
+            (match run_batch y0s with
+            | exception exn ->
+                fail "ensemble" "batch-%d rk4 raised %s" nbatch
+                  (Printexc.to_string exn)
+            | trs ->
+                let rec first_bad m =
+                  if m >= nbatch then None
+                  else
+                    match diverges trs.(m) (scalar_run y0s.(m)) with
+                    | Some d -> Some (m, d)
+                    | None -> first_bad (m + 1)
+                in
+                (match first_bad 0 with
+                | None -> ()
+                | Some (m, d) ->
+                    fail "ensemble"
+                      "batch-%d member %d diverges from its scalar run: %s"
+                      nbatch m d;
+                    (* shrink to batch index [m] alone *)
+                    (match run_batch [| y0s.(m) |] with
+                    | exception _ -> ()
+                    | trs1 -> (
+                        match diverges trs1.(0) (scalar_run y0s.(m)) with
+                        | Some d1 ->
+                            fail "ensemble"
+                              "shrunk: member %d alone (batch of 1) still \
+                               diverges: %s"
+                              m d1
+                        | None ->
+                            fail "ensemble"
+                              "shrunk: member %d alone matches — divergence \
+                               needs batch width %d (lockstep interaction)"
+                              m nbatch))));
             (* ---- chaos: one seeded fault, recovery must be bitwise --- *)
             (match chaos with
             | None -> ()

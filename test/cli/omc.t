@@ -119,6 +119,40 @@ Unknown states in the start file are rejected:
   omc: unknown state nope in bad.txt
   [1]
 
+A parameter sweep compiles the model once and integrates every value as
+one lockstep ensemble:
+
+  $ omc sweep pendulum.om --class P --param g --values 1,4,9.81,16 --tend 0.5
+  sweep P.g over 4 values to t=0.5 (engine: compile-once ensemble)
+           value    final p.theta    steps  rhs-calls
+               1  4.411663623e-01       11         66
+               4  2.776987785e-01       11         66
+            9.81  1.466962371e-02       11         66
+              16 -1.946569516e-01       13         90
+
+Sweeping a parameter the model does not declare is a model error:
+
+  $ omc sweep pendulum.om --class P --param nope --values 1
+  omc: unknown sweep target: parameter nope of class P
+  [1]
+
+Seeded Monte Carlo over a parameter distribution is reproducible from
+the seed and runs on the same compile-once ensemble engine:
+
+  $ omc ensemble pendulum.om --class P --param g --dist uniform:5,15 \
+  >   --samples 8 --seed 11 --tend 0.5 --show-samples
+  monte carlo P.g: 8 samples, seed 11, t=0.5 (engine: compile-once ensemble)
+  final p.theta: mean  1.052315709e-01, stddev 1.160158576e-01
+               g    final p.theta
+       11.548872 -5.111345487e-02
+        5.403810  2.078103290e-01
+        6.767726  1.438411489e-01
+        5.836343  1.871082588e-01
+        7.763586  9.953338544e-02
+       13.564899 -1.204183566e-01
+        5.885327  1.847882483e-01
+        5.769062  1.903030082e-01
+
 Differential fuzzing checks every strategy pair on random models, fully
 reproducible from (seed, case index):
 
