@@ -1068,6 +1068,174 @@ let ensemble_smoke () =
   ensemble_run ~widths:[ 1; 8; 64 ] ~nsteps:5 ~min_traj:64 ()
 
 (* ------------------------------------------------------------------ *)
+(* Serve: sustained jobs/sec, compile-cache amortisation, tail latency. *)
+
+let percentile sorted p =
+  (* nearest-rank on an ascending array; p in [0,100] *)
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    sorted.(min (n - 1)
+              (int_of_float (Float.round (float_of_int (n - 1) *. p /. 100.))))
+
+let write_serve_json path ~nmodels ~repeats ~tend ~steps rows =
+  (* rows : (label, cache_capacity, jobs, jobs_per_sec, wall_s, compiles,
+     hits, p50_ms, p95_ms, p99_ms) list *)
+  let buf = Buffer.create 1024 in
+  let num v = Printf.sprintf "%.6g" v in
+  Buffer.add_string buf "{\n  \"schema\": \"objectmath-bench-serve/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"models\": %d,\n  \"repeats\": %d,\n  \"tend\": %s,\n  \
+        \"steps_per_job\": %d,\n"
+       nmodels repeats (num tend) steps);
+  Buffer.add_string buf "  \"series\": [\n";
+  List.iteri
+    (fun i (label, cap, jobs, jps, wall, compiles, hits, p50, p95, p99) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"label\": %S, \"cache_capacity\": %d, \"jobs\": %d, \
+            \"jobs_per_sec\": %s, \"wall_s\": %s, \"compiles\": %d, \
+            \"cache_hits\": %d, \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": \
+            %s }%s\n"
+           label cap jobs (num jps) (num wall) compiles hits (num p50)
+           (num p95) (num p99)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  let jps label =
+    List.find_map
+      (fun (l, _, _, jps, _, _, _, _, _, _) ->
+        if l = label then Some jps else None)
+      rows
+  in
+  (match (jps "cold", jps "warm") with
+  | Some cold, Some warm ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"warm_over_cold\": %s\n" (num (warm /. cold)))
+  | _ -> Buffer.add_string buf "  \"warm_over_cold\": null\n");
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let serve_run ~nmodels ~repeats () =
+  section "Serve — jobs/sec, compile-cache amortisation, tail latency";
+  ensure_out_dir ();
+  let tend = 0.01 and steps = 20 in
+  let solver = Om_serve.Job.Rk4 (Some (tend /. float_of_int steps)) in
+  (* Fuzz-generated model mix, prefiltered: each candidate must compile
+     and integrate finitely over the short job horizon.  The short
+     horizon keeps the run itself cheap, so a cache hit (skipping
+     flatten/typecheck/codegen) dominates the per-job cost. *)
+  let models =
+    let rec gather i acc =
+      if List.length acc >= nmodels then List.rev acc
+      else begin
+        let rng = Random.State.make [| 2026; i |] in
+        let src = Om_fuzz.Gen.source rng in
+        match
+          let r = Om_codegen.Pipeline.compile_source src in
+          Objectmath.Runtime.execute
+            ~solver:(Rk4 (tend /. float_of_int steps))
+            ~tend r
+        with
+        | rep
+          when Array.for_all Float.is_finite
+                 (Om_ode.Odesys.final_state rep.trajectory) ->
+            gather (i + 1) (src :: acc)
+        | _ -> gather (i + 1) acc
+        | exception _ -> gather (i + 1) acc
+      end
+    in
+    gather 0 []
+  in
+  let jobs =
+    List.concat_map
+      (fun rep ->
+        List.mapi
+          (fun m source ->
+            {
+              Om_serve.Job.default with
+              Om_serve.Job.id = Printf.sprintf "r%d-m%d" rep m;
+              tenant = Printf.sprintf "tenant-%d" (m mod 3);
+              source;
+              solver;
+              tend;
+            })
+          models)
+      (List.init repeats Fun.id)
+  in
+  let njobs = List.length jobs in
+  Printf.printf
+    "%d fuzz models x %d repeats = %d jobs per series (%d rk4 steps each)\n\n"
+    (List.length models) repeats njobs steps;
+  let now = Om_parallel.Monotonic.now in
+  let run_series label cache_capacity =
+    let latencies = ref [] in
+    let mu = Mutex.create () in
+    let emit record =
+      match
+        ( Om_serve.Json.member record "type",
+          Om_serve.Json.member record "total_s" )
+      with
+      | Some (Om_serve.Json.Str "status"), Some v -> (
+          match Om_serve.Json.to_float v with
+          | Some s ->
+              Mutex.lock mu;
+              latencies := s :: !latencies;
+              Mutex.unlock mu
+          | None -> ())
+      | _ -> ()
+    in
+    let config =
+      {
+        Om_serve.Server.default_config with
+        Om_serve.Server.queue_capacity = njobs + 1;
+        cache_capacity;
+        timings = true;
+      }
+    in
+    let server = Om_serve.Server.create ~config ~emit () in
+    let t0 = now () in
+    List.iter (fun j -> ignore (Om_serve.Server.submit server j)) jobs;
+    ignore (Om_serve.Server.drain server);
+    let wall = now () -. t0 in
+    let cs = Om_serve.Model_cache.stats (Om_serve.Server.cache server) in
+    let sorted = Array.of_list !latencies in
+    Array.sort compare sorted;
+    let pct p = percentile sorted p *. 1e3 in
+    let jps = float_of_int njobs /. wall in
+    Printf.printf
+      "%-6s cache=%-3d %8.1f jobs/s  wall %6.3fs  compiles %3d  hits %3d  \
+       p50 %6.2fms  p95 %6.2fms  p99 %6.2fms\n"
+      label cache_capacity jps wall cs.Om_serve.Model_cache.compiles
+      cs.Om_serve.Model_cache.hits (pct 50.) (pct 95.) (pct 99.);
+    ( label, cache_capacity, njobs, jps, wall,
+      cs.Om_serve.Model_cache.compiles, cs.Om_serve.Model_cache.hits,
+      pct 50., pct 95., pct 99. )
+  in
+  (* Cold: caching disabled, every job pays the full pipeline.  Warm:
+     every distinct source compiles once; repeats are cache hits. *)
+  let cold = run_series "cold" 0 in
+  let warm = run_series "warm" 64 in
+  let rows = [ cold; warm ] in
+  let path = Filename.concat out_dir "BENCH_serve.json" in
+  write_serve_json path ~nmodels:(List.length models) ~repeats ~tend ~steps
+    rows;
+  let (_, _, _, cold_jps, _, _, _, _, _, _) = cold in
+  let (_, _, _, warm_jps, _, _, _, _, _, _) = warm in
+  Printf.printf
+    "\nwarm/cold throughput: %.2fx (compile amortised across %d repeats)\n"
+    (warm_jps /. cold_jps) repeats;
+  Printf.printf "machine-readable results written to %s\n" path
+
+let serve_bench () = serve_run ~nmodels:12 ~repeats:6 ()
+
+(* Cheap CI variant: fewer models and repeats, still writes the JSON. *)
+let serve_smoke () = serve_run ~nmodels:4 ~repeats:3 ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1092,6 +1260,8 @@ let experiments =
     ("multicore", multicore);
     ("ensemble", ensemble);
     ("ensemble-smoke", ensemble_smoke);
+    ("serve", serve_bench);
+    ("serve-smoke", serve_smoke);
   ]
 
 let () =

@@ -742,6 +742,112 @@ let ensemble_cmd =
     Term.(const run $ file_arg $ builtin_arg $ cls $ param $ dist $ samples
           $ seed $ tend $ metric $ domains $ show_samples)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let run socket accept queue executors cache_capacity no_timings =
+    let resolve name =
+      Option.map (fun f -> f ()) (List.assoc_opt name builtin_models)
+    in
+    let config =
+      {
+        Om_serve.Server.default_config with
+        queue_capacity = queue;
+        executors;
+        cache_capacity;
+        timings = not no_timings;
+        resolve;
+      }
+    in
+    let serve_channel ?cache ic oc =
+      let emit record =
+        (* Best-effort: a client that hangs up mid-stream must not kill
+           the server loop. *)
+        try
+          output_string oc (Om_serve.Json.to_string record);
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ -> ()
+      in
+      let server = Om_serve.Server.create ~config ?cache ~emit () in
+      (try
+         let rec loop () =
+           Om_serve.Server.handle_line server (input_line ic);
+           loop ()
+         in
+         loop ()
+       with End_of_file | Sys_error _ -> ());
+      ignore (Om_serve.Server.drain server)
+    in
+    match socket with
+    | None -> serve_channel stdin stdout
+    | Some path ->
+        (* One shared compiled-model cache across connections; each
+           connection gets its own server (queue, counters, executors). *)
+        let cache = Om_serve.Model_cache.create ~capacity:cache_capacity () in
+        if Sys.file_exists path then Sys.remove path;
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 8;
+        let rec accept_loop remaining =
+          if remaining <> 0 then begin
+            let client, _ = Unix.accept sock in
+            let ic = Unix.in_channel_of_descr client in
+            let oc = Unix.out_channel_of_descr client in
+            serve_channel ~cache ic oc;
+            (try close_out oc with Sys_error _ -> ());
+            accept_loop (if remaining > 0 then remaining - 1 else remaining)
+          end
+        in
+        accept_loop accept;
+        Unix.close sock;
+        if Sys.file_exists path then Sys.remove path
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket instead of stdin; each \
+                   connection is one NDJSON session sharing the \
+                   compiled-model cache.")
+  in
+  let accept =
+    Arg.(value & opt int 0
+         & info [ "accept" ] ~docv:"N"
+             ~doc:"With $(b,--socket), exit after N connections (0 = serve \
+                   forever).")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Submission queue capacity; a full queue rejects jobs \
+                   with a $(i,rejected) status record.")
+  in
+  let executors =
+    Arg.(value & opt int 1
+         & info [ "executors" ] ~docv:"N"
+             ~doc:"Worker domains running jobs (1 keeps status records in \
+                   priority order).")
+  in
+  let cache =
+    Arg.(value & opt int 32
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Compiled-model cache capacity (0 disables caching).")
+  in
+  let no_timings =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Omit wall-clock fields from status records (makes the \
+                   output deterministic for tests).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running multi-tenant simulation service: NDJSON jobs on \
+             stdin or a Unix socket, priority scheduling, per-job \
+             deadlines/cancellation, compiled-model cache, streamed \
+             results")
+    Term.(const run $ socket $ accept $ queue $ executors $ cache
+          $ no_timings)
+
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
@@ -799,5 +905,5 @@ let () =
        (Cmd.group (Cmd.info "omc" ~doc)
           [
             analyze_cmd; browse_cmd; flatten_cmd; compile_cmd; simulate_cmd;
-            sweep_cmd; ensemble_cmd; bench_cmd; fuzz_cmd;
+            sweep_cmd; ensemble_cmd; bench_cmd; fuzz_cmd; serve_cmd;
           ]))

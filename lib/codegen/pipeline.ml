@@ -45,8 +45,14 @@ let analyse (m : Om_lang.Flat_model.t) =
   in
   { graph; comps; condensed; nontrivial; scc_weights }
 
+(* Process-global invocation counter: the serve-layer model cache
+   asserts cache hits skip compilation entirely by watching this. *)
+let compiles = Atomic.make 0
+let compile_count () = Atomic.get compiles
+
 let compile ?(config = default_config) ?backend ?optimize
     (m : Om_lang.Flat_model.t) =
+  Atomic.incr compiles;
   let assigns = Assignments.of_flat_model m in
   let plan =
     Partition.partition ~merge_threshold:config.merge_threshold
@@ -67,6 +73,13 @@ let compile ?(config = default_config) ?backend ?optimize
   in
   Om_sched.Task.validate tasks;
   { model = m; assigns; plan; compiled; tasks; analysis = analyse m }
+
+let source_key source = Digest.to_hex (Digest.string source)
+
+let compile_source ?config ?backend ?optimize source =
+  let fm = Om_lang.Flatten.flatten_string source in
+  Om_lang.Typecheck.check fm;
+  compile ?config ?backend ?optimize fm
 
 let system_level_speedup a ~comm ~nprocs =
   Om_sched.Dag_sched.speedup a.condensed ~weights:a.scc_weights ~comm ~nprocs

@@ -41,6 +41,32 @@ val compile :
     are what every driver uses.  The fuzz oracle overrides them to pit
     the execution strategies against each other. *)
 
+val compile_count : unit -> int
+(** Process-global number of {!compile} invocations so far (an atomic
+    counter, safe to read from any domain).  The serve layer's model
+    cache asserts that cache hits really skip
+    flatten/typecheck/codegen by sampling it around a lookup. *)
+
+val source_key : string -> string
+(** Content hash of a model source text (hex digest) — the key the
+    compiled-model cache ([Om_serve.Model_cache]) memoises
+    {!compile_source} under.  Equal sources get equal keys regardless of
+    tenant, file name or submission time. *)
+
+val compile_source :
+  ?config:config ->
+  ?backend:Bytecode_backend.exec_backend ->
+  ?optimize:bool ->
+  string ->
+  result
+(** The cache-friendly whole-frontend entry: flatten the source text
+    ([Om_lang.Flatten.flatten_string]), re-validate the flat model
+    ([Om_lang.Typecheck.check]) and {!compile} it — exactly the work a
+    cache hit skips.
+    @raise Om_lang.Lexer.Error, [Om_lang.Parser.Error],
+    [Om_lang.Flatten.Error] or [Invalid_argument] on ill-formed
+    sources (the caller maps these to its model-error status). *)
+
 val system_level_speedup : analysis -> comm:float -> nprocs:int -> float
 (** Speedup attainable by solving SCC subsystems in parallel on the
     condensation DAG — the paper's first parallelisation approach. *)

@@ -17,6 +17,7 @@ type config = {
   faults : Om_guard.Fault_plan.t option;
   barrier_deadline : float;
   retry_budget : int;
+  cancel : Om_guard.Cancel.t option;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     faults = None;
     barrier_deadline = 0.;
     retry_budget = 8;
+    cancel = None;
   }
 
 type solver = Rk4 of float | Rkf45 | Lsoda
@@ -107,6 +109,15 @@ let[@inline] guard_check guard ~time ydot =
   | None -> ()
   | Some g -> Om_guard.Finite_guard.check g ~time ydot
 
+(* Cooperative cancellation/deadline poll, once per RHS round — the
+   natural safe point: no partial round is ever observed, and the
+   non-retryable fault aborts the solver immediately
+   (Om_error.retryable). *)
+let[@inline] cancel_check config =
+  match config.cancel with
+  | None -> ()
+  | Some c -> Om_guard.Cancel.check c
+
 (* Real execution: the same LPT schedule as the simulator, but the round
    runs on [nworkers] domains and the clock is the wall clock.  Under
    [Semidynamic period] the measured per-task times of every round feed
@@ -131,6 +142,7 @@ let execute_real config ~nworkers ~solver ~t0 ~tend
      same bytecode, so the trajectory is bit-identical. *)
   let run_sequential () =
     let f t y ydot =
+      cancel_check config;
       Om_codegen.Bytecode_backend.rhs_fn compiled t y ydot;
       guard_check guard ~time:t ydot
     in
@@ -193,6 +205,7 @@ let execute_real config ~nworkers ~solver ~t0 ~tend
     @@ fun m ->
     let exec = Om_parallel.Par_exec.executor m in
     let f t y ydot =
+      cancel_check config;
       Om_parallel.Par_exec.measured_rhs_fn m t y ydot;
       (* A barrier-deadline overrun recorded by the pool steps the
          ladder: drop the stalled worker (its tasks go to the survivors
@@ -316,6 +329,7 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
   let guard = guard_of config compiled in
   let round_idx = ref 0 in
   let f t y ydot =
+    cancel_check config;
     compiled.set_state t y;
     incr round_idx;
     (* Execute the tasks for real, measuring branch-resolved costs. *)

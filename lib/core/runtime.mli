@@ -68,6 +68,13 @@ type config = {
   retry_budget : int;
       (** bound on consecutive solver step retries after guarded faults
           (default 8) *)
+  cancel : Om_guard.Cancel.t option;
+      (** cooperative cancellation/deadline token, polled once per RHS
+          round (default [None]).  A cancelled token or an expired
+          deadline surfaces as the non-retryable
+          [Om_guard.Om_error.Cancelled] / [Deadline_exceeded] fault,
+          aborting the integration at the next round — the serve layer's
+          per-job deadline enforcement. *)
 }
 
 val default_config : config

@@ -147,6 +147,10 @@ let integrate ?(atol = 1e-8) ?(rtol = 1e-6) ?h0 ?(max_steps = 2_000_000)
      injected poisons fire once — then recover bitwise-identically), then
      with halved steps, bounded by [max_retries]. *)
   let retry_fault h' cause =
+    (* Cancellations and deadline overruns abort at once: retrying
+       cannot unexpire a deadline (Om_error.retryable). *)
+    if not (Om_guard.Om_error.retryable cause) then
+      Om_guard.Om_error.error cause;
     sys.counters.retries <- sys.counters.retries + 1;
     incr consec;
     if !consec > max_retries then

@@ -44,6 +44,9 @@ let integrate_fixed ?(max_retries = 8) stepper (sys : Odesys.t) ~t0 ~y0 ~tend
     let rec attempt h_try retries =
       match stepper sys !t !y h_try with
       | y' -> (y', h_try)
+      | exception Om_guard.Om_error.Error cause
+        when not (Om_guard.Om_error.retryable cause) ->
+          Om_guard.Om_error.error cause
       | exception Om_guard.Om_error.Error cause ->
           sys.counters.retries <- sys.counters.retries + 1;
           if retries >= max_retries then
@@ -148,6 +151,9 @@ let rkf45 ?(atol = 1e-8) ?(rtol = 1e-6) ?h0 ?(max_steps = 1_000_000)
       (y5, err)
     in
     match attempt () with
+    | exception Om_guard.Om_error.Error cause
+      when not (Om_guard.Om_error.retryable cause) ->
+        Om_guard.Om_error.error cause
     | exception Om_guard.Om_error.Error cause ->
         (* Same backoff ladder as [integrate_fixed]: retry at the same
            step first (bitwise-identical recovery from transient faults),

@@ -1,0 +1,52 @@
+(** Cooperative cancellation tokens with wall-clock deadlines.
+
+    A token is shared between the thread that owns a running integration
+    and any thread that wants to stop it: the owner polls {!check} at a
+    natural safe point (the runtime polls once per RHS round), the other
+    side flips the flag with {!cancel} — or nobody does, and an armed
+    deadline expires on its own.  Both outcomes surface as the
+    non-retryable {!Om_error.t} constructors ({!Om_error.Cancelled},
+    {!Om_error.Deadline_exceeded}), so the solvers abort immediately
+    instead of entering their backoff ladder
+    ({!Om_error.retryable}), and a server can map the fault to a
+    per-job status record.
+
+    Tokens are safe to share across domains: the cancellation flag is an
+    [Atomic.t], and the deadline is immutable after {!create}. *)
+
+type t
+
+val create : ?deadline_s:float -> ?now:(unit -> float) -> job:string -> unit -> t
+(** A token for [job] (a free-form label quoted in the fault).
+    [deadline_s] arms a wall-clock deadline that many seconds after the
+    call ([0.], the default, leaves it disarmed).  [now] overrides the
+    clock (default [Unix.gettimeofday]) — tests use it to expire
+    deadlines deterministically.
+    @raise Invalid_argument if [deadline_s < 0.]. *)
+
+val job : t -> string
+
+val cancel : ?reason:string -> t -> unit
+(** Request cancellation (default [reason] is ["cancelled by client"]).
+    Idempotent; the first reason wins.  The running side observes it at
+    its next {!check}. *)
+
+val cancelled : t -> bool
+(** Whether {!cancel} has been called.  Does {e not} consult the
+    deadline — use {!expired} or {!check} for that. *)
+
+val expired : t -> bool
+(** Whether the armed deadline has passed ([false] when disarmed). *)
+
+val deadline_s : t -> float option
+(** The armed deadline in seconds after creation, if any. *)
+
+val remaining_s : t -> float option
+(** Seconds until the deadline expires (negative once overdue); [None]
+    when disarmed. *)
+
+val check : t -> unit
+(** The polling point: returns unless the token was cancelled or its
+    deadline expired.
+    @raise Om_error.Error ([Cancelled]) after {!cancel};
+    @raise Om_error.Error ([Deadline_exceeded]) past the deadline. *)

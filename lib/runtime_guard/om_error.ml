@@ -17,10 +17,21 @@ type t =
       retries : int;
       reason : string;
     }
+  | Cancelled of { job : string; reason : string }
+  | Deadline_exceeded of { job : string; deadline_s : float; elapsed_s : float }
 
 exception Error of t
 
 let error e = raise (Error e)
+
+(* Solvers answer retryable faults with same-step retry then step-size
+   backoff; a cancellation or deadline overrun must instead abort the
+   integration immediately — retrying cannot unexpire a deadline. *)
+let retryable = function
+  | Cancelled _ | Deadline_exceeded _ -> false
+  | Nonfinite_output _ | Worker_stall _ | Spawn_failure _ | Barrier_timeout _
+  | Worker_exception _ | Newton_failure _ | Step_failure _ ->
+      true
 
 (* Render the float with %h only when it is non-finite garbage worth
    quoting exactly; %g otherwise keeps messages readable (and stable for
@@ -53,6 +64,11 @@ let to_string = function
   | Step_failure { solver; time; step; retries; reason } ->
       Printf.sprintf "%s step failed at t=%g (h=%g) after %d retries: %s"
         solver time step retries reason
+  | Cancelled { job; reason } ->
+      Printf.sprintf "job %s cancelled: %s" job reason
+  | Deadline_exceeded { job; deadline_s; elapsed_s } ->
+      Printf.sprintf "job %s exceeded its %.3fs deadline (%.3fs elapsed)" job
+        deadline_s elapsed_s
 
 let pp ppf e = Fmt.string ppf (to_string e)
 

@@ -52,11 +52,27 @@ type t =
     }
       (** A solver exhausted its retry budget (or its global step
           budget).  Terminal: integration cannot proceed. *)
+  | Cancelled of { job : string; reason : string }
+      (** The job owning this integration was cancelled from outside
+          (an explicit client cancellation through {!Cancel.cancel}).
+          Terminal and non-retryable: the solvers re-raise it
+          immediately instead of entering the backoff ladder. *)
+  | Deadline_exceeded of { job : string; deadline_s : float; elapsed_s : float }
+      (** The job's wall-clock deadline expired while the integration was
+          running ({!Cancel.check}).  Terminal and non-retryable, like
+          {!Cancelled}. *)
 
 exception Error of t
 
 val error : t -> 'a
 (** [error e] raises [Error e]. *)
+
+val retryable : t -> bool
+(** Whether the solvers' same-step-retry/backoff ladder may answer this
+    fault ([true] for runtime faults such as {!Nonfinite_output}), or
+    the fault must abort the integration at once ([false] for
+    {!Cancelled} and {!Deadline_exceeded} — retrying cannot unexpire a
+    deadline). *)
 
 val to_string : t -> string
 val pp : t Fmt.t

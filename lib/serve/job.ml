@@ -1,0 +1,117 @@
+type solver = Rk4 of float option | Rkf45 | Lsoda
+type chaos = { kind : [ `Nan | `Inf ]; task : int; round : int; count : int }
+
+type spec = {
+  id : string;
+  tenant : string;
+  priority : int;
+  deadline_s : float;
+  source : string;
+  solver : solver;
+  tend : float;
+  chunk : int;
+  domains : int;
+  chaos : chaos option;
+}
+
+let default =
+  {
+    id = "";
+    tenant = "default";
+    priority = 0;
+    deadline_s = 0.;
+    source = "";
+    solver = Rk4 None;
+    tend = 1.0;
+    chunk = 0;
+    domains = 0;
+    chaos = None;
+  }
+
+let ( let* ) = Result.bind
+
+let field json name conv ~default =
+  match Json.member json name with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad %S field" name))
+
+let chaos_of_json json =
+  match Json.member json "chaos" with
+  | None | Some Json.Null -> Ok None
+  | Some c ->
+      let* kind =
+        match Option.bind (Json.member c "kind") Json.to_str with
+        | Some "nan" | None -> Ok `Nan
+        | Some "inf" -> Ok `Inf
+        | Some other -> Error (Printf.sprintf "bad chaos kind %S" other)
+      in
+      let* task = field c "task" Json.to_int ~default:0 in
+      let* round = field c "round" Json.to_int ~default:1 in
+      let* count = field c "count" Json.to_int ~default:1 in
+      if task < 0 || round < 1 || count < 1 then Error "bad chaos coordinates"
+      else Ok (Some { kind; task; round; count })
+
+let of_json ?(default_id = "") ~resolve json =
+  match json with
+  | Json.Obj _ ->
+      let* id = field json "id" Json.to_str ~default:default_id in
+      let* tenant = field json "tenant" Json.to_str ~default:default.tenant in
+      let* priority = field json "priority" Json.to_int ~default:0 in
+      let* deadline_s = field json "deadline_s" Json.to_float ~default:0. in
+      let* tend = field json "tend" Json.to_float ~default:default.tend in
+      let* chunk = field json "chunk" Json.to_int ~default:0 in
+      let* domains = field json "domains" Json.to_int ~default:0 in
+      let* h = field json "h" Json.to_float ~default:0. in
+      let* solver =
+        match Option.bind (Json.member json "solver") Json.to_str with
+        | None | Some "rk4" -> Ok (Rk4 (if h > 0. then Some h else None))
+        | Some "rkf45" -> Ok Rkf45
+        | Some "lsoda" -> Ok Lsoda
+        | Some other -> Error (Printf.sprintf "unknown solver %S" other)
+      in
+      let* source =
+        match
+          ( Option.bind (Json.member json "source") Json.to_str,
+            Option.bind (Json.member json "model") Json.to_str )
+        with
+        | Some src, None -> Ok src
+        | None, Some name -> (
+            match resolve name with
+            | Some src -> Ok src
+            | None -> Error (Printf.sprintf "unknown builtin model %S" name))
+        | Some _, Some _ -> Error "give either \"source\" or \"model\", not both"
+        | None, None -> Error "a model is required: \"source\" or \"model\""
+      in
+      let* chaos = chaos_of_json json in
+      if deadline_s < 0. then Error "negative deadline_s"
+      else if tend <= 0. then Error "nonpositive tend"
+      else if chunk < 0 || domains < 0 then Error "negative chunk or domains"
+      else
+        Ok
+          {
+            id;
+            tenant;
+            priority;
+            deadline_s;
+            source;
+            solver;
+            tend;
+            chunk;
+            domains;
+            chaos;
+          }
+  | _ -> Error "job record must be a JSON object"
+
+let fault_plan spec =
+  match spec.chaos with
+  | None -> None
+  | Some { kind; task; round; count } ->
+      let fault i =
+        match kind with
+        | `Nan -> Om_guard.Fault_plan.Nan_task { task; round = round + i }
+        | `Inf -> Om_guard.Fault_plan.Inf_task { task; round = round + i }
+      in
+      Some (Om_guard.Fault_plan.make (List.init count fault))

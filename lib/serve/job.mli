@@ -1,0 +1,64 @@
+(** Job specifications for the simulation service.
+
+    One job is one integration request: a model source (inline text, or
+    a builtin name resolved by the caller), a solver, an end time, and
+    the service-level envelope — tenant id, priority, wall-clock
+    deadline, optional trajectory streaming and optional chaos
+    injection.  {!of_json} decodes the wire form used by [omc serve]'s
+    NDJSON protocol. *)
+
+type solver = Rk4 of float option  (** fixed step; [None] = [tend/400] *)
+            | Rkf45
+            | Lsoda
+
+(** Seeded fault injection riding on a job (the PR-5
+    {!Om_guard.Fault_plan} taxonomy): poison [task]'s output with
+    NaN/+inf in rounds [round .. round+count-1].  With [count] larger
+    than the retry budget the job must fail as [solver_failure]; with
+    [count = 1] the solvers recover bitwise — both are exercised by the
+    serve tests. *)
+type chaos = { kind : [ `Nan | `Inf ]; task : int; round : int; count : int }
+
+type spec = {
+  id : string;
+  tenant : string;
+  priority : int;  (** higher pops first; FIFO within a priority *)
+  deadline_s : float;
+      (** wall-clock seconds from submission; [0.] = none.  Enforced
+          while queued (an expired job is failed without running) and
+          mid-run (the runtime polls the job's {!Om_guard.Cancel} token
+          every RHS round). *)
+  source : string;  (** ObjectMath model source text *)
+  solver : solver;
+  tend : float;
+  chunk : int;
+      (** trajectory rows per streamed [chunk] record; [0] = stream no
+          trajectory, emit only the final status *)
+  domains : int;
+      (** [> 0]: run RHS rounds on that many real OCaml domains (with
+          the full degradation ladder); [0]: sequential in-process
+          evaluation — chaos jobs run on the simulated executor instead,
+          where task poisons apply *)
+  chaos : chaos option;
+}
+
+val default : spec
+(** [id ""], tenant ["default"], priority 0, no deadline, empty source,
+    [Rk4 None] to [tend = 1.0], no streaming, no domains, no chaos. *)
+
+val of_json :
+  ?default_id:string ->
+  resolve:(string -> string option) ->
+  Json.t ->
+  (spec, string) result
+(** Decode a job record.  Recognised fields (all optional except the
+    model): ["id"] (default [default_id]), ["tenant"], ["priority"],
+    ["deadline_s"], ["source"] {e or} ["model"] (a builtin name passed
+    through [resolve]), ["solver"] (["rk4"|"rkf45"|"lsoda"]), ["h"]
+    (fixed step for rk4), ["tend"], ["chunk"], ["domains"], and
+    ["chaos"] as [{"kind":"nan"|"inf","task":i,"round":r,"count":n}].
+    Returns [Error msg] on unknown solvers, unresolvable model names,
+    missing sources or malformed chaos specs. *)
+
+val fault_plan : spec -> Om_guard.Fault_plan.t option
+(** The {!Om_guard.Fault_plan} encoding of the job's chaos spec. *)

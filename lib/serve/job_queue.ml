@@ -1,0 +1,118 @@
+(* Binary max-heap of (priority, seq, item): higher priority first,
+   lower sequence number (earlier submission) first within a priority. *)
+
+type 'a entry = { prio : int; seq : int; item : 'a }
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable heap : 'a entry array;  (* heap.(0 .. size-1) is the heap *)
+  mutable size : int;
+  mutable seq : int;
+  mutable is_closed : bool;
+  cap : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Job_queue.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    heap = [||];
+    size = 0;
+    seq = 0;
+    is_closed = false;
+    cap = capacity;
+  }
+
+let before a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.size && before t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let submit t ~priority item =
+  Mutex.lock t.mutex;
+  let result =
+    if t.is_closed then `Closed
+    else if t.size >= t.cap then `Rejected
+    else begin
+      if t.size = Array.length t.heap then begin
+        let grown =
+          Array.make
+            (max 8 (min t.cap (2 * max 1 (Array.length t.heap))))
+            { prio = 0; seq = 0; item }
+        in
+        Array.blit t.heap 0 grown 0 t.size;
+        t.heap <- grown
+      end;
+      t.heap.(t.size) <- { prio = priority; seq = t.seq; item };
+      t.seq <- t.seq + 1;
+      t.size <- t.size + 1;
+      sift_up t (t.size - 1);
+      Condition.signal t.nonempty;
+      `Ok
+    end
+  in
+  Mutex.unlock t.mutex;
+  result
+
+let pop t =
+  Mutex.lock t.mutex;
+  while t.size = 0 && not t.is_closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let result =
+    if t.size = 0 then None
+    else begin
+      let top = t.heap.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.heap.(0) <- t.heap.(t.size);
+        sift_down t 0
+      end;
+      Some top.item
+    end
+  in
+  Mutex.unlock t.mutex;
+  result
+
+let close t =
+  Mutex.lock t.mutex;
+  t.is_closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let closed t =
+  Mutex.lock t.mutex;
+  let c = t.is_closed in
+  Mutex.unlock t.mutex;
+  c
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.size in
+  Mutex.unlock t.mutex;
+  n
+
+let capacity t = t.cap

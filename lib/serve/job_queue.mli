@@ -1,0 +1,37 @@
+(** Thread-safe bounded priority queue — the server's submission queue.
+
+    Producers {!submit} without blocking: a full queue {e rejects} the
+    item instead of applying back-pressure, which is the serve layer's
+    overload story (the caller turns the rejection into a per-job
+    [rejected] status record and the client retries or sheds load).
+    Consumers {!pop}, blocking while the queue is empty and open.
+
+    Ordering: highest {!submit} priority first; FIFO among equal
+    priorities (a submission sequence number breaks ties), so
+    same-priority jobs complete in submission order — the ordered-status
+    guarantee the cram tests assert.
+
+    Implementation: a binary max-heap under one mutex with a condition
+    variable for sleeping consumers; every operation is O(log n). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val submit : 'a t -> priority:int -> 'a -> [ `Ok | `Rejected | `Closed ]
+(** Enqueue, never blocking: [`Rejected] when [length t = capacity],
+    [`Closed] after {!close}. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue the highest-priority item, blocking while the queue is
+    empty and open; [None] once the queue is closed {e and} drained —
+    the consumer's termination signal. *)
+
+val close : 'a t -> unit
+(** Stop accepting submissions and wake every blocked consumer.  Items
+    already queued are still delivered.  Idempotent. *)
+
+val closed : 'a t -> bool
+val length : 'a t -> int
+val capacity : 'a t -> int

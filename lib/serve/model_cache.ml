@@ -1,0 +1,114 @@
+type entry = {
+  key : string;
+  compiled : Om_codegen.Pipeline.result;
+  lock : Mutex.t;
+}
+
+type stats = {
+  compiles : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+type slot = { entry : entry; mutable last_used : int }
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, slot) Hashtbl.t;
+  cap : int;
+  config : Om_codegen.Pipeline.config option;
+  mutable tick : int;  (* LRU clock: bumped on every hit/insert *)
+  mutable compiles : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?config ~capacity () =
+  if capacity < 0 then invalid_arg "Model_cache.create: capacity < 0";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create (max 8 capacity);
+    cap = capacity;
+    config;
+    tick = 0;
+    compiles = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.last_used <- t.tick
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key slot acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= slot.last_used -> acc
+        | _ -> Some (key, slot))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+
+let lookup t source =
+  let key = Om_codegen.Pipeline.source_key source in
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+      t.hits <- t.hits + 1;
+      touch t slot;
+      Mutex.unlock t.mutex;
+      `Hit slot.entry
+  | None ->
+      (* Compile under the cache mutex: a second request for the same
+         new source blocks here and then takes the hit path, so each
+         source compiles exactly once. *)
+      let finish () = Mutex.unlock t.mutex in
+      let compiled =
+        try Om_codegen.Pipeline.compile_source ?config:t.config source
+        with e -> finish (); raise e
+      in
+      t.misses <- t.misses + 1;
+      t.compiles <- t.compiles + 1;
+      let entry = { key; compiled; lock = Mutex.create () } in
+      if t.cap > 0 then begin
+        if Hashtbl.length t.table >= t.cap then evict_lru t;
+        let slot = { entry; last_used = 0 } in
+        touch t slot;
+        Hashtbl.add t.table key slot
+      end;
+      finish ();
+      `Miss entry
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      compiles = t.compiles;
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      entries = Hashtbl.length t.table;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let capacity t = t.cap
+
+let resident t =
+  Mutex.lock t.mutex;
+  let slots = Hashtbl.fold (fun key slot acc -> (key, slot.last_used) :: acc) t.table [] in
+  Mutex.unlock t.mutex;
+  slots
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst

@@ -1,0 +1,60 @@
+(** Compiled-model cache: the serve layer's compile-once story.
+
+    Jobs are keyed by the content hash of their model source
+    ({!Om_codegen.Pipeline.source_key}); a hit returns the cached
+    {!Om_codegen.Pipeline.result} and skips the whole
+    flatten → typecheck → codegen front half of the pipeline — the
+    property the serve tests assert with
+    {!Om_codegen.Pipeline.compile_count}.  Tenancy is deliberately
+    {e not} part of the key: two tenants submitting byte-identical
+    sources share one compiled artifact (compilation is pure), while
+    per-job state (initial values, trajectories, solver scratch) never
+    enters the cache, so no simulation data can leak across tenants.
+
+    Eviction is LRU over a fixed capacity.  [capacity = 0] disables the
+    cache entirely — every lookup compiles and nothing is stored — which
+    is how the serve bench measures its cold series.
+
+    The compiled {!Om_codegen.Pipeline.result} contains a mutable
+    bytecode evaluator ([Bytecode_backend.t] scratch arrays), so a
+    shared artifact must not run on two executors at once: each entry
+    carries a lock ([entry.lock]) the server holds for the duration of
+    a job. *)
+
+type entry = {
+  key : string;  (** {!Om_codegen.Pipeline.source_key} of the source *)
+  compiled : Om_codegen.Pipeline.result;
+  lock : Mutex.t;
+      (** held while a job executes on [compiled] (the bytecode VM's
+          scratch arrays are mutable, so concurrent runs would race) *)
+}
+
+type stats = {
+  compiles : int;  (** cache-triggered pipeline compilations *)
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** current residency *)
+}
+
+type t
+
+val create : ?config:Om_codegen.Pipeline.config -> capacity:int -> unit -> t
+(** [capacity] is the maximum number of resident compiled models;
+    [0] disables storage (always compile, never cache).
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val lookup : t -> string -> [ `Hit of entry | `Miss of entry ]
+(** [lookup t source] returns the compiled form of [source], compiling
+    it on a miss (under the cache mutex, so concurrent requests for the
+    same new source compile once).  Front-end failures propagate to the
+    caller and leave the cache unchanged.
+    @raise Om_lang.Lexer.Error, [Om_lang.Parser.Error],
+    [Om_lang.Flatten.Error] or [Invalid_argument] on ill-formed
+    sources. *)
+
+val stats : t -> stats
+val capacity : t -> int
+
+val resident : t -> string list
+(** Keys currently cached, most recently used first (test hook). *)

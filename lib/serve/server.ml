@@ -1,0 +1,381 @@
+type config = {
+  queue_capacity : int;
+  executors : int;
+  cache_capacity : int;
+  timings : bool;
+  resolve : string -> string option;
+  pipeline : Om_codegen.Pipeline.config option;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    executors = 1;
+    cache_capacity = 32;
+    timings = true;
+    resolve = (fun _ -> None);
+    pipeline = None;
+  }
+
+type stats = {
+  submitted : int;
+  completed : int;
+  ok : int;
+  failed : int;
+  rejected : int;
+}
+
+type item = { spec : Job.spec; token : Om_guard.Cancel.t; submitted_at : float }
+
+type t = {
+  config : config;
+  queue : item Job_queue.t;
+  model_cache : Model_cache.t;
+  emit_fn : Json.t -> unit;
+  emit_mutex : Mutex.t;
+  state_mutex : Mutex.t;
+  tokens : (string, Om_guard.Cancel.t) Hashtbl.t;
+  mutable counters : stats;
+  mutable next_id : int;
+  mutable workers : unit Domain.t list;
+  mutable drained : bool;
+}
+
+let emit t record =
+  Mutex.lock t.emit_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_mutex) (fun () ->
+      t.emit_fn record)
+
+let with_state t f =
+  Mutex.lock t.state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_mutex) f
+
+(* ---- job execution ---- *)
+
+let runtime_solver spec =
+  match spec.Job.solver with
+  | Job.Rk4 (Some h) -> Objectmath.Runtime.Rk4 h
+  | Job.Rk4 None -> Objectmath.Runtime.Rk4 (spec.Job.tend /. 400.)
+  | Job.Rkf45 -> Objectmath.Runtime.Rkf45
+  | Job.Lsoda -> Objectmath.Runtime.Lsoda
+
+let execution_mode spec =
+  (* Real domains when asked for; otherwise sequential — except that
+     chaos task-poisons only land on the simulated executor, so chaos
+     jobs without domains run there. *)
+  if spec.Job.domains > 0 then Objectmath.Runtime.Real_domains spec.Job.domains
+  else if spec.Job.chaos <> None then Objectmath.Runtime.Simulated
+  else Objectmath.Runtime.Real_domains 0
+
+let num f = Json.Num f
+
+let chunk_records spec (trajectory : Om_ode.Odesys.trajectory) =
+  if spec.Job.chunk <= 0 then []
+  else begin
+    let n = Array.length trajectory.ts in
+    let row k =
+      Json.Arr
+        (num trajectory.ts.(k)
+        :: Array.to_list (Array.map num trajectory.states.(k)))
+    in
+    let rec go start seq acc =
+      if start >= n then List.rev acc
+      else begin
+        let len = min spec.Job.chunk (n - start) in
+        let rows = List.init len (fun i -> row (start + i)) in
+        let record =
+          Json.Obj
+            [
+              ("type", Json.Str "chunk");
+              ("job", Json.Str spec.Job.id);
+              ("seq", Json.Int seq);
+              ("rows", Json.Arr rows);
+            ]
+        in
+        go (start + len) (seq + 1) (record :: acc)
+      end
+    in
+    go 0 0 []
+  end
+
+let timing_fields t ~submitted_at ~started_at ~finished_at =
+  if not t.config.timings then []
+  else
+    [
+      ("queue_s", num (started_at -. submitted_at));
+      ("run_s", num (finished_at -. started_at));
+      ("total_s", num (finished_at -. submitted_at));
+    ]
+
+let status_record t item ~cache_state ~started_at fields =
+  let finished_at = Unix.gettimeofday () in
+  Json.Obj
+    (("type", Json.Str "status")
+    :: ("job", Json.Str item.spec.Job.id)
+    :: ("tenant", Json.Str item.spec.Job.tenant)
+    :: fields
+    @ [ ("cache", Json.Str cache_state) ]
+    @ timing_fields t ~submitted_at:item.submitted_at ~started_at
+        ~finished_at)
+
+let classify = function
+  | Om_guard.Om_error.Error (Om_guard.Om_error.Cancelled _ as e) ->
+      Some ("cancelled", Om_guard.Om_error.to_string e)
+  | Om_guard.Om_error.Error (Om_guard.Om_error.Deadline_exceeded _ as e) ->
+      Some ("deadline_exceeded", Om_guard.Om_error.to_string e)
+  | Om_guard.Om_error.Error e ->
+      Some ("solver_failure", Om_guard.Om_error.to_string e)
+  | Om_lang.Flatten.Error msg -> Some ("model_error", msg)
+  | Om_lang.Parser.Error (msg, pos) ->
+      Some
+        ( "model_error",
+          Printf.sprintf "syntax error at %d:%d: %s" pos.Om_lang.Ast.line
+            pos.Om_lang.Ast.col msg )
+  | Om_lang.Lexer.Error (msg, pos) ->
+      Some
+        ( "model_error",
+          Printf.sprintf "lexical error at %d:%d: %s" pos.Om_lang.Ast.line
+            pos.Om_lang.Ast.col msg )
+  | Invalid_argument msg -> Some ("model_error", msg)
+  | _ -> None
+
+let record_completion t ~succeeded =
+  with_state t (fun () ->
+      t.counters <-
+        {
+          t.counters with
+          completed = t.counters.completed + 1;
+          ok = (t.counters.ok + if succeeded then 1 else 0);
+          failed = (t.counters.failed + if succeeded then 0 else 1);
+        })
+
+let run_job t item =
+  let spec = item.spec in
+  let started_at = Unix.gettimeofday () in
+  let fail ~cache_state status message =
+    record_completion t ~succeeded:false;
+    emit t
+      (status_record t item ~cache_state ~started_at
+         [ ("status", Json.Str status); ("error", Json.Str message) ])
+  in
+  match
+    (* Queued-phase cancellation/deadline: don't even compile. *)
+    Om_guard.Cancel.check item.token;
+    Model_cache.lookup t.model_cache spec.Job.source
+  with
+  | exception e -> (
+      match classify e with
+      | Some (status, message) -> fail ~cache_state:"none" status message
+      | None ->
+          fail ~cache_state:"none" "internal_error" (Printexc.to_string e))
+  | looked_up -> (
+      let cache_state, entry =
+        match looked_up with
+        | `Hit entry -> ("hit", entry)
+        | `Miss entry -> ("miss", entry)
+      in
+      let runtime_config =
+        {
+          Objectmath.Runtime.default_config with
+          execution = execution_mode spec;
+          faults = Job.fault_plan spec;
+          cancel = Some item.token;
+        }
+      in
+      (* The compiled artifact's bytecode VM has mutable scratch arrays:
+         hold its lock so two executors never run it concurrently. *)
+      Mutex.lock entry.Model_cache.lock;
+      match
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock entry.Model_cache.lock)
+          (fun () ->
+            Objectmath.Runtime.execute ~config:runtime_config
+              ~solver:(runtime_solver spec) ~tend:spec.Job.tend
+              entry.Model_cache.compiled)
+      with
+      | exception e -> (
+          match classify e with
+          | Some (status, message) -> fail ~cache_state status message
+          | None -> fail ~cache_state "internal_error" (Printexc.to_string e))
+      | report ->
+          List.iter (emit t) (chunk_records spec report.trajectory);
+          let final = Om_ode.Odesys.final_state report.trajectory in
+          record_completion t ~succeeded:true;
+          emit t
+            (status_record t item ~cache_state ~started_at
+               [
+                 ("status", Json.Str "ok");
+                 ("steps", Json.Int report.solver_steps);
+                 ("rhs_calls", Json.Int report.rhs_calls);
+                 ("retries", Json.Int report.retries);
+                 ("faults", Json.Int report.faults_injected);
+                 ("degradations", Json.Int (List.length report.degradations));
+                 ("final", Json.Arr (Array.to_list (Array.map num final)));
+               ]))
+
+let forget_token t id =
+  with_state t (fun () -> Hashtbl.remove t.tokens id)
+
+let executor_loop t () =
+  let rec go () =
+    match Job_queue.pop t.queue with
+    | None -> ()
+    | Some item ->
+        (* run_job reports every failure as a status record; nothing may
+           kill the executor, so subsequent jobs keep being served. *)
+        (try run_job t item
+         with e ->
+           record_completion t ~succeeded:false;
+           emit t
+             (Json.Obj
+                [
+                  ("type", Json.Str "status");
+                  ("job", Json.Str item.spec.Job.id);
+                  ("tenant", Json.Str item.spec.Job.tenant);
+                  ("status", Json.Str "internal_error");
+                  ("error", Json.Str (Printexc.to_string e));
+                ]));
+        forget_token t item.spec.Job.id;
+        go ()
+  in
+  go ()
+
+(* ---- public API ---- *)
+
+let create ?(config = default_config) ?cache ~emit () =
+  let model_cache =
+    match cache with
+    | Some c -> c
+    | None ->
+        Model_cache.create ?config:config.pipeline
+          ~capacity:config.cache_capacity ()
+  in
+  let t =
+    {
+      config;
+      queue = Job_queue.create ~capacity:config.queue_capacity;
+      model_cache;
+      emit_fn = emit;
+      emit_mutex = Mutex.create ();
+      state_mutex = Mutex.create ();
+      tokens = Hashtbl.create 64;
+      counters = { submitted = 0; completed = 0; ok = 0; failed = 0; rejected = 0 };
+      next_id = 0;
+      workers = [];
+      drained = false;
+    }
+  in
+  t.workers <-
+    List.init (max 1 config.executors) (fun _ -> Domain.spawn (executor_loop t));
+  t
+
+let submit t spec =
+  let spec =
+    if spec.Job.id <> "" then spec
+    else
+      with_state t (fun () ->
+          t.next_id <- t.next_id + 1;
+          { spec with Job.id = Printf.sprintf "job-%d" t.next_id })
+  in
+  let token =
+    Om_guard.Cancel.create ~deadline_s:spec.Job.deadline_s ~job:spec.Job.id ()
+  in
+  with_state t (fun () -> Hashtbl.replace t.tokens spec.Job.id token);
+  let item = { spec; token; submitted_at = Unix.gettimeofday () } in
+  match Job_queue.submit t.queue ~priority:spec.Job.priority item with
+  | `Ok ->
+      with_state t (fun () ->
+          t.counters <- { t.counters with submitted = t.counters.submitted + 1 });
+      `Ok spec.Job.id
+  | `Rejected ->
+      forget_token t spec.Job.id;
+      with_state t (fun () ->
+          t.counters <- { t.counters with rejected = t.counters.rejected + 1 });
+      emit t
+        (Json.Obj
+           [
+             ("type", Json.Str "status");
+             ("job", Json.Str spec.Job.id);
+             ("tenant", Json.Str spec.Job.tenant);
+             ("status", Json.Str "rejected");
+             ("error", Json.Str "submission queue full");
+           ]);
+      `Rejected
+  | `Closed ->
+      forget_token t spec.Job.id;
+      `Closed
+
+let cancel ?reason t ~job =
+  match with_state t (fun () -> Hashtbl.find_opt t.tokens job) with
+  | Some token -> Om_guard.Cancel.cancel ?reason token
+  | None -> ()
+
+let invalid t ~id message =
+  emit t
+    (Json.Obj
+       [
+         ("type", Json.Str "status");
+         ("job", Json.Str id);
+         ("status", Json.Str "invalid");
+         ("error", Json.Str message);
+       ])
+
+let handle_line t line =
+  let line = String.trim line in
+  if line <> "" then
+    match Json.of_string line with
+    | exception Json.Error msg -> invalid t ~id:"" ("bad JSON: " ^ msg)
+    | json -> (
+        match Option.bind (Json.member json "type") Json.to_str with
+        | Some "cancel" -> (
+            match Option.bind (Json.member json "job") Json.to_str with
+            | Some job ->
+                let reason =
+                  Option.bind (Json.member json "reason") Json.to_str
+                in
+                cancel ?reason t ~job
+            | None -> invalid t ~id:"" "cancel record without \"job\"")
+        | Some other when other <> "job" ->
+            invalid t ~id:"" (Printf.sprintf "unknown record type %S" other)
+        | _ -> (
+            match Job.of_json ~resolve:t.config.resolve json with
+            | Error msg ->
+                let id =
+                  Option.value ~default:""
+                    (Option.bind (Json.member json "id") Json.to_str)
+                in
+                invalid t ~id msg
+            | Ok spec -> ignore (submit t spec)))
+
+let stats t = with_state t (fun () -> t.counters)
+let cache t = t.model_cache
+
+let drain t =
+  Job_queue.close t.queue;
+  let workers = t.workers in
+  t.workers <- [];
+  if not t.drained then List.iter Domain.join workers;
+  t.drained <- true;
+  let counters = stats t in
+  let cs = Model_cache.stats t.model_cache in
+  let summary =
+    Json.Obj
+      [
+        ("type", Json.Str "summary");
+        ("jobs", Json.Int counters.submitted);
+        ("ok", Json.Int counters.ok);
+        ("failed", Json.Int counters.failed);
+        ("rejected", Json.Int counters.rejected);
+        ( "cache",
+          Json.Obj
+            [
+              ("hits", Json.Int cs.Model_cache.hits);
+              ("misses", Json.Int cs.Model_cache.misses);
+              ("compiles", Json.Int cs.Model_cache.compiles);
+              ("evictions", Json.Int cs.Model_cache.evictions);
+              ("entries", Json.Int cs.Model_cache.entries);
+            ] );
+      ]
+  in
+  emit t summary;
+  summary

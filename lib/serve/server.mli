@@ -1,0 +1,96 @@
+(** The multi-tenant simulation service: a job queue in front of the
+    runtime, a compiled-model cache, per-job cancellation/deadlines and
+    streamed NDJSON results.
+
+    A server owns a bounded priority {!Job_queue}, a {!Model_cache}
+    shared by every job, and [executors] worker domains that pop jobs
+    and run them through {!Om_codegen.Pipeline} +
+    {!Objectmath.Runtime.execute}.
+    Every externally visible event is one JSON record handed to the
+    [emit] callback (one line of NDJSON in [omc serve]):
+
+    - [{"type":"chunk","job":id,"seq":k,"rows":[[t,y0,...],...]}] —
+      streamed trajectory rows, for jobs with [chunk > 0];
+    - [{"type":"status","job":id,"tenant":t,"status":s,...}] — exactly
+      one terminal record per job;
+    - [{"type":"summary",...}] — once, from {!drain}.
+
+    Status values and their triggers:
+    - ["ok"] — integration completed (possibly degraded; the
+      [degradations] count says how many ladder rungs were taken);
+    - ["solver_failure"] — the solver exhausted its retry/step budget
+      ({!Om_guard.Om_error.Error}), e.g. under a chaos plan longer than
+      the retry budget.  The server keeps serving subsequent jobs;
+    - ["cancelled"] / ["deadline_exceeded"] — the job's
+      {!Om_guard.Cancel} token fired, while queued or mid-run;
+    - ["model_error"] — the front end rejected the source
+      (lex/parse/flatten/typecheck);
+    - ["rejected"] — the submission queue was full (overload shedding);
+    - ["invalid"] — the NDJSON record itself was undecodable.
+
+    With one executor (the default), status records are emitted in
+    completion order = priority-then-FIFO order — the ordering the CI
+    smoke test asserts.  With several, records never interleave (emit is
+    serialised) but completion order depends on job durations. *)
+
+type config = {
+  queue_capacity : int;  (** bound on queued jobs; default 64 *)
+  executors : int;  (** worker domains popping jobs; default 1 *)
+  cache_capacity : int;
+      (** compiled-model cache residency; [0] disables caching.
+          Default 32.  Ignored when {!create} is given a cache. *)
+  timings : bool;
+      (** include [queue_s]/[run_s]/[total_s] in status records
+          (default [true]; [omc serve --no-timings] turns it off so
+          cram output is deterministic) *)
+  resolve : string -> string option;
+      (** builtin-model resolution for job ["model"] fields (default:
+          none resolve) *)
+  pipeline : Om_codegen.Pipeline.config option;
+      (** partitioning config for cache-miss compiles *)
+}
+
+val default_config : config
+
+type stats = {
+  submitted : int;  (** accepted into the queue *)
+  completed : int;  (** terminal status records for accepted jobs *)
+  ok : int;
+  failed : int;  (** completed - ok *)
+  rejected : int;  (** shed at submission *)
+}
+
+type t
+
+val create : ?config:config -> ?cache:Model_cache.t -> emit:(Json.t -> unit) -> unit -> t
+(** Start a server: spawns the executor domains immediately.  [emit]
+    receives every output record; it is called under a lock, from
+    executor domains, and must not call back into the server.  Pass
+    [cache] to share one compiled-model cache across servers (the
+    socket mode shares it across connections). *)
+
+val submit : t -> Job.spec -> [ `Ok of string | `Rejected | `Closed ]
+(** Enqueue a job.  An empty [spec.id] is replaced with a fresh
+    ["job-N"]; the returned id is the one status records will carry.
+    The job's deadline clock starts now — time spent queued counts.
+    [`Rejected] (queue full) also emits the job's ["rejected"] status
+    record. *)
+
+val cancel : ?reason:string -> t -> job:string -> unit
+(** Request cancellation of a queued or running job by id.  Unknown or
+    already-completed ids are ignored. *)
+
+val handle_line : t -> string -> unit
+(** Feed one NDJSON input line: blank lines are ignored; a
+    [{"type":"cancel","job":id}] control record calls {!cancel};
+    anything else is decoded as a {!Job.spec} and submitted.  Parse or
+    decode failures emit an ["invalid"] status record; a full queue
+    emits ["rejected"] — this function never raises. *)
+
+val stats : t -> stats
+val cache : t -> Model_cache.t
+
+val drain : t -> Json.t
+(** Close the queue, run every queued job to completion, join the
+    executor domains, then emit and return the summary record
+    ([jobs]/[ok]/[failed]/[rejected] counts plus cache statistics). *)

@@ -196,10 +196,12 @@ with the injection recorded in the report:
 
 A worker stalled past the barrier deadline is dropped and its tasks are
 reassigned to the survivors (wall-clock numbers elided; OS jitter may
-record additional advisory stalls, so only the first drop is checked):
+record additional advisory stalls, so only the first drop is checked;
+the 100ms stall vs 2ms deadline gives the polling supervisor a wide
+window even on a loaded single-core machine):
 
   $ omc bench --model servo --domains 2 --tend 0.0002 --chaos-stall-worker 0:5 \
-  >   --chaos-stall-micros 20000 --barrier-deadline 0.002 > stall.out
+  >   --chaos-stall-micros 100000 --barrier-deadline 0.002 > stall.out
   $ grep -o "chaos: 1 fault(s) injected" stall.out
   chaos: 1 fault(s) injected
   $ grep -o "dropped worker 0 -> 1 live worker(s)" stall.out | head -1
@@ -219,3 +221,35 @@ fault-free reference:
 
   $ omc fuzz --chaos --cases 5 --seed 7
   5 cases: 0 failed, 0 discarded (mean dim 11.0, mean tasks 4.6)
+
+The serve subcommand turns omc into a long-running NDJSON job service:
+jobs stream in on stdin, status records stream out in completion order
+(one executor = submission order within a priority).  The second tenant's
+byte-identical source is a cache hit (one compile total in the summary),
+the chaos job exhausts the retry budget and fails as solver_failure
+without taking the server down, and an unparsable model is a model_error
+(--no-timings drops wall-clock fields so the output is stable):
+
+  $ omc serve --no-timings <<'EOF'
+  > {"id":"cold","tenant":"alice","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}
+  > {"id":"warm","tenant":"bob","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}
+  > {"id":"boom","tenant":"alice","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;","chaos":{"kind":"nan","task":0,"round":1,"count":64}}
+  > {"id":"after","tenant":"bob","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}
+  > {"id":"bad","tenant":"alice","source":"not a model"}
+  > EOF
+  {"type":"status","job":"cold","tenant":"alice","status":"ok","steps":400,"rhs_calls":1600,"retries":0,"faults":0,"degradations":0,"final":[0.73575888234312392],"cache":"miss"}
+  {"type":"status","job":"warm","tenant":"bob","status":"ok","steps":400,"rhs_calls":1600,"retries":0,"faults":0,"degradations":0,"final":[0.73575888234312392],"cache":"hit"}
+  {"type":"status","job":"boom","tenant":"alice","status":"solver_failure","error":"rk-fixed step failed at t=0 (h=1.95313e-05) after 8 retries: non-finite RHS output nan in der(c.x) (state slot 0) at t=0","cache":"hit"}
+  {"type":"status","job":"after","tenant":"bob","status":"ok","steps":400,"rhs_calls":1600,"retries":0,"faults":0,"degradations":0,"final":[0.73575888234312392],"cache":"hit"}
+  {"type":"status","job":"bad","tenant":"alice","status":"model_error","error":"syntax error at 1:1: expected 'model' but found identifier \"not\"","cache":"none"}
+  {"type":"summary","jobs":5,"ok":3,"failed":2,"rejected":0,"cache":{"hits":3,"misses":1,"compiles":1,"evictions":0,"entries":1}}
+
+Streamed trajectories arrive as chunk records before the job's status;
+a 401-row rk4 trajectory in 200-row chunks is three records:
+
+  $ omc serve --no-timings <<'EOF' | grep -o '"type":"chunk","job":"s","seq":[0-9]*'
+  > {"id":"s","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;","chunk":200}
+  > EOF
+  "type":"chunk","job":"s","seq":0
+  "type":"chunk","job":"s","seq":1
+  "type":"chunk","job":"s","seq":2

@@ -1,0 +1,513 @@
+(* Tests for the multi-tenant simulation service: the NDJSON codec, job
+   decoding, the bounded priority queue, the compiled-model cache (hits
+   skip compilation and are bitwise-identical, LRU eviction, cross-tenant
+   artifact sharing without data leakage), and the server loop
+   (cancellation, deadlines, chaos survival, streamed chunks). *)
+
+module J = Om_serve.Json
+module Job = Om_serve.Job
+module Q = Om_serve.Job_queue
+module MC = Om_serve.Model_cache
+module S = Om_serve.Server
+module P = Om_codegen.Pipeline
+
+let decay k x0 =
+  Printf.sprintf
+    "model M; class C parameter k = %s; variable x init %s; equation der(x) \
+     = 0.0 - k * x; end; instance c of C;"
+    k x0
+
+let resolve = function
+  | "servo" -> Some (Om_models.Servo.source ())
+  | _ -> None
+
+(* ---------- JSON codec ---------- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      {|{"a":1,"b":-2.5,"c":"x\ny","d":[true,false,null],"e":{}}|};
+      {|[1.0,0.1,1e300]|};
+      {|"plain"|};
+      {|-42|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      let v = J.of_string s in
+      Alcotest.(check string)
+        ("roundtrip " ^ s)
+        (J.to_string v)
+        (J.to_string (J.of_string (J.to_string v))))
+    samples
+
+let test_json_floats () =
+  (* Equal floats print to equal bytes; non-finite values become null. *)
+  Alcotest.(check string) "shortest roundtrip" "[0.1,1.0,12345.0]"
+    (J.to_string (J.Arr [ J.Num 0.1; J.Num 1.0; J.Num 12345.0 ]));
+  Alcotest.(check string) "non-finite to null" "[null,null,null]"
+    (J.to_string
+       (J.Arr [ J.Num Float.nan; J.Num Float.infinity; J.Num Float.neg_infinity ]));
+  let f = 0.30000000000000004 in
+  let printed = J.to_string (J.Num f) in
+  Alcotest.(check (float 0.)) "reparses to the same float" f
+    (match J.of_string printed with J.Num g -> g | J.Int n -> float_of_int n | _ -> Float.nan)
+
+let test_json_errors () =
+  let bad = [ "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\":}"; "1 2" ] in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (match J.of_string s with
+        | exception J.Error _ -> true
+        | _ -> false))
+    bad
+
+(* ---------- job decoding ---------- *)
+
+let test_job_defaults () =
+  let json = J.of_string {|{"source":"model M; end;"}|} in
+  match Job.of_json ~default_id:"j0" ~resolve json with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+      Alcotest.(check string) "id" "j0" spec.Job.id;
+      Alcotest.(check string) "tenant" "default" spec.Job.tenant;
+      Alcotest.(check int) "priority" 0 spec.Job.priority;
+      Alcotest.(check (float 0.)) "tend" 1.0 spec.Job.tend;
+      Alcotest.(check bool) "no chaos" true (spec.Job.chaos = None)
+
+let test_job_decode_errors () =
+  let expect_err what line =
+    match Job.of_json ~resolve (J.of_string line) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ ": expected a decode error")
+  in
+  expect_err "no model" {|{"id":"x"}|};
+  expect_err "both source and model" {|{"source":"m","model":"servo"}|};
+  expect_err "unknown builtin" {|{"model":"nonesuch"}|};
+  expect_err "unknown solver" {|{"source":"m","solver":"euler"}|};
+  expect_err "bad chaos" {|{"source":"m","chaos":{"kind":"nan","round":0}}|};
+  expect_err "negative deadline" {|{"source":"m","deadline_s":-1}|};
+  expect_err "not an object" {|[1,2]|}
+
+let test_job_chaos_plan () =
+  let json =
+    J.of_string
+      {|{"source":"m","chaos":{"kind":"inf","task":2,"round":3,"count":2}}|}
+  in
+  match Job.of_json ~resolve json with
+  | Error e -> Alcotest.fail e
+  | Ok spec -> (
+      match Job.fault_plan spec with
+      | None -> Alcotest.fail "expected a fault plan"
+      | Some plan ->
+          let hit round =
+            (* [task_poison] yields the poison value, [0.] when none. *)
+            Om_guard.Fault_plan.task_poison plan ~round ~task:2 <> 0.
+          in
+          Alcotest.(check bool) "round 3 poisoned" true (hit 3);
+          Alcotest.(check bool) "round 4 poisoned" true (hit 4);
+          Alcotest.(check bool) "round 5 clean" false (hit 5))
+
+(* ---------- bounded priority queue ---------- *)
+
+let test_queue_priority_order () =
+  let q = Q.create ~capacity:8 in
+  List.iter
+    (fun (p, x) -> Alcotest.(check bool) "accepted" true (Q.submit q ~priority:p x = `Ok))
+    [ (0, "a"); (5, "b"); (0, "c"); (9, "d"); (5, "e") ];
+  Q.close q;
+  let rec drain acc =
+    match Q.pop q with Some x -> drain (x :: acc) | None -> List.rev acc
+  in
+  (* Highest priority first; FIFO within a priority. *)
+  Alcotest.(check (list string)) "pop order" [ "d"; "b"; "e"; "a"; "c" ]
+    (drain [])
+
+let test_queue_bounded_rejection () =
+  let q = Q.create ~capacity:2 in
+  Alcotest.(check bool) "1st" true (Q.submit q ~priority:0 1 = `Ok);
+  Alcotest.(check bool) "2nd" true (Q.submit q ~priority:0 2 = `Ok);
+  Alcotest.(check bool) "3rd rejected" true (Q.submit q ~priority:7 3 = `Rejected);
+  Alcotest.(check int) "length" 2 (Q.length q);
+  ignore (Q.pop q);
+  Alcotest.(check bool) "space again" true (Q.submit q ~priority:0 4 = `Ok)
+
+let test_queue_close () =
+  let q = Q.create ~capacity:4 in
+  ignore (Q.submit q ~priority:0 "x");
+  Q.close q;
+  Alcotest.(check bool) "closed rejects" true (Q.submit q ~priority:0 "y" = `Closed);
+  Alcotest.(check bool) "drains queued" true (Q.pop q = Some "x");
+  Alcotest.(check bool) "then none" true (Q.pop q = None);
+  Alcotest.(check bool) "closed" true (Q.closed q)
+
+let test_queue_concurrent_consumers () =
+  (* Two consumer domains drain 50 items exactly once between them. *)
+  let q = Q.create ~capacity:64 in
+  let seen = Atomic.make 0 in
+  let consumer () =
+    let rec go n = match Q.pop q with
+      | Some _ -> Atomic.incr seen; go (n + 1)
+      | None -> n
+    in
+    go 0
+  in
+  let d1 = Domain.spawn consumer and d2 = Domain.spawn consumer in
+  for i = 1 to 50 do ignore (Q.submit q ~priority:(i mod 3) i) done;
+  Q.close q;
+  let n1 = Domain.join d1 and n2 = Domain.join d2 in
+  Alcotest.(check int) "all items consumed once" 50 (n1 + n2);
+  Alcotest.(check int) "seen count" 50 (Atomic.get seen)
+
+(* ---------- compiled-model cache ---------- *)
+
+let test_cache_hit_skips_compile_bitwise () =
+  (* A hit must not re-run the pipeline (compile-counter stays put) and
+     must integrate bitwise-identically to the cold compile. *)
+  let source = decay "1.0" "2.0" in
+  let cold = P.compile_source source in
+  let cache = MC.create ~capacity:4 () in
+  let e1 =
+    match MC.lookup cache source with `Miss e -> e | `Hit _ -> Alcotest.fail "cold hit"
+  in
+  let before = P.compile_count () in
+  let e2 =
+    match MC.lookup cache source with `Hit e -> e | `Miss _ -> Alcotest.fail "warm miss"
+  in
+  Alcotest.(check int) "hit compiles nothing" before (P.compile_count ());
+  Alcotest.(check bool) "same artifact" true (e1.MC.compiled == e2.MC.compiled);
+  let final r =
+    Om_ode.Odesys.final_state
+      (Objectmath.Runtime.execute ~tend:1. r).trajectory
+  in
+  Alcotest.(check bool) "bitwise identical to cold compile" true
+    (final cold = final e2.MC.compiled);
+  let s = MC.stats cache in
+  Alcotest.(check int) "hits" 1 s.MC.hits;
+  Alcotest.(check int) "misses" 1 s.MC.misses;
+  Alcotest.(check int) "compiles" 1 s.MC.compiles
+
+let test_cache_lru_eviction () =
+  let s1 = decay "1.0" "1.0" and s2 = decay "2.0" "1.0" and s3 = decay "3.0" "1.0" in
+  let cache = MC.create ~capacity:2 () in
+  ignore (MC.lookup cache s1);
+  ignore (MC.lookup cache s2);
+  ignore (MC.lookup cache s1);  (* s1 most recently used; s2 is the LRU *)
+  ignore (MC.lookup cache s3);  (* evicts s2 *)
+  let st = MC.stats cache in
+  Alcotest.(check int) "entries at capacity" 2 st.MC.entries;
+  Alcotest.(check int) "one eviction" 1 st.MC.evictions;
+  Alcotest.(check (list string)) "s2 evicted, s3 freshest"
+    [ P.source_key s3; P.source_key s1 ]
+    (MC.resident cache);
+  (match MC.lookup cache s2 with
+  | `Miss _ -> ()
+  | `Hit _ -> Alcotest.fail "evicted entry still resident");
+  Alcotest.(check int) "re-adding evicts again" 2 (MC.stats cache).MC.evictions
+
+let test_cache_capacity_zero_never_stores () =
+  let source = decay "1.0" "1.0" in
+  let cache = MC.create ~capacity:0 () in
+  (match MC.lookup cache source with
+  | `Miss _ -> ()
+  | `Hit _ -> Alcotest.fail "nothing was stored yet");
+  (match MC.lookup cache source with
+  | `Miss _ -> ()
+  | `Hit _ -> Alcotest.fail "capacity 0 must never hit");
+  let st = MC.stats cache in
+  Alcotest.(check int) "compiled every time" 2 st.MC.compiles;
+  Alcotest.(check int) "nothing resident" 0 st.MC.entries
+
+(* ---------- server ---------- *)
+
+let collecting_server ?(config = S.default_config) () =
+  let records = ref [] in
+  let mu = Mutex.create () in
+  let emit r =
+    Mutex.lock mu;
+    records := r :: !records;
+    Mutex.unlock mu
+  in
+  let config = { config with S.timings = false; resolve } in
+  (S.create ~config ~emit (), fun () -> List.rev !records)
+
+let str_field r k = Option.bind (J.member r k) J.to_str
+let int_field r k = Option.bind (J.member r k) J.to_int
+
+let statuses records =
+  List.filter_map
+    (fun r ->
+      match (str_field r "type", str_field r "job", str_field r "status") with
+      | Some "status", Some job, Some st -> Some (job, st)
+      | _ -> None)
+    records
+
+let status_of records job = List.assoc_opt job (statuses records)
+
+let test_server_tenants_share_artifact_no_leakage () =
+  (* Same source from two tenants: one compile, one cached artifact —
+     but each job's numerics are its own and bitwise-reproducible. *)
+  let server, records = collecting_server () in
+  let source = decay "1.0" "2.0" in
+  let submit tenant id =
+    match S.submit server { Job.default with Job.id; tenant; source } with
+    | `Ok _ -> ()
+    | _ -> Alcotest.fail "submit failed"
+  in
+  submit "alice" "a1";
+  submit "bob" "b1";
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "alice ok" (Some "ok") (status_of rs "a1");
+  Alcotest.(check (option string)) "bob ok" (Some "ok") (status_of rs "b1");
+  let cs = MC.stats (S.cache server) in
+  Alcotest.(check int) "one compile for both tenants" 1 cs.MC.compiles;
+  Alcotest.(check int) "second tenant hit" 1 cs.MC.hits;
+  (* No leakage: each status carries its own tenant, and the shared
+     artifact yields the same bitwise result as a private compile. *)
+  let final job =
+    let r = List.find (fun r -> str_field r "job" = Some job) rs in
+    match J.member r "final" with
+    | Some (J.Arr xs) -> List.filter_map J.to_float xs
+    | _ -> Alcotest.fail ("no final state for " ^ job)
+  in
+  let tenant job =
+    let r = List.find (fun r -> str_field r "job" = Some job) rs in
+    str_field r "tenant"
+  in
+  Alcotest.(check (option string)) "alice tagged" (Some "alice") (tenant "a1");
+  Alcotest.(check (option string)) "bob tagged" (Some "bob") (tenant "b1");
+  let solo =
+    Array.to_list
+      (Om_ode.Odesys.final_state
+         (Objectmath.Runtime.execute ~tend:1. (P.compile_source source)).trajectory)
+  in
+  Alcotest.(check bool) "alice bitwise = solo" true (final "a1" = solo);
+  Alcotest.(check bool) "bob bitwise = solo" true (final "b1" = solo)
+
+let test_server_chaos_fails_job_not_server () =
+  (* A chaos plan longer than the retry budget fails its job with
+     status solver_failure; later jobs on the same server still run. *)
+  let server, records = collecting_server () in
+  let source = decay "1.0" "1.0" in
+  let chaos =
+    { Job.default with
+      Job.id = "boom"; source;
+      chaos = Some { Job.kind = `Nan; task = 0; round = 1; count = 64 } }
+  in
+  ignore (S.submit server chaos);
+  ignore (S.submit server { Job.default with Job.id = "next"; source });
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "chaos job fails"
+    (Some "solver_failure") (status_of rs "boom");
+  Alcotest.(check (option string)) "server survives, next job ok"
+    (Some "ok") (status_of rs "next")
+
+let test_server_chaos_recovers_bitwise () =
+  (* One poisoned round inside the retry budget: the job succeeds, the
+     report shows the injection + retry, and numerics are unaffected. *)
+  let server, records = collecting_server () in
+  let source = decay "1.0" "2.0" in
+  let job =
+    { Job.default with
+      Job.id = "c1"; source;
+      chaos = Some { Job.kind = `Inf; task = 0; round = 2; count = 1 } }
+  in
+  ignore (S.submit server job);
+  ignore (S.submit server { Job.default with Job.id = "clean"; source });
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "chaos job ok" (Some "ok") (status_of rs "c1");
+  let rec_of job = List.find (fun r -> str_field r "job" = Some job) rs in
+  Alcotest.(check bool) "fault injected" true
+    (match int_field (rec_of "c1") "faults" with Some n -> n > 0 | None -> false);
+  Alcotest.(check bool) "retried" true
+    (match int_field (rec_of "c1") "retries" with Some n -> n > 0 | None -> false);
+  Alcotest.(check bool) "bitwise equal to clean run" true
+    (J.member (rec_of "c1") "final" = J.member (rec_of "clean") "final")
+
+let test_server_deadline_exceeded () =
+  (* An already-expired deadline fails the job before it even compiles. *)
+  let server, records = collecting_server () in
+  let job =
+    { Job.default with
+      Job.id = "late"; source = decay "1.0" "1.0"; deadline_s = 1e-9 }
+  in
+  ignore (S.submit server job);
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "deadline status"
+    (Some "deadline_exceeded") (status_of rs "late");
+  let r = List.find (fun r -> str_field r "job" = Some "late") rs in
+  Alcotest.(check (option string)) "no cache involvement" (Some "none")
+    (str_field r "cache")
+
+let test_server_cancel () =
+  (* Cancelling a queued/running job surfaces as status "cancelled". *)
+  let server, records = collecting_server () in
+  let job =
+    { Job.default with Job.id = "victim"; source = decay "1.0" "1.0";
+      tend = 50. }
+  in
+  ignore (S.submit server job);
+  S.cancel server ~job:"victim" ~reason:"test says stop";
+  ignore (S.drain server);
+  Alcotest.(check (option string)) "cancelled"
+    (Some "cancelled") (status_of (records ()) "victim")
+
+let test_server_model_error_and_invalid () =
+  let server, records = collecting_server () in
+  S.handle_line server {|{"id":"bad","source":"not a model"}|};
+  S.handle_line server "this is not json";
+  S.handle_line server {|{"id":"nomodel"}|};
+  S.handle_line server {|{"type":"frobnicate"}|};
+  S.handle_line server "";
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "model error"
+    (Some "model_error") (status_of rs "bad");
+  let invalids =
+    List.length (List.filter (fun (_, st) -> st = "invalid") (statuses rs))
+  in
+  Alcotest.(check int) "three invalid records" 3 invalids
+
+let test_server_chunk_stream () =
+  (* chunk=150 over a 401-row trajectory: 3 chunk records, rows
+     reassemble the full trajectory, all before the status record. *)
+  let server, records = collecting_server () in
+  let job =
+    { Job.default with Job.id = "s"; source = decay "1.0" "2.0"; chunk = 150 }
+  in
+  ignore (S.submit server job);
+  ignore (S.drain server);
+  let rs = records () in
+  let chunks = List.filter (fun r -> str_field r "type" = Some "chunk") rs in
+  Alcotest.(check int) "chunk count" 3 (List.length chunks);
+  let rows =
+    List.concat_map
+      (fun r ->
+        match J.member r "rows" with Some (J.Arr l) -> l | _ -> [])
+      chunks
+  in
+  Alcotest.(check int) "401 rows total" 401 (List.length rows);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check (option int)) "seq ordered" (Some i) (int_field r "seq"))
+    chunks;
+  (* Every chunk precedes the job's status record. *)
+  let status_pos = ref (-1) and last_chunk = ref (-1) in
+  List.iteri
+    (fun i r ->
+      match str_field r "type" with
+      | Some "status" when !status_pos < 0 -> status_pos := i
+      | Some "chunk" -> last_chunk := i
+      | _ -> ())
+    rs;
+  Alcotest.(check bool) "chunks before status" true (!last_chunk < !status_pos)
+
+let test_server_rejection_overload () =
+  (* With a capacity-1 queue and the lone executor busy, extra
+     submissions are shed as "rejected" while accepted jobs complete. *)
+  let config = { S.default_config with S.queue_capacity = 1 } in
+  let server, records = collecting_server ~config () in
+  let mk id = { Job.default with Job.id = id; source = decay "1.0" "1.0" } in
+  let outcomes =
+    List.map
+      (fun id ->
+        match S.submit server (mk id) with
+        | `Ok _ -> `Ok
+        | `Rejected -> `Rejected
+        | `Closed -> `Closed)
+      [ "r1"; "r2"; "r3"; "r4"; "r5"; "r6" ]
+  in
+  ignore (S.drain server);
+  let accepted = List.length (List.filter (( = ) `Ok) outcomes) in
+  let rejected = List.length (List.filter (( = ) `Rejected) outcomes) in
+  Alcotest.(check int) "every submission accounted" 6 (accepted + rejected);
+  Alcotest.(check bool) "nothing closed early" false (List.mem `Closed outcomes);
+  let rs = records () in
+  let ok_count =
+    List.length (List.filter (fun (_, st) -> st = "ok") (statuses rs))
+  in
+  let rejected_count =
+    List.length (List.filter (fun (_, st) -> st = "rejected") (statuses rs))
+  in
+  Alcotest.(check int) "accepted jobs all ok" accepted ok_count;
+  Alcotest.(check int) "rejections reported as statuses" rejected rejected_count;
+  let st = S.stats server in
+  Alcotest.(check int) "stats.submitted" accepted st.S.submitted;
+  Alcotest.(check int) "stats.rejected" rejected st.S.rejected
+
+let test_server_summary_counts () =
+  let server, records = collecting_server () in
+  let source = decay "1.0" "1.0" in
+  ignore (S.submit server { Job.default with Job.id = "ok1"; source });
+  ignore
+    (S.submit server
+       { Job.default with
+         Job.id = "boom"; source;
+         chaos = Some { Job.kind = `Nan; task = 0; round = 1; count = 64 } });
+  let summary = S.drain server in
+  Alcotest.(check (option int)) "jobs" (Some 2) (int_field summary "jobs");
+  Alcotest.(check (option int)) "ok" (Some 1) (int_field summary "ok");
+  Alcotest.(check (option int)) "failed" (Some 1) (int_field summary "failed");
+  let rs = records () in
+  Alcotest.(check bool) "summary emitted last" true
+    (match List.rev rs with
+    | last :: _ -> str_field last "type" = Some "summary"
+    | [] -> false)
+
+let () =
+  Alcotest.run "om_serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float printing" `Quick test_json_floats;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+        ] );
+      ( "job",
+        [
+          Alcotest.test_case "defaults" `Quick test_job_defaults;
+          Alcotest.test_case "decode errors" `Quick test_job_decode_errors;
+          Alcotest.test_case "chaos plan" `Quick test_job_chaos_plan;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "priority order" `Quick test_queue_priority_order;
+          Alcotest.test_case "bounded rejection" `Quick
+            test_queue_bounded_rejection;
+          Alcotest.test_case "close semantics" `Quick test_queue_close;
+          Alcotest.test_case "concurrent consumers" `Quick
+            test_queue_concurrent_consumers;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit skips compile, bitwise identical" `Quick
+            test_cache_hit_skips_compile_bitwise;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "capacity zero" `Quick
+            test_cache_capacity_zero_never_stores;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "tenants share artifact, no leakage" `Quick
+            test_server_tenants_share_artifact_no_leakage;
+          Alcotest.test_case "chaos fails job not server" `Quick
+            test_server_chaos_fails_job_not_server;
+          Alcotest.test_case "chaos recovers bitwise" `Quick
+            test_server_chaos_recovers_bitwise;
+          Alcotest.test_case "deadline exceeded" `Quick
+            test_server_deadline_exceeded;
+          Alcotest.test_case "cancel" `Quick test_server_cancel;
+          Alcotest.test_case "model error and invalid" `Quick
+            test_server_model_error_and_invalid;
+          Alcotest.test_case "chunk stream" `Quick test_server_chunk_stream;
+          Alcotest.test_case "overload rejection" `Quick
+            test_server_rejection_overload;
+          Alcotest.test_case "summary counts" `Quick
+            test_server_summary_counts;
+        ] );
+    ]
