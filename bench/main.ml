@@ -1079,11 +1079,11 @@ let percentile sorted p =
               (int_of_float (Float.round (float_of_int (n - 1) *. p /. 100.))))
 
 let write_serve_json path ~nmodels ~repeats ~tend ~steps rows =
-  (* rows : (label, cache_capacity, jobs, jobs_per_sec, wall_s, compiles,
-     hits, p50_ms, p95_ms, p99_ms) list *)
+  (* rows : (label, cache_capacity, executors, jobs, jobs_per_sec, wall_s,
+     compiles, hits, p50_ms, p95_ms, p99_ms) list *)
   let buf = Buffer.create 1024 in
   let num v = Printf.sprintf "%.6g" v in
-  Buffer.add_string buf "{\n  \"schema\": \"objectmath-bench-serve/1\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"objectmath-bench-serve/2\",\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"models\": %d,\n  \"repeats\": %d,\n  \"tend\": %s,\n  \
@@ -1091,30 +1091,39 @@ let write_serve_json path ~nmodels ~repeats ~tend ~steps rows =
        nmodels repeats (num tend) steps);
   Buffer.add_string buf "  \"series\": [\n";
   List.iteri
-    (fun i (label, cap, jobs, jps, wall, compiles, hits, p50, p95, p99) ->
+    (fun i (label, cap, execs, jobs, jps, wall, compiles, hits, p50, p95, p99)
+       ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    { \"label\": %S, \"cache_capacity\": %d, \"jobs\": %d, \
-            \"jobs_per_sec\": %s, \"wall_s\": %s, \"compiles\": %d, \
-            \"cache_hits\": %d, \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": \
-            %s }%s\n"
-           label cap jobs (num jps) (num wall) compiles hits (num p50)
+           "    { \"label\": %S, \"cache_capacity\": %d, \"executors\": %d, \
+            \"jobs\": %d, \"jobs_per_sec\": %s, \"wall_s\": %s, \
+            \"compiles\": %d, \"cache_hits\": %d, \"p50_ms\": %s, \
+            \"p95_ms\": %s, \"p99_ms\": %s }%s\n"
+           label cap execs jobs (num jps) (num wall) compiles hits (num p50)
            (num p95) (num p99)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
   let jps label =
     List.find_map
-      (fun (l, _, _, jps, _, _, _, _, _, _) ->
+      (fun (l, _, _, _, jps, _, _, _, _, _, _) ->
         if l = label then Some jps else None)
       rows
   in
-  (match (jps "cold", jps "warm") with
-  | Some cold, Some warm ->
-      Buffer.add_string buf
-        (Printf.sprintf "  \"warm_over_cold\": %s\n" (num (warm /. cold)))
-  | _ -> Buffer.add_string buf "  \"warm_over_cold\": null\n");
-  Buffer.add_string buf "}\n";
+  let ratio name a b =
+    match (jps a, jps b) with
+    | Some va, Some vb when vb <> 0. ->
+        Printf.sprintf "  \"%s\": %s" name (num (va /. vb))
+    | _ -> Printf.sprintf "  \"%s\": null" name
+  in
+  Buffer.add_string buf (ratio "warm_over_cold" "warm" "cold");
+  Buffer.add_string buf ",\n";
+  (* Same-model concurrency: >1 means jobs on one hot artifact really
+     overlapped (meaningless ≈1 on a single hardware core, where the
+     series is still recorded for cross-machine comparison). *)
+  Buffer.add_string buf
+    (ratio "same_model_x2_over_x1" "same-model-x2" "same-model-x1");
+  Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   Buffer.output_buffer oc buf;
   close_out oc
@@ -1166,12 +1175,12 @@ let serve_run ~nmodels ~repeats () =
           models)
       (List.init repeats Fun.id)
   in
-  let njobs = List.length jobs in
   Printf.printf
     "%d fuzz models x %d repeats = %d jobs per series (%d rk4 steps each)\n\n"
-    (List.length models) repeats njobs steps;
+    (List.length models) repeats (List.length jobs) steps;
   let now = Om_parallel.Monotonic.now in
-  let run_series label cache_capacity =
+  let run_series ?(executors = 1) label cache_capacity jobs =
+    let njobs = List.length jobs in
     let latencies = ref [] in
     let mu = Mutex.create () in
     let emit record =
@@ -1192,6 +1201,7 @@ let serve_run ~nmodels ~repeats () =
       {
         Om_serve.Server.default_config with
         Om_serve.Server.queue_capacity = njobs + 1;
+        executors;
         cache_capacity;
         timings = true;
       }
@@ -1207,27 +1217,51 @@ let serve_run ~nmodels ~repeats () =
     let pct p = percentile sorted p *. 1e3 in
     let jps = float_of_int njobs /. wall in
     Printf.printf
-      "%-6s cache=%-3d %8.1f jobs/s  wall %6.3fs  compiles %3d  hits %3d  \
-       p50 %6.2fms  p95 %6.2fms  p99 %6.2fms\n"
-      label cache_capacity jps wall cs.Om_serve.Model_cache.compiles
-      cs.Om_serve.Model_cache.hits (pct 50.) (pct 95.) (pct 99.);
-    ( label, cache_capacity, njobs, jps, wall,
+      "%-14s cache=%-3d x%d %8.1f jobs/s  wall %6.3fs  compiles %3d  hits \
+       %3d  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms\n"
+      label cache_capacity executors jps wall
+      cs.Om_serve.Model_cache.compiles cs.Om_serve.Model_cache.hits (pct 50.)
+      (pct 95.) (pct 99.);
+    ( label, cache_capacity, executors, njobs, jps, wall,
       cs.Om_serve.Model_cache.compiles, cs.Om_serve.Model_cache.hits,
       pct 50., pct 95., pct 99. )
   in
   (* Cold: caching disabled, every job pays the full pipeline.  Warm:
      every distinct source compiles once; repeats are cache hits. *)
-  let cold = run_series "cold" 0 in
-  let warm = run_series "warm" 64 in
-  let rows = [ cold; warm ] in
+  let cold = run_series "cold" 0 jobs in
+  let warm = run_series "warm" 64 jobs in
+  (* Same-model concurrency: a burst of identical jobs against one hot
+     artifact, scaled across executor counts.  One compile serves the
+     whole burst; each executor integrates its own scratch clone, so the
+     x2/x1 throughput ratio measures true execution overlap (≈1 on a
+     single hardware core, →2 with two real cores). *)
+  let hot_steps = 400 in
+  let hot_source = List.hd models in
+  let hot_jobs tag =
+    List.init (8 * repeats) (fun i ->
+        {
+          Om_serve.Job.default with
+          Om_serve.Job.id = Printf.sprintf "hot%s-%d" tag i;
+          tenant = "hot";
+          source = hot_source;
+          solver = Om_serve.Job.Rk4 (Some (tend /. float_of_int hot_steps));
+          tend;
+        })
+  in
+  let sm1 = run_series ~executors:1 "same-model-x1" 64 (hot_jobs "x1") in
+  let sm2 = run_series ~executors:2 "same-model-x2" 64 (hot_jobs "x2") in
+  let rows = [ cold; warm; sm1; sm2 ] in
   let path = Filename.concat out_dir "BENCH_serve.json" in
   write_serve_json path ~nmodels:(List.length models) ~repeats ~tend ~steps
     rows;
-  let (_, _, _, cold_jps, _, _, _, _, _, _) = cold in
-  let (_, _, _, warm_jps, _, _, _, _, _, _) = warm in
+  let series_jps (_, _, _, _, jps, _, _, _, _, _, _) = jps in
   Printf.printf
     "\nwarm/cold throughput: %.2fx (compile amortised across %d repeats)\n"
-    (warm_jps /. cold_jps) repeats;
+    (series_jps warm /. series_jps cold)
+    repeats;
+  Printf.printf
+    "same-model x2/x1 throughput: %.2fx (scratch-clone executor overlap)\n"
+    (series_jps sm2 /. series_jps sm1);
   Printf.printf "machine-readable results written to %s\n" path
 
 let serve_bench () = serve_run ~nmodels:12 ~repeats:6 ()

@@ -759,62 +759,160 @@ let serve_cmd =
         resolve;
       }
     in
-    let serve_channel ?cache ic oc =
-      let emit record =
-        (* Best-effort: a client that hangs up mid-stream must not kill
-           the server loop. *)
-        try
-          output_string oc (Om_serve.Json.to_string record);
-          output_char oc '\n';
-          flush oc
-        with Sys_error _ -> ()
+    let write_record oc record =
+      (* Best-effort: a client that hangs up mid-stream must not kill
+         the server loop. *)
+      try
+        output_string oc (Om_serve.Json.to_string record);
+        output_char oc '\n';
+        flush oc
+      with Sys_error _ -> ()
+    in
+    let serve_stdin () =
+      let server =
+        Om_serve.Server.create ~config ~emit:(write_record stdout) ()
       in
-      let server = Om_serve.Server.create ~config ?cache ~emit () in
       (try
          let rec loop () =
-           Om_serve.Server.handle_line server (input_line ic);
+           ignore (Om_serve.Server.handle_line server (input_line stdin));
            loop ()
          in
          loop ()
        with End_of_file | Sys_error _ -> ());
       ignore (Om_serve.Server.drain server)
     in
+    (* One connection of the socket mode: its own writer mutex keeps the
+       connection's NDJSON unmangled while executor domains emit into it
+       concurrently; jobs run on the shared server, so connections
+       submitting the same model hit one compiled artifact and their
+       jobs execute simultaneously. *)
+    let serve_client server client =
+      let ic = Unix.in_channel_of_descr client in
+      let oc = Unix.out_channel_of_descr client in
+      let wmutex = Mutex.create () in
+      (* Completion tracking for this connection's jobs: [pending] holds
+         queued ids awaiting a terminal status; [early] holds terminal
+         statuses that raced ahead of the reader registering the id. *)
+      let pmutex = Mutex.create () in
+      let done_cv = Condition.create () in
+      let pending : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+      let early : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let jobs = ref 0 and ok = ref 0 and failed = ref 0 in
+      let rejected = ref 0 in
+      let count_terminal status =
+        if status = "ok" then incr ok else incr failed
+      in
+      let field record name =
+        Option.bind (Om_serve.Json.member record name) Om_serve.Json.to_str
+      in
+      let sink record =
+        Mutex.lock wmutex;
+        write_record oc record;
+        Mutex.unlock wmutex;
+        match (field record "type", field record "status", field record "job")
+        with
+        | Some "status", Some "rejected", _ -> incr rejected
+        | Some "status", Some "invalid", _ -> ()
+        | Some "status", Some status, Some job ->
+            Mutex.lock pmutex;
+            if Hashtbl.mem pending job then begin
+              Hashtbl.remove pending job;
+              count_terminal status;
+              Condition.signal done_cv
+            end
+            else Hashtbl.replace early job status;
+            Mutex.unlock pmutex
+        | _ -> ()
+      in
+      (try
+         let rec loop () =
+           (match Om_serve.Server.handle_line ~sink server (input_line ic) with
+           | `Queued id ->
+               Mutex.lock pmutex;
+               incr jobs;
+               (match Hashtbl.find_opt early id with
+               | Some status ->
+                   Hashtbl.remove early id;
+                   count_terminal status
+               | None -> Hashtbl.add pending id ());
+               Mutex.unlock pmutex
+           | `Replied | `Quiet -> ());
+           loop ()
+         in
+         loop ()
+       with End_of_file | Sys_error _ -> ());
+      (* The client closed its input; its queued jobs may still be
+         running on the shared executors.  Wait for each to reach a
+         terminal status before summarising and hanging up. *)
+      Mutex.lock pmutex;
+      while Hashtbl.length pending > 0 do
+        Condition.wait done_cv pmutex
+      done;
+      Mutex.unlock pmutex;
+      let cs = Om_serve.Model_cache.stats (Om_serve.Server.cache server) in
+      write_record oc
+        (Om_serve.Json.Obj
+           [
+             ("type", Om_serve.Json.Str "summary");
+             ("jobs", Om_serve.Json.Int !jobs);
+             ("ok", Om_serve.Json.Int !ok);
+             ("failed", Om_serve.Json.Int !failed);
+             ("rejected", Om_serve.Json.Int !rejected);
+             ( "cache",
+               Om_serve.Json.Obj
+                 [
+                   ("hits", Om_serve.Json.Int cs.Om_serve.Model_cache.hits);
+                   ("misses", Om_serve.Json.Int cs.Om_serve.Model_cache.misses);
+                   ( "compiles",
+                     Om_serve.Json.Int cs.Om_serve.Model_cache.compiles );
+                   ( "evictions",
+                     Om_serve.Json.Int cs.Om_serve.Model_cache.evictions );
+                   ("entries", Om_serve.Json.Int cs.Om_serve.Model_cache.entries);
+                 ] );
+           ]);
+      try close_out oc with Sys_error _ -> ()
+    in
     match socket with
-    | None -> serve_channel stdin stdout
+    | None -> serve_stdin ()
     | Some path ->
-        (* One shared compiled-model cache across connections; each
-           connection gets its own server (queue, counters, executors). *)
-        let cache = Om_serve.Model_cache.create ~capacity:cache_capacity () in
+        (* One server shared by every connection: shared compiled-model
+           cache, shared queue, shared executor domains.  Connections
+           are accepted concurrently, each handled by its own domain;
+           records route to the submitting connection via per-job
+           sinks. *)
+        let server =
+          Om_serve.Server.create ~config ~emit:(write_record stdout) ()
+        in
         if Sys.file_exists path then Sys.remove path;
         let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         Unix.bind sock (Unix.ADDR_UNIX path);
-        Unix.listen sock 8;
+        Unix.listen sock (max 8 accept);
+        let conns = ref [] in
         let rec accept_loop remaining =
           if remaining <> 0 then begin
             let client, _ = Unix.accept sock in
-            let ic = Unix.in_channel_of_descr client in
-            let oc = Unix.out_channel_of_descr client in
-            serve_channel ~cache ic oc;
-            (try close_out oc with Sys_error _ -> ());
+            conns := Domain.spawn (fun () -> serve_client server client) :: !conns;
             accept_loop (if remaining > 0 then remaining - 1 else remaining)
           end
         in
         accept_loop accept;
+        List.iter Domain.join !conns;
+        ignore (Om_serve.Server.drain server);
         Unix.close sock;
         if Sys.file_exists path then Sys.remove path
   in
   let socket =
     Arg.(value & opt (some string) None
          & info [ "socket" ] ~docv:"PATH"
-             ~doc:"Listen on a Unix-domain socket instead of stdin; each \
-                   connection is one NDJSON session sharing the \
-                   compiled-model cache.")
+             ~doc:"Listen on a Unix-domain socket instead of stdin; \
+                   connections are served concurrently as NDJSON sessions \
+                   against one shared server (cache, queue and executors).")
   in
   let accept =
     Arg.(value & opt int 0
          & info [ "accept" ] ~docv:"N"
-             ~doc:"With $(b,--socket), exit after N connections (0 = serve \
-                   forever).")
+             ~doc:"With $(b,--socket), exit after N connections, which are \
+                   accepted and served simultaneously (0 = serve forever).")
   in
   let queue =
     Arg.(value & opt int 64

@@ -41,6 +41,18 @@ let create (c : Bb.t) ~width =
     epilogue = Option.map (Vb.create ~width) c.epilogue_program;
   }
 
+(* Fresh SoA columns and Vm_batch scratch over the shared conditioned
+   instruction streams — no recompaction/refusion, so per-job cloning
+   stays cheap. *)
+let clone_scratch t =
+  {
+    t with
+    env = Array.init (Array.length t.env) (fun _ -> Array.make t.width 0.);
+    out = Array.init (Array.length t.out) (fun _ -> Array.make t.width 0.);
+    tasks = Array.map Vb.clone_scratch t.tasks;
+    epilogue = Option.map Vb.clone_scratch t.epilogue;
+  }
+
 let width t = t.width
 let dim t = t.dim
 

@@ -22,6 +22,14 @@ val create : Bytecode_backend.t -> width:int -> t
 (** @raise Invalid_argument if the backend is not [Exec_vm] or
     [width < 1]. *)
 
+val clone_scratch : t -> t
+(** An independent batch instance at the same width: environment and
+    output columns plus every {!Om_expr.Vm_batch} register file are
+    fresh, while the conditioned instruction streams are shared (they
+    are immutable).  Unlike driving disjoint lane ranges of one
+    instance, a clone may run {e any} lanes concurrently with the
+    original — the per-job isolation the serve layer needs. *)
+
 val width : t -> int
 val dim : t -> int
 

@@ -27,6 +27,7 @@ type t = {
   vm_instrs : int;
   vm_flops : float;
   vm_fused : int;
+  fresh_scratch : unit -> t;
 }
 
 let slot_target slot = Printf.sprintf "slot$%d" slot
@@ -99,7 +100,7 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm) ?(optimize = true)
     Array.concat
       [ state_names; [| "t" |]; Array.of_list temp_names ]
   in
-  let env = Array.make (Array.length names) 0. in
+  let env_size = Array.length names in
   let slot_of_name =
     let h = Hashtbl.create 64 in
     Array.iteri (fun i n -> Hashtbl.replace h n i) names;
@@ -108,10 +109,14 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm) ?(optimize = true)
       | Some i -> i
       | None -> invalid_arg ("Bytecode_backend: unknown name " ^ n)
   in
-  let out = Array.make (Partition.n_slots plan) 0. in
-  let out_size = Array.length out in
-  let compile_block (id, label, (block : Cse.block), reads, writes) =
-    let program, eval =
+  let out_size = Partition.n_slots plan in
+  (* Pure per-task compile products, shared by every scratch instance:
+     register programs (whose instruction streams are immutable) or
+     closure step lists (pure functions of the env array they are
+     handed).  All lowering, CSE, peephole and validation work happens
+     here, once. *)
+  let plan_block (id, label, (block : Cse.block), reads, writes) =
+    let code =
       match backend with
       | Exec_vm ->
           (* One register program per task: temps store to their env
@@ -134,12 +139,10 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm) ?(optimize = true)
                   (e, Om_expr.Vm.To_out (slot_of_target target)))
                 block.roots
           in
-          let prog =
-            Om_expr.Vm.compile_stmts ~optimize
-              ~private_env_slot:(fun s -> Iset.mem s priv)
-              ~out_size names stmts
-          in
-          (Some prog, fun () -> Om_expr.Vm.exec prog ~env ~out)
+          `Vm
+            (Om_expr.Vm.compile_stmts ~optimize
+               ~private_env_slot:(fun s -> Iset.mem s priv)
+               ~out_size names stmts)
       | Exec_closures ->
           let temp_steps =
             List.map
@@ -153,10 +156,7 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm) ?(optimize = true)
                 (slot_of_target target, Om_expr.Eval.eval_fn names e))
               block.roots
           in
-          ( None,
-            fun () ->
-              List.iter (fun (slot, f) -> env.(slot) <- f env) temp_steps;
-              List.iter (fun (slot, f) -> out.(slot) <- f env) root_steps )
+          `Closures (temp_steps, root_steps)
     in
     let temp_msteps =
       List.map
@@ -170,43 +170,15 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm) ?(optimize = true)
           (slot_of_target target, Om_expr.Cost_dyn.build names e))
         block.roots
     in
-    let measured_eval () =
-      let acc = ref 0. in
-      List.iter (fun (slot, f) -> env.(slot) <- f env acc) temp_msteps;
-      List.iter (fun (slot, f) -> out.(slot) <- f env acc) root_msteps;
-      !acc
-    in
-    {
-      id;
-      label;
-      eval;
-      measured_eval;
-      static_cost = Cse.block_cost block;
-      reads;
-      writes;
-      program;
-    }
+    ( id, label, code, (temp_msteps, root_msteps), Cse.block_cost block,
+      reads, writes )
   in
-  let tasks = Array.of_list (List.map compile_block blocks) in
-  let set_state t y =
-    Array.blit y 0 env 0 dim;
-    env.(dim) <- t
-  in
-  let epilogue = plan.epilogue in
-  let run_epilogue, epilogue_program =
+  let task_plans = List.map plan_block blocks in
+  let epilogue_code =
     match backend with
     | Exec_vm ->
-        let eprog = Om_expr.Vm.compile_epilogue ~optimize ~out_size epilogue in
-        ((fun () -> Om_expr.Vm.exec eprog ~env:no_env ~out), Some eprog)
-    | Exec_closures ->
-        ( (fun () ->
-            List.iter
-              (fun (deriv, slots) ->
-                let acc = ref 0. in
-                List.iter (fun s -> acc := !acc +. out.(s)) slots;
-                out.(deriv) <- !acc)
-              epilogue),
-          None )
+        `Vm (Om_expr.Vm.compile_epilogue ~optimize ~out_size plan.epilogue)
+    | Exec_closures -> `Closures plan.epilogue
   in
   let vm_instrs, vm_flops, vm_fused =
     let add (i, fl, fu) p =
@@ -214,29 +186,86 @@ let compile ?(scope = Cse_per_task) ?(backend = Exec_vm) ?(optimize = true)
       (i + s.instrs, fl +. s.flops, fu + s.fused)
     in
     let acc =
-      Array.fold_left
-        (fun acc tk ->
-          match tk.program with Some p -> add acc p | None -> acc)
-        (0, 0., 0) tasks
+      List.fold_left
+        (fun acc (_, _, code, _, _, _, _) ->
+          match code with `Vm p -> add acc p | `Closures _ -> acc)
+        (0, 0., 0) task_plans
     in
-    match epilogue_program with Some p -> add acc p | None -> acc
+    match epilogue_code with `Vm p -> add acc p | `Closures _ -> acc
   in
-  {
-    dim;
-    n_slots = Partition.n_slots plan;
-    tasks;
-    set_state;
-    out;
-    run_epilogue;
-    epilogue_program;
-    epilogue_flops = plan.epilogue_flops;
-    state_names;
-    cse_temp_total = List.length temp_names;
-    backend;
-    vm_instrs;
-    vm_flops;
-    vm_fused;
-  }
+  let cse_temp_total = List.length temp_names in
+  let epilogue_flops = plan.epilogue_flops in
+  (* Instantiation binds the shared plans to fresh mutable scratch: the
+     env/out value arrays, a register file per task program
+     (Vm.clone_scratch) and the evaluation closures over them.
+     [compile] instantiates once; [clone_scratch] re-instantiates so
+     another executor can run the same artifact concurrently. *)
+  let rec instantiate () =
+    let env = Array.make env_size 0. in
+    let out = Array.make out_size 0. in
+    let build_task
+        (id, label, code, (temp_msteps, root_msteps), static_cost, reads,
+         writes) =
+      let program, eval =
+        match code with
+        | `Vm prog ->
+            let p = Om_expr.Vm.clone_scratch prog in
+            (Some p, fun () -> Om_expr.Vm.exec p ~env ~out)
+        | `Closures (temp_steps, root_steps) ->
+            ( None,
+              fun () ->
+                List.iter (fun (slot, f) -> env.(slot) <- f env) temp_steps;
+                List.iter (fun (slot, f) -> out.(slot) <- f env) root_steps )
+      in
+      let measured_eval () =
+        let acc = ref 0. in
+        List.iter (fun (slot, f) -> env.(slot) <- f env acc) temp_msteps;
+        List.iter (fun (slot, f) -> out.(slot) <- f env acc) root_msteps;
+        !acc
+      in
+      { id; label; eval; measured_eval; static_cost; reads; writes; program }
+    in
+    let tasks = Array.of_list (List.map build_task task_plans) in
+    let set_state t y =
+      Array.blit y 0 env 0 dim;
+      env.(dim) <- t
+    in
+    let run_epilogue, epilogue_program =
+      match epilogue_code with
+      | `Vm eprog ->
+          let p = Om_expr.Vm.clone_scratch eprog in
+          ((fun () -> Om_expr.Vm.exec p ~env:no_env ~out), Some p)
+      | `Closures groups ->
+          ( (fun () ->
+              List.iter
+                (fun (deriv, slots) ->
+                  let acc = ref 0. in
+                  List.iter (fun s -> acc := !acc +. out.(s)) slots;
+                  out.(deriv) <- !acc)
+                groups),
+            None )
+    in
+    {
+      dim;
+      n_slots = out_size;
+      tasks;
+      set_state;
+      out;
+      run_epilogue;
+      epilogue_program;
+      epilogue_flops;
+      state_names;
+      cse_temp_total;
+      backend;
+      vm_instrs;
+      vm_flops;
+      vm_fused;
+      fresh_scratch = instantiate;
+    }
+  in
+  instantiate ()
+
+let clone_scratch c = c.fresh_scratch ()
 
 let rhs_fn c t y ydot =
   c.set_state t y;

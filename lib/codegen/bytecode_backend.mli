@@ -54,6 +54,9 @@ type t = {
           [Exec_closures]) *)
   vm_flops : float;  (** static flop units of the VM code *)
   vm_fused : int;  (** fused instructions after the peephole pass *)
+  fresh_scratch : unit -> t;
+      (** re-instantiate the compiled plans over fresh mutable scratch —
+          prefer the {!clone_scratch} wrapper *)
 }
 
 val compile :
@@ -67,6 +70,17 @@ val compile :
     [optimize] (default [true], [Exec_vm] only) runs the peephole pass
     over every task and epilogue program; the fuzz oracle compiles with
     [~optimize:false] to check that the pass is bit-preserving. *)
+
+val clone_scratch : t -> t
+(** An independently runnable instance of the same compiled artifact:
+    the lowered register programs (or closure step lists) are shared —
+    they are immutable after {!compile} — while the value environment,
+    output slots, per-task register files and the evaluation closures
+    around them are fresh.  No re-lowering, CSE, peephole or validation
+    happens, so the cost is a few array allocations: cheap enough to
+    call at every job start.  Clone and original may execute
+    concurrently from different domains; the serve layer clones one
+    scratch per executor instead of locking the cached artifact. *)
 
 val rhs_fn : t -> float -> float array -> float array -> unit
 (** Sequential execution of every task plus the epilogue: the reference

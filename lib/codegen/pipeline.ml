@@ -74,6 +74,12 @@ let compile ?(config = default_config) ?backend ?optimize
   Om_sched.Task.validate tasks;
   { model = m; assigns; plan; compiled; tasks; analysis = analyse m }
 
+(* Everything in a result except the executable backend is immutable
+   analysis data; sharing it across clones keeps per-job cloning at a
+   few array allocations. *)
+let clone_scratch r =
+  { r with compiled = Bytecode_backend.clone_scratch r.compiled }
+
 let source_key source = Digest.to_hex (Digest.string source)
 
 let compile_source ?config ?backend ?optimize source =

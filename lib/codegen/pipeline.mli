@@ -41,6 +41,14 @@ val compile :
     are what every driver uses.  The fuzz oracle overrides them to pit
     the execution strategies against each other. *)
 
+val clone_scratch : result -> result
+(** An independently executable view of a compiled result: the model,
+    plan, task metadata and analysis are shared (all immutable), and the
+    executable backend is {!Bytecode_backend.clone_scratch}d so the
+    clone's mutable evaluation state (value environment, output slots,
+    register files) is its own.  This is what lets a cached artifact run
+    on several executors at once: clone per job, no per-entry lock. *)
+
 val compile_count : unit -> int
 (** Process-global number of {!compile} invocations so far (an atomic
     counter, safe to read from any domain).  The serve layer's model

@@ -425,6 +425,13 @@ let rec loop code consts regs env out stop pc =
           loop code consts regs env out stop (pc + 5)
     end
 
+(* The code, constant pool and metadata are immutable after [finish];
+   only [regs] is written during execution.  Sharing everything but the
+   register file therefore yields an independently runnable program for
+   a few words plus [nregs] floats — the per-executor cloning primitive
+   the serve layer builds on. *)
+let clone_scratch p = { p with regs = Array.make p.nregs 0. }
+
 let exec p ~env ~out =
   if Array.length env < p.env_size then invalid_arg "Vm.exec: env too small";
   if Array.length out < p.out_size then invalid_arg "Vm.exec: out too small";

@@ -14,8 +14,9 @@
     products from [1.]; the VM folds pairwise).
 
     A program owns a scratch register file: running the same program
-    concurrently from two domains is a race.  Compile one program per
-    domain instead. *)
+    concurrently from two domains is a race.  Use {!clone_scratch} to
+    give each domain its own register file over the shared (immutable)
+    instruction stream. *)
 
 type program
 
@@ -53,6 +54,14 @@ val compile_epilogue :
 (** Compile a reduction epilogue: each [(deriv, slots)] sets
     [out.(deriv) <- sum of out.(slot)]s, folding from [0.] like the
     closure backend.  Reads and writes only [out]. *)
+
+val clone_scratch : program -> program
+(** An independently runnable copy of the program: the instruction
+    stream, constant pool and metadata are shared (they are immutable
+    after compilation), only the mutable register file is fresh.  O(the
+    register count), no re-lowering or re-validation — cheap enough to
+    call per job.  The clone and the original may run concurrently from
+    different domains. *)
 
 val run : program -> float array -> float
 (** Evaluate an expression program against an environment laid out like

@@ -345,6 +345,19 @@ let create (p : Vm.program) ~width =
     seen_out = [||];
   }
 
+(* The conditioned code, constant pool and njump table are immutable
+   after [create]; the register rows, sleep counters and validation
+   memo are the only mutable state.  Cloning those gives an independent
+   instance without re-running compaction/fusion. *)
+let clone_scratch t =
+  {
+    t with
+    regs = Array.init (Array.length t.regs) (fun _ -> Array.make t.width 0.);
+    sleep = Array.make t.width 0;
+    seen_env = [||];
+    seen_out = [||];
+  }
+
 let width t = t.width
 let has_jumps t = t.has_jumps
 

@@ -51,6 +51,14 @@ val create : Vm.program -> width:int -> t
     pool are shared with the program; the register file is fresh.
     @raise Invalid_argument if [width < 1]. *)
 
+val clone_scratch : t -> t
+(** An independent instance over the same conditioned instruction
+    stream: register rows, sleep counters and the validation memo are
+    fresh; the (immutable) code, constant pool and jump table are
+    shared.  Skips the compaction/fusion passes of {!create}, so it is
+    cheap enough to call per job; clone and original may run
+    concurrently from different domains. *)
+
 val width : t -> int
 
 val has_jumps : t -> bool

@@ -1,8 +1,4 @@
-type entry = {
-  key : string;
-  compiled : Om_codegen.Pipeline.result;
-  lock : Mutex.t;
-}
+type entry = { key : string; compiled : Om_codegen.Pipeline.result }
 
 type stats = {
   compiles : int;
@@ -14,11 +10,24 @@ type stats = {
 
 type slot = { entry : entry; mutable last_used : int }
 
+(* One latch per source being compiled right now: the compiling thread
+   publishes its outcome here and wakes every waiter.  The latch lives
+   in [inflight] only while the compile runs, so the table mutex is
+   never held across a compile. *)
+type latch = {
+  lmutex : Mutex.t;
+  ldone : Condition.t;
+  mutable outcome : (entry, exn) result option;
+}
+
 type t = {
-  mutex : Mutex.t;
+  mutex : Mutex.t;  (* guards table, inflight and the counters — map
+                       operations only, never compilation *)
   table : (string, slot) Hashtbl.t;
+  inflight : (string, latch) Hashtbl.t;
   cap : int;
   config : Om_codegen.Pipeline.config option;
+  on_compile : (string -> unit) option;
   mutable tick : int;  (* LRU clock: bumped on every hit/insert *)
   mutable compiles : int;
   mutable hits : int;
@@ -26,13 +35,15 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?config ~capacity () =
+let create ?config ?on_compile ~capacity () =
   if capacity < 0 then invalid_arg "Model_cache.create: capacity < 0";
   {
     mutex = Mutex.create ();
     table = Hashtbl.create (max 8 capacity);
+    inflight = Hashtbl.create 8;
     cap = capacity;
     config;
+    on_compile;
     tick = 0;
     compiles = 0;
     hits = 0;
@@ -59,7 +70,22 @@ let evict_lru t =
       Hashtbl.remove t.table key;
       t.evictions <- t.evictions + 1
 
-let lookup t source =
+let resolve latch outcome =
+  Mutex.lock latch.lmutex;
+  latch.outcome <- Some outcome;
+  Condition.broadcast latch.ldone;
+  Mutex.unlock latch.lmutex
+
+let await latch =
+  Mutex.lock latch.lmutex;
+  while latch.outcome = None do
+    Condition.wait latch.ldone latch.lmutex
+  done;
+  let outcome = Option.get latch.outcome in
+  Mutex.unlock latch.lmutex;
+  outcome
+
+let rec lookup t source =
   let key = Om_codegen.Pipeline.source_key source in
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
@@ -68,26 +94,61 @@ let lookup t source =
       touch t slot;
       Mutex.unlock t.mutex;
       `Hit slot.entry
-  | None ->
-      (* Compile under the cache mutex: a second request for the same
-         new source blocks here and then takes the hit path, so each
-         source compiles exactly once. *)
-      let finish () = Mutex.unlock t.mutex in
-      let compiled =
-        try Om_codegen.Pipeline.compile_source ?config:t.config source
-        with e -> finish (); raise e
-      in
-      t.misses <- t.misses + 1;
-      t.compiles <- t.compiles + 1;
-      let entry = { key; compiled; lock = Mutex.create () } in
-      if t.cap > 0 then begin
-        if Hashtbl.length t.table >= t.cap then evict_lru t;
-        let slot = { entry; last_used = 0 } in
-        touch t slot;
-        Hashtbl.add t.table key slot
-      end;
-      finish ();
-      `Miss entry
+  | None -> (
+      match Hashtbl.find_opt t.inflight key with
+      | Some latch -> (
+          (* Someone is compiling this source right now: wait on its
+             latch (off the table mutex, so hits on other sources keep
+             flowing) and take the hit path — the compile was skipped. *)
+          t.hits <- t.hits + 1;
+          Mutex.unlock t.mutex;
+          match await latch with
+          | Ok entry -> `Hit entry
+          | Error _ ->
+              (* The compile we piggybacked on failed.  Retry from the
+                 top: the latch is gone, so this attempt either compiles
+                 itself and raises the error to its own caller with the
+                 hit stat rolled back, or joins a newer attempt. *)
+              Mutex.lock t.mutex;
+              t.hits <- t.hits - 1;
+              Mutex.unlock t.mutex;
+              lookup t source)
+      | None ->
+          let latch =
+            { lmutex = Mutex.create (); ldone = Condition.create ();
+              outcome = None }
+          in
+          Hashtbl.add t.inflight key latch;
+          t.misses <- t.misses + 1;
+          Mutex.unlock t.mutex;
+          (* Compile with no lock held: a slow compile stalls only
+             requests for this same source (parked on the latch above),
+             never hits or compiles of other sources. *)
+          (match t.on_compile with Some f -> f source | None -> ());
+          match Om_codegen.Pipeline.compile_source ?config:t.config source with
+          | compiled ->
+              let entry = { key; compiled } in
+              Mutex.lock t.mutex;
+              t.compiles <- t.compiles + 1;
+              if t.cap > 0 then begin
+                if Hashtbl.length t.table >= t.cap then evict_lru t;
+                let slot = { entry; last_used = 0 } in
+                touch t slot;
+                Hashtbl.add t.table key slot
+              end;
+              Hashtbl.remove t.inflight key;
+              Mutex.unlock t.mutex;
+              resolve latch (Ok entry);
+              `Miss entry
+          | exception e ->
+              Mutex.lock t.mutex;
+              Hashtbl.remove t.inflight key;
+              (* An ill-formed source is neither a hit nor a miss: the
+                 stats count cache traffic for real models only. *)
+              t.misses <- t.misses - 1;
+              Mutex.unlock t.mutex;
+              resolve latch (Error e);
+              raise e)
 
 let stats t =
   Mutex.lock t.mutex;

@@ -15,18 +15,22 @@
     cache entirely — every lookup compiles and nothing is stored — which
     is how the serve bench measures its cold series.
 
-    The compiled {!Om_codegen.Pipeline.result} contains a mutable
-    bytecode evaluator ([Bytecode_backend.t] scratch arrays), so a
-    shared artifact must not run on two executors at once: each entry
-    carries a lock ([entry.lock]) the server holds for the duration of
-    a job. *)
+    {b Concurrency.}  The internal mutex guards map operations only;
+    compilation runs with no lock held.  A miss parks concurrent
+    requests for the {e same} source on a per-key in-flight latch (each
+    source still compiles exactly once; the waiters resume on the hit
+    path), while lookups of {e other} sources — cached or not — proceed
+    untouched: a slow compile never stalls a hit.  The returned
+    {!Om_codegen.Pipeline.result} is shared between every job that hits
+    the same entry; callers must not run it directly from several
+    domains but clone its mutable scratch first
+    ({!Om_codegen.Pipeline.clone_scratch}), which is how the server
+    executes one cached artifact on many executors concurrently. *)
 
 type entry = {
   key : string;  (** {!Om_codegen.Pipeline.source_key} of the source *)
   compiled : Om_codegen.Pipeline.result;
-  lock : Mutex.t;
-      (** held while a job executes on [compiled] (the bytecode VM's
-          scratch arrays are mutable, so concurrent runs would race) *)
+      (** shared, read-only: clone its scratch before executing *)
 }
 
 type stats = {
@@ -39,16 +43,28 @@ type stats = {
 
 type t
 
-val create : ?config:Om_codegen.Pipeline.config -> capacity:int -> unit -> t
+val create :
+  ?config:Om_codegen.Pipeline.config ->
+  ?on_compile:(string -> unit) ->
+  capacity:int ->
+  unit ->
+  t
 (** [capacity] is the maximum number of resident compiled models;
     [0] disables storage (always compile, never cache).
+    [on_compile] is an observability/test hook invoked with the source
+    at the start of every actual compilation — off every lock, in the
+    compiling thread, at most once per miss (latch waiters never invoke
+    it).  The concurrency tests use it to hold a compile open and
+    witness that hits keep flowing.
     @raise Invalid_argument if [capacity < 0]. *)
 
 val lookup : t -> string -> [ `Hit of entry | `Miss of entry ]
 (** [lookup t source] returns the compiled form of [source], compiling
-    it on a miss (under the cache mutex, so concurrent requests for the
-    same new source compile once).  Front-end failures propagate to the
-    caller and leave the cache unchanged.
+    it on a miss.  Concurrent requests for the same new source compile
+    once (the rest wait on the in-flight latch and return [`Hit]);
+    requests for other sources are never blocked by a compile.
+    Front-end failures propagate to the caller and leave the cache
+    unchanged.
     @raise Om_lang.Lexer.Error, [Om_lang.Parser.Error],
     [Om_lang.Flatten.Error] or [Invalid_argument] on ill-formed
     sources. *)

@@ -25,7 +25,12 @@ type stats = {
   rejected : int;
 }
 
-type item = { spec : Job.spec; token : Om_guard.Cancel.t; submitted_at : float }
+type item = {
+  spec : Job.spec;
+  token : Om_guard.Cancel.t;
+  submitted_at : float;
+  sink : (Json.t -> unit) option;
+}
 
 type t = {
   config : config;
@@ -34,17 +39,24 @@ type t = {
   emit_fn : Json.t -> unit;
   emit_mutex : Mutex.t;
   state_mutex : Mutex.t;
+  drain_mutex : Mutex.t;
   tokens : (string, Om_guard.Cancel.t) Hashtbl.t;
   mutable counters : stats;
   mutable next_id : int;
   mutable workers : unit Domain.t list;
-  mutable drained : bool;
+  mutable summary : Json.t option;
 }
 
 let emit t record =
   Mutex.lock t.emit_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_mutex) (fun () ->
       t.emit_fn record)
+
+(* A job's records go to its own sink when it has one (socket mode: the
+   submitting connection's writer, which carries its own mutex), to the
+   server-wide emit otherwise. *)
+let emit_item t item record =
+  match item.sink with Some sink -> sink record | None -> emit t record
 
 let with_state t f =
   Mutex.lock t.state_mutex;
@@ -69,33 +81,35 @@ let execution_mode spec =
 
 let num f = Json.Num f
 
-let chunk_records spec (trajectory : Om_ode.Odesys.trajectory) =
-  if spec.Job.chunk <= 0 then []
-  else begin
+(* Build and emit each chunk record as soon as its rows are assembled:
+   at no point does a second record-form copy of the whole trajectory
+   exist, so a 10^6-row trajectory costs one chunk of rows at a time on
+   top of the trajectory itself. *)
+let emit_chunks t item (trajectory : Om_ode.Odesys.trajectory) =
+  let spec = item.spec in
+  if spec.Job.chunk > 0 then begin
     let n = Array.length trajectory.ts in
     let row k =
       Json.Arr
         (num trajectory.ts.(k)
         :: Array.to_list (Array.map num trajectory.states.(k)))
     in
-    let rec go start seq acc =
-      if start >= n then List.rev acc
-      else begin
+    let rec go start seq =
+      if start < n then begin
         let len = min spec.Job.chunk (n - start) in
         let rows = List.init len (fun i -> row (start + i)) in
-        let record =
-          Json.Obj
-            [
-              ("type", Json.Str "chunk");
-              ("job", Json.Str spec.Job.id);
-              ("seq", Json.Int seq);
-              ("rows", Json.Arr rows);
-            ]
-        in
-        go (start + len) (seq + 1) (record :: acc)
+        emit_item t item
+          (Json.Obj
+             [
+               ("type", Json.Str "chunk");
+               ("job", Json.Str spec.Job.id);
+               ("seq", Json.Int seq);
+               ("rows", Json.Arr rows);
+             ]);
+        go (start + len) (seq + 1)
       end
     in
-    go 0 0 []
+    go 0 0
   end
 
 let timing_fields t ~submitted_at ~started_at ~finished_at =
@@ -154,7 +168,7 @@ let run_job t item =
   let started_at = Unix.gettimeofday () in
   let fail ~cache_state status message =
     record_completion t ~succeeded:false;
-    emit t
+    emit_item t item
       (status_record t item ~cache_state ~started_at
          [ ("status", Json.Str status); ("error", Json.Str message) ])
   in
@@ -182,26 +196,24 @@ let run_job t item =
           cancel = Some item.token;
         }
       in
-      (* The compiled artifact's bytecode VM has mutable scratch arrays:
-         hold its lock so two executors never run it concurrently. *)
-      Mutex.lock entry.Model_cache.lock;
+      (* The cached artifact is shared read-only; this job executes its
+         own clone of the mutable scratch (value environment, output
+         slots, register files), so any number of executors can run the
+         same hot model concurrently — no per-entry lock. *)
+      let compiled = Om_codegen.Pipeline.clone_scratch entry.Model_cache.compiled in
       match
-        Fun.protect
-          ~finally:(fun () -> Mutex.unlock entry.Model_cache.lock)
-          (fun () ->
-            Objectmath.Runtime.execute ~config:runtime_config
-              ~solver:(runtime_solver spec) ~tend:spec.Job.tend
-              entry.Model_cache.compiled)
+        Objectmath.Runtime.execute ~config:runtime_config
+          ~solver:(runtime_solver spec) ~tend:spec.Job.tend compiled
       with
       | exception e -> (
           match classify e with
           | Some (status, message) -> fail ~cache_state status message
           | None -> fail ~cache_state "internal_error" (Printexc.to_string e))
       | report ->
-          List.iter (emit t) (chunk_records spec report.trajectory);
+          emit_chunks t item report.trajectory;
           let final = Om_ode.Odesys.final_state report.trajectory in
           record_completion t ~succeeded:true;
-          emit t
+          emit_item t item
             (status_record t item ~cache_state ~started_at
                [
                  ("status", Json.Str "ok");
@@ -226,7 +238,7 @@ let executor_loop t () =
         (try run_job t item
          with e ->
            record_completion t ~succeeded:false;
-           emit t
+           emit_item t item
              (Json.Obj
                 [
                   ("type", Json.Str "status");
@@ -258,18 +270,19 @@ let create ?(config = default_config) ?cache ~emit () =
       emit_fn = emit;
       emit_mutex = Mutex.create ();
       state_mutex = Mutex.create ();
+      drain_mutex = Mutex.create ();
       tokens = Hashtbl.create 64;
       counters = { submitted = 0; completed = 0; ok = 0; failed = 0; rejected = 0 };
       next_id = 0;
       workers = [];
-      drained = false;
+      summary = None;
     }
   in
   t.workers <-
     List.init (max 1 config.executors) (fun _ -> Domain.spawn (executor_loop t));
   t
 
-let submit t spec =
+let submit ?sink t spec =
   let spec =
     if spec.Job.id <> "" then spec
     else
@@ -280,51 +293,82 @@ let submit t spec =
   let token =
     Om_guard.Cancel.create ~deadline_s:spec.Job.deadline_s ~job:spec.Job.id ()
   in
-  with_state t (fun () -> Hashtbl.replace t.tokens spec.Job.id token);
-  let item = { spec; token; submitted_at = Unix.gettimeofday () } in
-  match Job_queue.submit t.queue ~priority:spec.Job.priority item with
-  | `Ok ->
-      with_state t (fun () ->
-          t.counters <- { t.counters with submitted = t.counters.submitted + 1 });
-      `Ok spec.Job.id
-  | `Rejected ->
-      forget_token t spec.Job.id;
-      with_state t (fun () ->
-          t.counters <- { t.counters with rejected = t.counters.rejected + 1 });
-      emit t
-        (Json.Obj
-           [
-             ("type", Json.Str "status");
-             ("job", Json.Str spec.Job.id);
-             ("tenant", Json.Str spec.Job.tenant);
-             ("status", Json.Str "rejected");
-             ("error", Json.Str "submission queue full");
-           ]);
-      `Rejected
-  | `Closed ->
-      forget_token t spec.Job.id;
-      `Closed
+  let emit_to = match sink with Some s -> s | None -> emit t in
+  (* The tokens table is the set of in-flight ids; claiming is atomic
+     with the duplicate check so two racing submissions of one id can
+     never both enter the queue (the loser's cancel would otherwise be
+     clobbered and the job made unreachable). *)
+  let claimed =
+    with_state t (fun () ->
+        if Hashtbl.mem t.tokens spec.Job.id then false
+        else begin
+          Hashtbl.add t.tokens spec.Job.id token;
+          true
+        end)
+  in
+  if not claimed then begin
+    emit_to
+      (Json.Obj
+         [
+           ("type", Json.Str "status");
+           ("job", Json.Str spec.Job.id);
+           ("tenant", Json.Str spec.Job.tenant);
+           ("status", Json.Str "invalid");
+           ("error", Json.Str "duplicate id: a job with this id is in flight");
+         ]);
+    `Duplicate
+  end
+  else begin
+    let item = { spec; token; submitted_at = Unix.gettimeofday (); sink } in
+    match Job_queue.submit t.queue ~priority:spec.Job.priority item with
+    | `Ok ->
+        with_state t (fun () ->
+            t.counters <- { t.counters with submitted = t.counters.submitted + 1 });
+        `Ok spec.Job.id
+    | `Rejected ->
+        forget_token t spec.Job.id;
+        with_state t (fun () ->
+            t.counters <- { t.counters with rejected = t.counters.rejected + 1 });
+        emit_to
+          (Json.Obj
+             [
+               ("type", Json.Str "status");
+               ("job", Json.Str spec.Job.id);
+               ("tenant", Json.Str spec.Job.tenant);
+               ("status", Json.Str "rejected");
+               ("error", Json.Str "submission queue full");
+             ]);
+        `Rejected
+    | `Closed ->
+        forget_token t spec.Job.id;
+        `Closed
+  end
 
 let cancel ?reason t ~job =
   match with_state t (fun () -> Hashtbl.find_opt t.tokens job) with
   | Some token -> Om_guard.Cancel.cancel ?reason token
   | None -> ()
 
-let invalid t ~id message =
-  emit t
-    (Json.Obj
-       [
-         ("type", Json.Str "status");
-         ("job", Json.Str id);
-         ("status", Json.Str "invalid");
-         ("error", Json.Str message);
-       ])
+let invalid ?sink t ~id message =
+  let record =
+    Json.Obj
+      [
+        ("type", Json.Str "status");
+        ("job", Json.Str id);
+        ("status", Json.Str "invalid");
+        ("error", Json.Str message);
+      ]
+  in
+  match sink with Some s -> s record | None -> emit t record
 
-let handle_line t line =
+let handle_line ?sink t line =
   let line = String.trim line in
-  if line <> "" then
+  if line = "" then `Quiet
+  else
     match Json.of_string line with
-    | exception Json.Error msg -> invalid t ~id:"" ("bad JSON: " ^ msg)
+    | exception Json.Error msg ->
+        invalid ?sink t ~id:"" ("bad JSON: " ^ msg);
+        `Replied
     | json -> (
         match Option.bind (Json.member json "type") Json.to_str with
         | Some "cancel" -> (
@@ -333,10 +377,14 @@ let handle_line t line =
                 let reason =
                   Option.bind (Json.member json "reason") Json.to_str
                 in
-                cancel ?reason t ~job
-            | None -> invalid t ~id:"" "cancel record without \"job\"")
+                cancel ?reason t ~job;
+                `Quiet
+            | None ->
+                invalid ?sink t ~id:"" "cancel record without \"job\"";
+                `Replied)
         | Some other when other <> "job" ->
-            invalid t ~id:"" (Printf.sprintf "unknown record type %S" other)
+            invalid ?sink t ~id:"" (Printf.sprintf "unknown record type %S" other);
+            `Replied
         | _ -> (
             match Job.of_json ~resolve:t.config.resolve json with
             | Error msg ->
@@ -344,38 +392,56 @@ let handle_line t line =
                   Option.value ~default:""
                     (Option.bind (Json.member json "id") Json.to_str)
                 in
-                invalid t ~id msg
-            | Ok spec -> ignore (submit t spec)))
+                invalid ?sink t ~id msg;
+                `Replied
+            | Ok spec -> (
+                match submit ?sink t spec with
+                | `Ok id -> `Queued id
+                | `Duplicate | `Rejected -> `Replied
+                | `Closed -> `Quiet)))
 
 let stats t = with_state t (fun () -> t.counters)
 let cache t = t.model_cache
 
 let drain t =
-  Job_queue.close t.queue;
-  let workers = t.workers in
-  t.workers <- [];
-  if not t.drained then List.iter Domain.join workers;
-  t.drained <- true;
-  let counters = stats t in
-  let cs = Model_cache.stats t.model_cache in
-  let summary =
-    Json.Obj
-      [
-        ("type", Json.Str "summary");
-        ("jobs", Json.Int counters.submitted);
-        ("ok", Json.Int counters.ok);
-        ("failed", Json.Int counters.failed);
-        ("rejected", Json.Int counters.rejected);
-        ( "cache",
-          Json.Obj
-            [
-              ("hits", Json.Int cs.Model_cache.hits);
-              ("misses", Json.Int cs.Model_cache.misses);
-              ("compiles", Json.Int cs.Model_cache.compiles);
-              ("evictions", Json.Int cs.Model_cache.evictions);
-              ("entries", Json.Int cs.Model_cache.entries);
-            ] );
-      ]
-  in
-  emit t summary;
-  summary
+  (* The whole drain runs under one mutex: the first caller closes the
+     queue, joins the executors and emits the summary; every later or
+     concurrent caller blocks until that finishes and gets the cached
+     record without re-emitting — drain is idempotent. *)
+  Mutex.lock t.drain_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.drain_mutex) (fun () ->
+      match t.summary with
+      | Some s -> s
+      | None ->
+          Job_queue.close t.queue;
+          let workers =
+            with_state t (fun () ->
+                let w = t.workers in
+                t.workers <- [];
+                w)
+          in
+          List.iter Domain.join workers;
+          let counters = stats t in
+          let cs = Model_cache.stats t.model_cache in
+          let summary =
+            Json.Obj
+              [
+                ("type", Json.Str "summary");
+                ("jobs", Json.Int counters.submitted);
+                ("ok", Json.Int counters.ok);
+                ("failed", Json.Int counters.failed);
+                ("rejected", Json.Int counters.rejected);
+                ( "cache",
+                  Json.Obj
+                    [
+                      ("hits", Json.Int cs.Model_cache.hits);
+                      ("misses", Json.Int cs.Model_cache.misses);
+                      ("compiles", Json.Int cs.Model_cache.compiles);
+                      ("evictions", Json.Int cs.Model_cache.evictions);
+                      ("entries", Json.Int cs.Model_cache.entries);
+                    ] );
+              ]
+          in
+          t.summary <- Some summary;
+          emit t summary;
+          summary)

@@ -7,13 +7,14 @@
     and run them through {!Om_codegen.Pipeline} +
     {!Objectmath.Runtime.execute}.
     Every externally visible event is one JSON record handed to the
-    [emit] callback (one line of NDJSON in [omc serve]):
+    [emit] callback (one line of NDJSON in [omc serve]), or to the
+    job's own [sink] when the submission carried one:
 
     - [{"type":"chunk","job":id,"seq":k,"rows":[[t,y0,...],...]}] —
       streamed trajectory rows, for jobs with [chunk > 0];
     - [{"type":"status","job":id,"tenant":t,"status":s,...}] — exactly
-      one terminal record per job;
-    - [{"type":"summary",...}] — once, from {!drain}.
+      one terminal record per accepted job;
+    - [{"type":"summary",...}] — once, from the first {!drain}.
 
     Status values and their triggers:
     - ["ok"] — integration completed (possibly degraded; the
@@ -26,12 +27,27 @@
     - ["model_error"] — the front end rejected the source
       (lex/parse/flatten/typecheck);
     - ["rejected"] — the submission queue was full (overload shedding);
-    - ["invalid"] — the NDJSON record itself was undecodable.
+    - ["invalid"] — the NDJSON record was undecodable, or reused the id
+      of a job still in flight (accepting it would orphan one job's
+      cancel token).
+
+    {b Concurrency model.}  Executors share exactly two things: the
+    compiled-model cache (immutable artifacts, map operations under the
+    cache's own mutex, compilation off-lock) and the job queue.  Each
+    job executes an {!Om_codegen.Pipeline.clone_scratch} of the cached
+    artifact, so any number of executors can run the {e same} hot model
+    simultaneously — there is no per-model or per-entry execution lock.
+    The remaining locks, in acquisition order (none is ever held while
+    another is taken, except state_mutex inside an emit-free region):
+    queue mutex (pop/submit), cache mutex (map ops), [state_mutex]
+    (tokens/counters/summary), [emit_mutex] (default emit only; a
+    per-job [sink] serialises itself).
 
     With one executor (the default), status records are emitted in
     completion order = priority-then-FIFO order — the ordering the CI
-    smoke test asserts.  With several, records never interleave (emit is
-    serialised) but completion order depends on job durations. *)
+    smoke test asserts.  With several, records never interleave (emit
+    and each sink are serialised) but completion order depends on job
+    durations. *)
 
 type config = {
   queue_capacity : int;  (** bound on queued jobs; default 64 *)
@@ -64,15 +80,27 @@ type t
 
 val create : ?config:config -> ?cache:Model_cache.t -> emit:(Json.t -> unit) -> unit -> t
 (** Start a server: spawns the executor domains immediately.  [emit]
-    receives every output record; it is called under a lock, from
-    executor domains, and must not call back into the server.  Pass
-    [cache] to share one compiled-model cache across servers (the
-    socket mode shares it across connections). *)
+    receives every output record not routed to a per-job sink; it is
+    called under a lock, from executor domains, and must not call back
+    into the server.  Pass [cache] to share one compiled-model cache
+    across servers (the socket mode shares it across connections). *)
 
-val submit : t -> Job.spec -> [ `Ok of string | `Rejected | `Closed ]
+val submit :
+  ?sink:(Json.t -> unit) ->
+  t ->
+  Job.spec ->
+  [ `Ok of string | `Duplicate | `Rejected | `Closed ]
 (** Enqueue a job.  An empty [spec.id] is replaced with a fresh
     ["job-N"]; the returned id is the one status records will carry.
     The job's deadline clock starts now — time spent queued counts.
+    When [sink] is given, every record this job produces (chunks,
+    terminal status, and the failure records below) goes to it instead
+    of the server-wide [emit]; the sink is called from executor domains
+    and must do its own serialisation (the socket mode wraps each
+    connection's writer in a mutex).
+    [`Duplicate] means a job with this id is already in flight — the
+    spec is not queued and an ["invalid"] status record is emitted
+    (accepting it would clobber the in-flight job's cancel token).
     [`Rejected] (queue full) also emits the job's ["rejected"] status
     record. *)
 
@@ -80,12 +108,20 @@ val cancel : ?reason:string -> t -> job:string -> unit
 (** Request cancellation of a queued or running job by id.  Unknown or
     already-completed ids are ignored. *)
 
-val handle_line : t -> string -> unit
+val handle_line :
+  ?sink:(Json.t -> unit) -> t -> string -> [ `Queued of string | `Replied | `Quiet ]
 (** Feed one NDJSON input line: blank lines are ignored; a
     [{"type":"cancel","job":id}] control record calls {!cancel};
-    anything else is decoded as a {!Job.spec} and submitted.  Parse or
-    decode failures emit an ["invalid"] status record; a full queue
-    emits ["rejected"] — this function never raises. *)
+    anything else is decoded as a {!Job.spec} and submitted with
+    [sink].  Parse or decode failures emit an ["invalid"] status
+    record; a full queue emits ["rejected"] — this function never
+    raises.  The result tells a connection loop what the line turned
+    into: [`Queued id] — a job was accepted, expect an asynchronous
+    terminal status for [id] later; [`Replied] — the line was answered
+    synchronously (invalid / duplicate / rejected records have already
+    reached the sink); [`Quiet] — nothing was or will be emitted for
+    this line (blank, a well-formed cancel, or the server is
+    draining). *)
 
 val stats : t -> stats
 val cache : t -> Model_cache.t
@@ -93,4 +129,6 @@ val cache : t -> Model_cache.t
 val drain : t -> Json.t
 (** Close the queue, run every queued job to completion, join the
     executor domains, then emit and return the summary record
-    ([jobs]/[ok]/[failed]/[rejected] counts plus cache statistics). *)
+    ([jobs]/[ok]/[failed]/[rejected] counts plus cache statistics).
+    Idempotent: subsequent calls (from any thread) return the same
+    summary record without emitting it again. *)

@@ -253,3 +253,51 @@ a 401-row rk4 trajectory in 200-row chunks is three records:
   "type":"chunk","job":"s","seq":0
   "type":"chunk","job":"s","seq":1
   "type":"chunk","job":"s","seq":2
+
+Reusing the id of a job still in flight is refused with an "invalid"
+status (accepting it would orphan the running job's cancel token); the
+original job is unaffected and the duplicate never reaches the queue
+(the first job's 100k-step integration keeps it in flight while the
+duplicate line is read):
+
+  $ omc serve --no-timings <<'EOF' | grep -o -e '"job":"d","tenant":"t","status":"[a-z]*"' -e '"jobs":[0-9]*,"ok":[0-9]*,"failed":[0-9]*'
+  > {"id":"d","tenant":"t","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;","h":0.00001}
+  > {"id":"d","tenant":"t","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}
+  > EOF
+  "job":"d","tenant":"t","status":"invalid"
+  "job":"d","tenant":"t","status":"ok"
+  "jobs":1,"ok":1,"failed":0
+
+Socket mode serves connections concurrently against one shared server:
+each connection's NDJSON goes through its own writer, jobs from every
+connection share the compiled-model cache, the queue and the executor
+domains, and a connection's session ends with its own summary whose
+cache block is the shared cache (two sessions, one model: one compile):
+
+  $ cat > client.py <<'PY'
+  > import socket, sys
+  > s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+  > s.connect(sys.argv[1])
+  > s.sendall((sys.argv[2] + "\n").encode())
+  > s.shutdown(socket.SHUT_WR)
+  > buf = b""
+  > while True:
+  >     d = s.recv(65536)
+  >     if not d:
+  >         break
+  >     buf += d
+  > sys.stdout.write(buf.decode())
+  > PY
+  $ omc serve --socket ./omc.sock --accept 2 --executors 2 --no-timings > server.out &
+  $ SERVE_PID=$!
+  $ for i in $(seq 50); do [ -S ./omc.sock ] && break; sleep 0.1; done
+  $ python3 client.py ./omc.sock '{"id":"c1","tenant":"one","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}' > conn1.out &
+  $ CONN1=$!
+  $ python3 client.py ./omc.sock '{"id":"c2","tenant":"two","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}' > conn2.out &
+  $ CONN2=$!
+  $ wait $CONN1 $CONN2 $SERVE_PID
+  $ grep -h -o '"status":"[a-z]*"' conn1.out conn2.out
+  "status":"ok"
+  "status":"ok"
+  $ grep -h -o '"compiles":[0-9]*' conn1.out conn2.out | sort | tail -1
+  "compiles":1

@@ -359,11 +359,12 @@ let test_server_cancel () =
 
 let test_server_model_error_and_invalid () =
   let server, records = collecting_server () in
-  S.handle_line server {|{"id":"bad","source":"not a model"}|};
-  S.handle_line server "this is not json";
-  S.handle_line server {|{"id":"nomodel"}|};
-  S.handle_line server {|{"type":"frobnicate"}|};
-  S.handle_line server "";
+  let feed line = ignore (S.handle_line server line) in
+  feed {|{"id":"bad","source":"not a model"}|};
+  feed "this is not json";
+  feed {|{"id":"nomodel"}|};
+  feed {|{"type":"frobnicate"}|};
+  feed "";
   ignore (S.drain server);
   let rs = records () in
   Alcotest.(check (option string)) "model error"
@@ -418,6 +419,7 @@ let test_server_rejection_overload () =
       (fun id ->
         match S.submit server (mk id) with
         | `Ok _ -> `Ok
+        | `Duplicate -> `Duplicate
         | `Rejected -> `Rejected
         | `Closed -> `Closed)
       [ "r1"; "r2"; "r3"; "r4"; "r5"; "r6" ]
@@ -427,6 +429,8 @@ let test_server_rejection_overload () =
   let rejected = List.length (List.filter (( = ) `Rejected) outcomes) in
   Alcotest.(check int) "every submission accounted" 6 (accepted + rejected);
   Alcotest.(check bool) "nothing closed early" false (List.mem `Closed outcomes);
+  Alcotest.(check bool) "distinct ids never duplicates" false
+    (List.mem `Duplicate outcomes);
   let rs = records () in
   let ok_count =
     List.length (List.filter (fun (_, st) -> st = "ok") (statuses rs))
@@ -458,6 +462,270 @@ let test_server_summary_counts () =
     (match List.rev rs with
     | last :: _ -> str_field last "type" = Some "summary"
     | [] -> false)
+
+(* ---------- executor concurrency ---------- *)
+
+let rec wait_for ?(timeout = 30.) what pred =
+  if pred () then ()
+  else if timeout <= 0. then Alcotest.fail ("timed out waiting for " ^ what)
+  else begin
+    Unix.sleepf 0.005;
+    wait_for ~timeout:(timeout -. 0.005) what pred
+  end
+
+let test_clone_scratch_concurrent_execution () =
+  (* The regression the per-entry lock used to paper over: two domains
+     executing the same compiled artifact.  With per-domain scratch
+     clones, every concurrent run must stay bitwise equal to the
+     sequential reference. *)
+  let r = P.compile_source (decay "1.0" "2.0") in
+  let clone = P.clone_scratch r in
+  Alcotest.(check bool) "analysis shared physically" true
+    (clone.P.model == r.P.model);
+  Alcotest.(check bool) "backend scratch is private" true
+    (clone.P.compiled != r.P.compiled);
+  let final res =
+    Array.to_list
+      (Om_ode.Odesys.final_state
+         (Objectmath.Runtime.execute ~tend:1. res).trajectory)
+  in
+  let reference = final clone in
+  let run () =
+    let mine = P.clone_scratch r in
+    Array.init 25 (fun _ -> final mine)
+  in
+  let d1 = Domain.spawn run and d2 = Domain.spawn run in
+  let f1 = Domain.join d1 and f2 = Domain.join d2 in
+  Array.iter
+    (fun f ->
+      Alcotest.(check (list (float 0.))) "domain 1 bitwise" reference f)
+    f1;
+  Array.iter
+    (fun f ->
+      Alcotest.(check (list (float 0.))) "domain 2 bitwise" reference f)
+    f2
+
+let test_cache_compile_off_lock_single_flight () =
+  (* Hold a compile open via the on_compile hook: hits on other sources
+     must keep flowing (the table mutex is not held across the compile),
+     and the two racing lookups of the new source compile it once. *)
+  let s_fast = decay "1.0" "1.0" and s_slow = decay "2.0" "3.0" in
+  let entered = Atomic.make 0 and release = Atomic.make false in
+  let on_compile src =
+    if src = s_slow then begin
+      Atomic.incr entered;
+      while not (Atomic.get release) do
+        Unix.sleepf 0.001
+      done
+    end
+  in
+  let cache = MC.create ~on_compile ~capacity:4 () in
+  (match MC.lookup cache s_fast with
+  | `Miss _ -> ()
+  | `Hit _ -> Alcotest.fail "cold hit");
+  let worker () =
+    match MC.lookup cache s_slow with `Miss _ -> `M | `Hit _ -> `H
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  wait_for "slow compile entered" (fun () -> Atomic.get entered >= 1);
+  (* Give the losing lookup time to park on the in-flight latch. *)
+  Unix.sleepf 0.02;
+  (* If lookup held the cache mutex across compilation, this hit would
+     deadlock behind the held-open compile instead of returning. *)
+  (match MC.lookup cache s_fast with
+  | `Hit _ -> ()
+  | `Miss _ -> Alcotest.fail "hit blocked or lost during compile");
+  Atomic.set release true;
+  let o1 = Domain.join d1 and o2 = Domain.join d2 in
+  Alcotest.(check bool) "one compiler, one waiter-or-hit" true
+    ((o1 = `M && o2 = `H) || (o1 = `H && o2 = `M));
+  Alcotest.(check int) "single-flight: slow source compiled once" 1
+    (Atomic.get entered);
+  let st = MC.stats cache in
+  Alcotest.(check int) "two compiles total" 2 st.MC.compiles;
+  Alcotest.(check int) "both sources resident" 2 st.MC.entries
+
+let test_server_duplicate_id () =
+  (* While a job id is in flight, resubmitting it must not clobber the
+     live job's cancel token: the duplicate is refused with an "invalid"
+     status and the original completes untouched. *)
+  let server, records = collecting_server () in
+  let source = decay "1.0" "1.0" in
+  let blocker =
+    (* ~100k rk4 steps keep the lone executor busy while we submit. *)
+    { Job.default with Job.id = "blocker"; source; solver = Job.Rk4 (Some 1e-5) }
+  in
+  (match S.submit server blocker with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "blocker refused");
+  let dup = { Job.default with Job.id = "dup"; source } in
+  (match S.submit server dup with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "first dup refused");
+  (match S.submit server dup with
+  | `Duplicate -> ()
+  | `Ok _ -> Alcotest.fail "duplicate id accepted"
+  | _ -> Alcotest.fail "duplicate id mis-handled");
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "blocker ok" (Some "ok")
+    (status_of rs "blocker");
+  let dup_statuses =
+    List.sort compare
+      (List.filter_map
+         (fun (j, st) -> if j = "dup" then Some st else None)
+         (statuses rs))
+  in
+  Alcotest.(check (list string)) "dup: one invalid, one ok"
+    [ "invalid"; "ok" ] dup_statuses;
+  let st = S.stats server in
+  Alcotest.(check int) "two accepted jobs" 2 st.S.submitted;
+  Alcotest.(check int) "duplicate is not a rejection" 0 st.S.rejected
+
+let test_server_drain_idempotent () =
+  let server, records = collecting_server () in
+  ignore
+    (S.submit server { Job.default with Job.id = "j"; source = decay "1.0" "1.0" });
+  let s1 = S.drain server in
+  let s2 = S.drain server in
+  Alcotest.(check string) "second drain returns the same summary"
+    (J.to_string s1) (J.to_string s2);
+  let summaries rs =
+    List.length (List.filter (fun r -> str_field r "type" = Some "summary") rs)
+  in
+  Alcotest.(check int) "summary emitted once" 1 (summaries (records ()));
+  (* Concurrent drains agree and still emit exactly one summary. *)
+  let server2, records2 = collecting_server () in
+  ignore
+    (S.submit server2
+       { Job.default with Job.id = "k"; source = decay "1.0" "1.0" });
+  let d1 = Domain.spawn (fun () -> S.drain server2)
+  and d2 = Domain.spawn (fun () -> S.drain server2) in
+  let a = Domain.join d1 and b = Domain.join d2 in
+  Alcotest.(check string) "concurrent drains agree" (J.to_string a)
+    (J.to_string b);
+  Alcotest.(check int) "concurrent drains emit one summary" 1
+    (summaries (records2 ()));
+  Alcotest.(check (option int)) "summary counted the job" (Some 1)
+    (int_field a "jobs")
+
+let test_server_per_job_sink_routing () =
+  (* The socket mode's contract: a job's chunks and terminal status go
+     to the submitting connection's sink, never to the server-wide emit
+     (which keeps only the summary). *)
+  let server, records = collecting_server () in
+  let make_sink () =
+    let l = ref [] and m = Mutex.create () in
+    ( (fun r ->
+        Mutex.lock m;
+        l := r :: !l;
+        Mutex.unlock m),
+      fun () -> List.rev !l )
+  in
+  let sink_a, got_a = make_sink () in
+  let sink_b, got_b = make_sink () in
+  let source = decay "1.0" "2.0" in
+  (match
+     S.submit ~sink:sink_a server
+       { Job.default with Job.id = "a"; source; chunk = 150 }
+   with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "submit a failed");
+  (match
+     S.handle_line ~sink:sink_b server
+       (Printf.sprintf {|{"id":"b","source":"%s"}|} source)
+   with
+  | `Queued id -> Alcotest.(check string) "queued id" "b" id
+  | _ -> Alcotest.fail "expected `Queued");
+  (match S.handle_line ~sink:sink_b server "not json at all" with
+  | `Replied -> ()
+  | _ -> Alcotest.fail "expected `Replied for bad JSON");
+  ignore (S.drain server);
+  let a_rs = got_a () and b_rs = got_b () in
+  Alcotest.(check bool) "a got chunks and status" true
+    (List.exists (fun r -> str_field r "type" = Some "chunk") a_rs
+    && status_of a_rs "a" = Some "ok");
+  Alcotest.(check bool) "every record in sink a is job a's" true
+    (List.for_all (fun r -> str_field r "job" = Some "a") a_rs);
+  Alcotest.(check (option string)) "b ok via its sink" (Some "ok")
+    (status_of b_rs "b");
+  Alcotest.(check bool) "bad JSON answered on sink b" true
+    (List.exists (fun (_, st) -> st = "invalid") (statuses b_rs));
+  Alcotest.(check bool) "server-wide emit got no job records" true
+    (List.for_all (fun r -> str_field r "type" = Some "summary") (records ()))
+
+let test_server_executors_overlap_same_model () =
+  (* The tentpole witness: with two executors and one model, a short job
+     finishes while a long job on the same compiled artifact is still
+     running.  A per-artifact execution lock would serialise them and
+     this test would time out waiting for the short job. *)
+  let config = { S.default_config with S.executors = 2 } in
+  let server, records = collecting_server ~config () in
+  let source = decay "1.0" "2.0" in
+  let long =
+    (* ~1e8 rk4 steps: effectively runs until cancelled. *)
+    { Job.default with Job.id = "long"; source; solver = Job.Rk4 (Some 1e-8) }
+  in
+  (match S.submit server long with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "long refused");
+  wait_for "long job compiled its model" (fun () ->
+      (MC.stats (S.cache server)).MC.compiles >= 1);
+  (match
+     S.submit server { Job.default with Job.id = "short"; source }
+   with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "short refused");
+  wait_for "short job finished during the long job" (fun () ->
+      status_of (records ()) "short" <> None);
+  Alcotest.(check (option string)) "short ok while long runs" (Some "ok")
+    (status_of (records ()) "short");
+  Alcotest.(check (option string)) "long still in flight" None
+    (status_of (records ()) "long");
+  S.cancel server ~job:"long" ~reason:"overlap witnessed";
+  ignore (S.drain server);
+  Alcotest.(check (option string)) "long cancelled" (Some "cancelled")
+    (status_of (records ()) "long");
+  let cs = MC.stats (S.cache server) in
+  Alcotest.(check int) "both jobs shared one compile" 1 cs.MC.compiles
+
+let finals_with_executors n =
+  let config = { S.default_config with S.executors = n } in
+  let server, records = collecting_server ~config () in
+  let sources =
+    [ decay "1.0" "2.0"; decay "0.5" "1.0"; decay "2.0" "3.0" ]
+  in
+  List.iteri
+    (fun i src ->
+      List.iter
+        (fun k ->
+          match
+            S.submit server
+              { Job.default with
+                Job.id = Printf.sprintf "m%d-%d" i k;
+                source = src }
+          with
+          | `Ok _ -> ()
+          | _ -> Alcotest.fail "submit refused")
+        [ 0; 1 ])
+    sources;
+  ignore (S.drain server);
+  List.filter_map
+    (fun r ->
+      match (str_field r "type", str_field r "job", J.member r "final") with
+      | Some "status", Some j, Some f -> Some (j, J.to_string f)
+      | _ -> None)
+    (records ())
+  |> List.sort compare
+
+let test_server_bitwise_across_executor_counts () =
+  (* Same burst, 1 vs 4 executors: per-job final states must be
+     bitwise identical — concurrency must not touch numerics. *)
+  let one = finals_with_executors 1 in
+  let four = finals_with_executors 4 in
+  Alcotest.(check int) "all jobs completed" 6 (List.length one);
+  Alcotest.(check (list (pair string string)))
+    "finals identical across executor counts" one four
 
 let () =
   Alcotest.run "om_serve"
@@ -509,5 +777,22 @@ let () =
             test_server_rejection_overload;
           Alcotest.test_case "summary counts" `Quick
             test_server_summary_counts;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "clone_scratch concurrent execution" `Quick
+            test_clone_scratch_concurrent_execution;
+          Alcotest.test_case "compile off-lock, single-flight" `Quick
+            test_cache_compile_off_lock_single_flight;
+          Alcotest.test_case "duplicate in-flight id refused" `Quick
+            test_server_duplicate_id;
+          Alcotest.test_case "drain idempotent" `Quick
+            test_server_drain_idempotent;
+          Alcotest.test_case "per-job sink routing" `Quick
+            test_server_per_job_sink_routing;
+          Alcotest.test_case "two executors overlap on one model" `Quick
+            test_server_executors_overlap_same_model;
+          Alcotest.test_case "bitwise identity across executor counts" `Quick
+            test_server_bitwise_across_executor_counts;
         ] );
     ]
