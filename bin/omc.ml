@@ -46,6 +46,35 @@ let builtin_arg =
            ~doc:"Use a builtin model: bearing2d, powerplant, servo, \
                  bearing3d.")
 
+(* --jac-mode NAME: auto | dense | sparse | banded:ML:MU. *)
+let parse_jac_mode s =
+  match String.lowercase_ascii s with
+  | "auto" -> Om_ode.Odesys.Auto
+  | "dense" -> Om_ode.Odesys.Dense
+  | "sparse" -> Om_ode.Odesys.Sparse
+  | other -> (
+      match String.split_on_char ':' other with
+      | [ "banded"; ml; mu ] -> (
+          match (int_of_string_opt ml, int_of_string_opt mu) with
+          | Some ml, Some mu when ml >= 0 && mu >= 0 ->
+              Om_ode.Odesys.Banded (ml, mu)
+          | _ ->
+              Printf.eprintf "omc: bad band widths in --jac-mode %s\n" s;
+              exit 2)
+      | _ ->
+          Printf.eprintf
+            "omc: unknown jac mode %s (auto, dense, sparse, banded:ML:MU)\n" s;
+          exit 2)
+
+let jac_mode_arg =
+  Arg.(value & opt string "auto"
+       & info [ "jac-mode" ] ~docv:"MODE"
+           ~doc:"Newton-matrix strategy for the stiff solver path: \
+                 $(b,auto), $(b,dense), $(b,sparse) or $(b,banded:ML:MU). \
+                 $(b,auto) takes the colored-column sparse path on large \
+                 sparse systems; trajectories are bitwise-identical \
+                 across modes.")
+
 let load file builtin =
   match model_source file builtin with
   | Error e ->
@@ -248,8 +277,9 @@ let read_start_values path fm =
       y0)
 
 let simulate_cmd =
-  let run file builtin tend solver hstep csv plot init_file =
+  let run file builtin tend solver hstep csv plot init_file jac_mode =
     let _, fm = load file builtin in
+    let jac_mode = parse_jac_mode jac_mode in
     let sys = Om_ode.Odesys.of_equations fm.equations in
     let y0 =
       match init_file with
@@ -260,7 +290,8 @@ let simulate_cmd =
       try
         match solver with
         | "lsoda" ->
-            (Om_ode.Lsoda.integrate sys ~t0:0. ~y0 ~tend).trajectory
+            (Om_ode.Lsoda.integrate ~jac_mode sys ~t0:0. ~y0 ~tend)
+              .trajectory
         | "rkf45" -> Om_ode.Rk.rkf45 sys ~t0:0. ~y0 ~tend
         | "rk4" ->
             let h = match hstep with Some h -> h | None -> tend /. 1000. in
@@ -279,6 +310,13 @@ let simulate_cmd =
     Printf.printf
       "simulated %s to t=%g: %d steps, %d RHS calls, %d Jacobians\n" fm.name
       tend sys.counters.steps sys.counters.rhs_calls sys.counters.jac_calls;
+    (match Om_ode.Jacobian.mode_stats ~jac_mode sys with
+    | mode, Some (nnz, colors) ->
+        Printf.printf
+          "jacobian: %s, %d structural nonzeros of %d x %d, %d colors (%d \
+           RHS evals per fd Jacobian)\n"
+          mode nnz sys.dim sys.dim colors (colors + 1)
+    | _, None -> ());
     if csv then begin
       Printf.printf "t,%s\n"
         (String.concat "," (Array.to_list sys.names));
@@ -341,15 +379,16 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Integrate the model's ODE system")
     Term.(const run $ file_arg $ builtin_arg $ tend $ solver $ hstep $ csv
-          $ plot $ init_file)
+          $ plot $ init_file $ jac_mode_arg)
 
 (* ---- bench ---- *)
 
 let bench_cmd =
   let run file builtin machine workers tend needed_only semidynamic fanout
       domains chaos_nan chaos_inf chaos_stall stall_micros chaos_spawn
-      barrier_deadline no_guard =
+      barrier_deadline no_guard jac_mode =
     let _, fm = load file builtin in
+    let jac_mode = parse_jac_mode jac_mode in
     let r = Om_codegen.Pipeline.compile fm in
     let m =
       match machine with
@@ -408,6 +447,7 @@ let bench_cmd =
         guard = not no_guard;
         faults;
         barrier_deadline;
+        jac_mode;
       }
     in
     let rep =
@@ -443,6 +483,13 @@ let bench_cmd =
             %.1f calls/s\n  supervisor messaging: %.4f s\n"
            fm.name m.name workers rep.rhs_calls rep.sim_seconds
            rep.rhs_calls_per_sec rep.supervisor_comm_seconds);
+    (match rep.jac_sparsity with
+    | Some (nnz, colors) ->
+        Printf.printf
+          "  jacobian: %s, %d structural nonzeros, %d colors (%d Jacobian \
+           evaluations)\n"
+          rep.jac_mode nnz colors rep.jac_calls
+    | None -> ());
     if rep.faults_injected > 0 || rep.retries > 0 || rep.degradations <> []
     then begin
       Printf.printf "  chaos: %d fault(s) injected, %d solver retry(ies)\n"
@@ -541,7 +588,7 @@ let bench_cmd =
     Term.(const run $ file_arg $ builtin_arg $ machine $ workers $ tend
           $ needed_only $ semidynamic $ fanout $ domains $ chaos_nan
           $ chaos_inf $ chaos_stall $ stall_micros $ chaos_spawn
-          $ barrier_deadline $ no_guard)
+          $ barrier_deadline $ no_guard $ jac_mode_arg)
 
 (* ---- sweep / ensemble ---- *)
 

@@ -83,13 +83,64 @@ let compile t ~state_names =
     Array.iter (fun row -> Array.fill row 0 dim 0.) m;
     List.iter (fun (r, c, f) -> m.(r).(c) <- f env) root_steps
 
+let pattern t =
+  Om_ode.Sparse.pattern_of_entries ~rows:t.dim ~cols:t.dim
+    (List.map (fun (r, c, _) -> (r, c)) t.entries)
+
+let compile_values t ~state_names =
+  let dim = t.dim in
+  if Array.length state_names <> dim then
+    invalid_arg "Jacobian_gen.compile_values: state_names length mismatch";
+  let pat = pattern t in
+  let temp_names =
+    List.map (fun (b : Cse.binding) -> b.name) t.block.temps
+  in
+  let names =
+    Array.concat [ state_names; [| "t" |]; Array.of_list temp_names ]
+  in
+  let env = Array.make (Array.length names) 0. in
+  let slot_of =
+    let h = Hashtbl.create 64 in
+    Array.iteri (fun i n -> Hashtbl.replace h n i) names;
+    Hashtbl.find h
+  in
+  let temp_steps =
+    List.map
+      (fun (b : Cse.binding) ->
+        (slot_of b.name, Om_expr.Eval.eval_fn names b.expr))
+      t.block.temps
+  in
+  (* Each root target lands at its compressed slot in [pat]'s CSR value
+     order, so the closure matches [Odesys.t.sjac]'s contract. *)
+  let root_steps =
+    List.map
+      (fun (tgt, e) ->
+        let r, c = target_coords tgt in
+        let k = Om_ode.Sparse.index pat r c in
+        assert (k >= 0);
+        (k, Om_expr.Eval.eval_fn names e))
+      t.block.roots
+  in
+  let nnz = Om_ode.Sparse.nnz pat in
+  let f time y (v : float array) =
+    Array.blit y 0 env 0 dim;
+    env.(dim) <- time;
+    List.iter (fun (slot, f) -> env.(slot) <- f env) temp_steps;
+    Array.fill v 0 nnz 0.;
+    List.iter (fun (k, f) -> v.(k) <- f env) root_steps
+  in
+  (pat, f)
+
 let to_odesys (fm : Om_lang.Flat_model.t) =
   let state_names = Om_lang.Flat_model.state_names fm in
   let base =
     Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false fm.equations
   in
-  let jac = compile (generate fm) ~state_names in
-  Om_ode.Odesys.make ~names:state_names ~jac ~dim:base.dim base.f
+  let g = generate fm in
+  let jac = compile g ~state_names in
+  let sparsity, sjac = compile_values g ~state_names in
+  Om_ode.Odesys.make ~names:state_names ~jac ~sparsity ~sjac ~dim:base.dim
+    base.f
 
 let fortran t ~state_names ~model_name =
   let buf = Buffer.create 4096 in

@@ -37,9 +37,25 @@ val compile :
   float -> float array -> Om_ode.Linalg.mat -> unit
 (** Executable form, suitable for [Odesys.make ~jac]. *)
 
+val pattern : t -> Om_ode.Sparse.pattern
+(** CSR sparsity pattern of the structurally nonzero entries (those whose
+    symbolic derivative is not identically zero). *)
+
+val compile_values :
+  t ->
+  state_names:string array ->
+  Om_ode.Sparse.pattern * (float -> float array -> float array -> unit)
+(** Compressed executable form: the pattern together with a closure
+    writing the entry values in the pattern's CSR order, suitable for
+    [Odesys.make ~sparsity ~sjac].  Shares the CSE'd block with
+    {!compile}, so dense and compressed evaluations are bitwise equal
+    entry for entry. *)
+
 val to_odesys : Om_lang.Flat_model.t -> Om_ode.Odesys.t
 (** Build an ODE system whose RHS is the direct evaluation of the model
-    and whose Jacobian is the generated sparse code. *)
+    and whose Jacobian is the generated sparse code — attached both as a
+    dense writer ([jac]) and as a compressed-column pair
+    ([sparsity]/[sjac]), so every {!Odesys.jac_mode} is available. *)
 
 val fortran : t -> state_names:string array -> model_name:string -> Fortran.source
 (** A [subroutine JAC(t, yin, pd)] filling the dense matrix [pd]

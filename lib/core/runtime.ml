@@ -18,6 +18,7 @@ type config = {
   barrier_deadline : float;
   retry_budget : int;
   cancel : Om_guard.Cancel.t option;
+  jac_mode : Om_ode.Odesys.jac_mode;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     barrier_deadline = 0.;
     retry_budget = 8;
     cancel = None;
+    jac_mode = Om_ode.Odesys.Auto;
   }
 
 type solver = Rk4 of float | Rkf45 | Lsoda
@@ -52,6 +54,9 @@ type report = {
   retries : int;
   faults_injected : int;
   degradations : Om_guard.Om_error.degradation list;
+  jac_mode : string;
+  jac_sparsity : (int * int) option;
+  jac_calls : int;
 }
 
 let task_arrays (r : Om_codegen.Pipeline.result) =
@@ -86,12 +91,22 @@ let simulate_round config (r : Om_codegen.Pipeline.result) assignment costs =
   (round.duration +. epilogue, round.supervisor_busy, utilization,
    round.worker_compute)
 
-let solve ?max_retries solver sys ~t0 ~tend ~y0 =
+let solve ?max_retries ?jac_mode ?jac_batch solver sys ~t0 ~tend ~y0 =
   match solver with
   | Rk4 h ->
       Om_ode.Rk.integrate_fixed ?max_retries Om_ode.Rk.rk4 sys ~t0 ~y0 ~tend ~h
   | Rkf45 -> Om_ode.Rk.rkf45 ?max_retries sys ~t0 ~y0 ~tend
-  | Lsoda -> (Om_ode.Lsoda.integrate ?max_retries sys ~t0 ~y0 ~tend).trajectory
+  | Lsoda ->
+      (Om_ode.Lsoda.integrate ?max_retries ?jac_mode ?jac_batch sys ~t0 ~y0
+         ~tend)
+        .trajectory
+
+(* The structural Jacobian pattern of the model, attached to every system
+   the runtime builds: the compiled RHS evaluates the same equations, so
+   the symbolic read sets are its exact sparsity, and the stiff solvers
+   can take the colored-column sparse path under [config.jac_mode]. *)
+let model_sparsity (r : Om_codegen.Pipeline.result) =
+  Om_ode.Odesys.pattern_of_equations r.model.equations
 
 (* The post-round finite guard, armed by [config.guard]: scans the
    derivative vector after every RHS evaluation and raises a typed
@@ -149,13 +164,18 @@ let execute_real config ~nworkers ~solver ~t0 ~tend
     let sys =
       Om_ode.Odesys.make
         ~names:(Array.copy compiled.state_names)
-        ~dim:compiled.dim f
+        ~sparsity:(model_sparsity r) ~dim:compiled.dim f
     in
     let start = Unix.gettimeofday () in
-    let trajectory = solve ~max_retries:config.retry_budget solver sys ~t0
-        ~tend ~y0 in
+    let trajectory =
+      solve ~max_retries:config.retry_budget ~jac_mode:config.jac_mode solver
+        sys ~t0 ~tend ~y0
+    in
     let wall = Unix.gettimeofday () -. start in
     let rhs_calls = sys.counters.rhs_calls in
+    let jac_mode, jac_sparsity =
+      Om_ode.Jacobian.mode_stats ~jac_mode:config.jac_mode sys
+    in
     {
       trajectory;
       rhs_calls;
@@ -175,6 +195,9 @@ let execute_real config ~nworkers ~solver ~t0 ~tend
         | None -> 0
         | Some p -> Om_guard.Fault_plan.injected p);
       degradations = List.rev !degradations;
+      jac_mode;
+      jac_sparsity;
+      jac_calls = sys.counters.jac_calls;
     }
   in
   let run_with nworkers =
@@ -245,11 +268,32 @@ let execute_real config ~nworkers ~solver ~t0 ~tend
     let sys =
       Om_ode.Odesys.make
         ~names:(Array.copy compiled.state_names)
-        ~dim:compiled.dim f
+        ~sparsity:(model_sparsity r) ~dim:compiled.dim f
+    in
+    let jac_mode, jac_sparsity =
+      Om_ode.Jacobian.mode_stats ~jac_mode:config.jac_mode sys
+    in
+    (* When the stiff path will take the sparse route, its colored
+       finite-difference column groups are themselves independent RHS
+       evaluations — spread them over a second pool of scratch clones
+       (supervisor/worker again, one level down). *)
+    let par_jac =
+      match (solver, jac_mode) with
+      | Lsoda, "sparse" when nworkers >= 2 ->
+          Some (Om_parallel.Par_jac.create ~nworkers r)
+      | _ -> None
     in
     let start = Unix.gettimeofday () in
     let trajectory =
-      solve ~max_retries:config.retry_budget solver sys ~t0 ~tend ~y0
+      Fun.protect
+        ~finally:(fun () ->
+          match par_jac with
+          | Some pj -> Om_parallel.Par_jac.shutdown pj
+          | None -> ())
+        (fun () ->
+          solve ~max_retries:config.retry_budget ~jac_mode:config.jac_mode
+            ?jac_batch:(Option.map Om_parallel.Par_jac.batch_rhs par_jac)
+            solver sys ~t0 ~tend ~y0)
     in
     let wall = Unix.gettimeofday () -. start in
     let rhs_calls = sys.counters.rhs_calls in
@@ -270,6 +314,9 @@ let execute_real config ~nworkers ~solver ~t0 ~tend
       retries = sys.counters.retries;
       faults_injected = Om_parallel.Par_exec.faults_injected exec;
       degradations = List.rev !degradations;
+      jac_mode;
+      jac_sparsity;
+      jac_calls = sys.counters.jac_calls;
     }
   in
   (* Spawn-failure rungs: each failed pool construction retries with one
@@ -386,17 +433,21 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
   in
   let sys =
     Om_ode.Odesys.make ~names:(Array.copy compiled.state_names)
-      ~dim:compiled.dim f
+      ~sparsity:(model_sparsity r) ~dim:compiled.dim f
   in
   let y0 = Om_lang.Flat_model.initial_values r.model in
   let solver =
     match solver with Some s -> s | None -> Rk4 ((tend -. t0) /. 400.)
   in
   let trajectory =
-    solve ~max_retries:config.retry_budget solver sys ~t0 ~tend ~y0
+    solve ~max_retries:config.retry_budget ~jac_mode:config.jac_mode solver
+      sys ~t0 ~tend ~y0
   in
   let rhs_calls = sys.counters.rhs_calls in
   let total = !sim_seconds +. !sched_overhead in
+  let jac_mode, jac_sparsity =
+    Om_ode.Jacobian.mode_stats ~jac_mode:config.jac_mode sys
+  in
   {
     trajectory;
     rhs_calls;
@@ -416,6 +467,9 @@ let execute_simulated ?(config = default_config) ?solver ?(t0 = 0.) ~tend
       | None -> 0
       | Some p -> Om_guard.Fault_plan.injected p);
     degradations = [];
+    jac_mode;
+    jac_sparsity;
+    jac_calls = sys.counters.jac_calls;
   }
 
 let execute ?(config = default_config) ?solver ?(t0 = 0.) ~tend r =

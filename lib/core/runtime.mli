@@ -75,6 +75,12 @@ type config = {
           [Om_guard.Om_error.Cancelled] / [Deadline_exceeded] fault,
           aborting the integration at the next round — the serve layer's
           per-job deadline enforcement. *)
+  jac_mode : Om_ode.Odesys.jac_mode;
+      (** Newton-matrix strategy for the stiff solver path (default
+          [Auto]).  Every runtime system carries the model's structural
+          sparsity pattern (the equations' read sets), so [Auto] takes
+          the colored-column sparse path on large sparse models;
+          trajectories are bitwise-identical across modes. *)
 }
 
 val default_config : config
@@ -126,6 +132,16 @@ type report = {
   degradations : Om_guard.Om_error.degradation list;
       (** degradation-ladder steps taken, oldest first: spawn-time
           worker drops, mid-run stall drops, fall to sequential *)
+  jac_mode : string;
+      (** resolved Newton-matrix strategy the stiff path uses (or would
+          use): ["dense"], ["banded:ml:mu"] or ["sparse"] *)
+  jac_sparsity : (int * int) option;
+      (** [(nnz, colors)] of the sparse Jacobian: structural nonzeros
+          and the number of compressed column groups (= RHS evaluations
+          per finite-difference Jacobian, against [dim + 1] dense);
+          [None] when the resolved mode is not sparse *)
+  jac_calls : int;
+      (** Jacobian evaluations performed ([Odesys.counters.jac_calls]) *)
 }
 
 val execute :

@@ -159,6 +159,96 @@ let check ?chaos (m : A.model) : result =
           if ka <> kb && not (Om_graph.Digraph.mem_edge cond ka kb) then
             fail "scc" "edge %d->%d lost by the condensation" a b)
         (Om_graph.Digraph.edges g);
+      (* ---- Jacobian: symbolic vs numeric, pattern superset, colored
+              compression -------------------------------------------- *)
+      (match Om_ode.Odesys.of_equations f.equations with
+      | exception _ -> ()
+      | sys_sym when FM.dim f > 0 -> (
+          let jnames = FM.state_names f in
+          let y = FM.initial_values f in
+          let tprobe = 0.1 in
+          let sys_num =
+            Om_ode.Odesys.of_equations ~with_symbolic_jacobian:false
+              f.equations
+          in
+          match
+            ( Om_ode.Jacobian.analytic sys_sym tprobe y,
+              Om_ode.Jacobian.numeric sys_num tprobe y,
+              Om_ode.Jacobian.numeric ~eps:(-1e-8) sys_num tprobe y )
+          with
+          | exception _ -> ()
+          | sym, num, num_bwd ->
+              let all_finite =
+                Array.for_all (Array.for_all Float.is_finite)
+              in
+              (* Explosive generated dynamics can overflow at the probe
+                 point; the invariant only speaks about finite values. *)
+              if all_finite sym && all_finite num then begin
+                (* Symbolic and forward-difference Jacobians must agree
+                   within the fd truncation error — except at kinks
+                   (min/max/abs ties), where the derivative does not
+                   exist and the branch conventions legitimately differ.
+                   A kink is detected as forward and backward
+                   differences disagreeing. *)
+                let tol = 2e-3 in
+                let agree a b =
+                  Float.abs (a -. b)
+                  <= tol *. (1. +. Float.abs a +. Float.abs b)
+                in
+                Array.iteri
+                  (fun i row ->
+                    Array.iteri
+                      (fun j s ->
+                        let smooth =
+                          Float.is_finite num_bwd.(i).(j)
+                          && agree num.(i).(j) num_bwd.(i).(j)
+                        in
+                        if smooth && not (agree s num.(i).(j)) then
+                          fail "jacobian"
+                            "d%s/d%s: symbolic %g vs numeric %g" jnames.(i)
+                            jnames.(j) s num.(i).(j))
+                      row)
+                  sym;
+                (* The declared read-set pattern must cover every numeric
+                   nonzero exactly: a perturbation outside the pattern
+                   cannot change f_i, so out-of-pattern differences are
+                   identically zero. *)
+                (match sys_num.sparsity with
+                | None -> fail "jacobian-pattern" "of_equations lost the pattern"
+                | Some pat ->
+                    Array.iteri
+                      (fun i row ->
+                        Array.iteri
+                          (fun j v ->
+                            if v <> 0. && not (Om_ode.Sparse.mem pat i j)
+                            then
+                              fail "jacobian-pattern"
+                                "numeric nonzero d%s/d%s = %g outside the \
+                                 structural pattern"
+                                jnames.(i) jnames.(j) v)
+                          row)
+                      num);
+                (* Colored compressed columns must decompress to the
+                   dense forward differences bitwise. *)
+                match
+                  Om_ode.Jacobian.plan ~jac_mode:Om_ode.Odesys.Sparse sys_num
+                with
+                | Om_ode.Jacobian.Sparse_plan ctx ->
+                    Om_ode.Jacobian.sparse_eval_into sys_num ctx tprobe y;
+                    let pat = ctx.spat in
+                    for i = 0 to FM.dim f - 1 do
+                      for k = pat.row_ptr.(i) to pat.row_ptr.(i + 1) - 1 do
+                        let j = pat.col_ind.(k) in
+                        if bits ctx.sj.v.(k) <> bits num.(i).(j) then
+                          fail "jacobian-colored"
+                            "compressed d%s/d%s: %h differs bitwise from \
+                             the uncompressed difference %h"
+                            jnames.(i) jnames.(j) ctx.sj.v.(k) num.(i).(j)
+                      done
+                    done
+                | _ -> fail "jacobian-colored" "sparse plan not taken"
+              end)
+      | _ -> ());
       (* ---- pipeline ------------------------------------------------ *)
       (match Om_codegen.Pipeline.compile f with
       | exception exn ->

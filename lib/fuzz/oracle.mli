@@ -19,6 +19,17 @@
     - {b schedule}: LPT on 1/2/4 processors and the semi-dynamic
       rescheduler produce valid schedules — every task exactly once, on
       a processor in range, with consistent loads and makespan;
+    - {b jacobian} / {b jacobian-pattern} / {b jacobian-colored}: the
+      symbolically derived Jacobian agrees with forward differences
+      within the fd truncation tolerance (finite entries only, and
+      skipping kinks — min/max/abs ties, detected as forward and
+      backward differences disagreeing — where the derivative does not
+      exist and the subgradient branch convention legitimately differs
+      from a one-sided difference); every
+      numerically nonzero fd entry lies inside the declared read-set
+      sparsity pattern (the superset property colored compression needs);
+      and the colored compressed-column evaluation decompresses to the
+      uncompressed forward differences bitwise;
     - {b trajectory}: bitwise ([Int64.bits_of_float]) identity of the
       full RK4 trajectory across the raw-equation interpreter, compiled
       closures, the register VM with and without the peephole pass, the

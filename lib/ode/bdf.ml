@@ -1,22 +1,43 @@
-let solve_implicit_stage ?banded (sys : Odesys.t) ~tol ~max_iter ~t_next
-    ~beta_h ~rhs_const ~alpha0 ~y_guess =
+let solve_implicit_stage_with (jplan : Jacobian.plan) (sys : Odesys.t) ~tol
+    ~max_iter ~t_next ~beta_h ~rhs_const ~alpha0 ~y_guess =
   let n = sys.dim in
+  (* A structurally/numerically singular Newton matrix can never
+     converge, so it joins the Newton taxonomy instead of escaping as a
+     raw linear-algebra exception (callers like LSODA answer
+     [Newton_failure] with step reduction). *)
+  let singular () =
+    Om_guard.Om_error.(
+      error (Newton_failure { time = t_next; iterations = 0 }))
+  in
   (* Modified Newton: factor [alpha0*I - beta_h*J] at the predictor and
      reuse the factorisation for every iteration of this step.  With a
      declared band structure the factorisation runs in the band
-     (ODEPACK's banded-Jacobian option). *)
-  let j = Linalg.make n n 0. in
-  Jacobian.eval_into sys t_next y_guess j;
+     (ODEPACK's banded-Jacobian option); with a sparsity pattern the
+     Jacobian is evaluated in compressed colored columns and factored
+     by the sparse LU — bitwise the dense results (see {!Sparse}). *)
   let solve =
-    match banded with
-    | None ->
+    match jplan with
+    | Jacobian.Sparse_plan ctx -> (
+        Jacobian.sparse_eval_into sys ctx t_next y_guess;
+        Sparse.newton_assemble ctx.newton ~jac:ctx.sj ~alpha:alpha0
+          ~beta:beta_h;
+        match Sparse.lu_factor (Sparse.newton_matrix ctx.newton) with
+        | lu -> Sparse.lu_solve lu
+        | exception Linalg.Singular _ -> singular ())
+    | Jacobian.Dense_plan -> (
+        let j = Linalg.make n n 0. in
+        Jacobian.eval_into sys t_next y_guess j;
         let m =
           Array.init n (fun i ->
               Array.init n (fun k ->
                   (if i = k then alpha0 else 0.) -. (beta_h *. j.(i).(k))))
         in
-        Linalg.lu_solve (Linalg.lu_factor m)
-    | Some (ml, mu) ->
+        match Linalg.lu_factor m with
+        | lu -> Linalg.lu_solve lu
+        | exception Linalg.Singular _ -> singular ())
+    | Jacobian.Banded_plan (ml, mu) -> (
+        let j = Linalg.make n n 0. in
+        Jacobian.eval_into sys t_next y_guess j;
         let b = Banded.create ~n ~ml ~mu in
         for i = 0 to n - 1 do
           for k = max 0 (i - ml) to min (n - 1) (i + mu) do
@@ -24,7 +45,9 @@ let solve_implicit_stage ?banded (sys : Odesys.t) ~tol ~max_iter ~t_next
               ((if i = k then alpha0 else 0.) -. (beta_h *. j.(i).(k)))
           done
         done;
-        Banded.lu_solve (Banded.lu_factor b)
+        match Banded.lu_factor b with
+        | lu -> Banded.lu_solve lu
+        | exception Linalg.Singular _ -> singular ())
   in
   sys.counters.lu_factorisations <- sys.counters.lu_factorisations + 1;
   let y = Array.copy y_guess in
@@ -51,6 +74,12 @@ let solve_implicit_stage ?banded (sys : Odesys.t) ~tol ~max_iter ~t_next
   iterate 0;
   y
 
+let solve_implicit_stage ?banded ?jac_mode (sys : Odesys.t) ~tol ~max_iter
+    ~t_next ~beta_h ~rhs_const ~alpha0 ~y_guess =
+  solve_implicit_stage_with
+    (Jacobian.plan ?jac_mode ?banded sys)
+    sys ~tol ~max_iter ~t_next ~beta_h ~rhs_const ~alpha0 ~y_guess
+
 (* alpha0 and history coefficients of fixed-step BDF k:
    alpha0 * y_{n+1} = sum_i coeff_i * y_{n-i} + h * f_{n+1}. *)
 let formula = function
@@ -60,9 +89,11 @@ let formula = function
   | k -> invalid_arg (Printf.sprintf "Bdf: unsupported order %d" k)
 
 let integrate ?(order = 2) ?(newton_tol = 1e-10) ?(max_newton = 25) ?banded
-    (sys : Odesys.t) ~t0 ~y0 ~tend ~h =
+    ?jac_mode ?jac_batch (sys : Odesys.t) ~t0 ~y0 ~tend ~h =
   if order < 1 || order > 3 then invalid_arg "Bdf.integrate: order in 1..3";
   if h <= 0. then invalid_arg "Bdf.integrate: nonpositive step";
+  (* One plan (and one sparse workspace) for the whole integration. *)
+  let jplan = Jacobian.plan ?jac_mode ?banded ?batch:jac_batch sys in
   let n = sys.dim in
   let ts = ref [ t0 ] and ys = ref [ Array.copy y0 ] in
   (* History of accepted states, most recent first. *)
@@ -84,8 +115,9 @@ let integrate ?(order = 2) ?(newton_tol = 1e-10) ?(max_newton = 25) ?banded
     in
     let t_next = !t +. h' in
     let y =
-      solve_implicit_stage ?banded sys ~tol:newton_tol ~max_iter:max_newton
-        ~t_next ~beta_h:h' ~rhs_const ~alpha0 ~y_guess:harr.(0)
+      solve_implicit_stage_with jplan sys ~tol:newton_tol
+        ~max_iter:max_newton ~t_next ~beta_h:h' ~rhs_const ~alpha0
+        ~y_guess:harr.(0)
     in
     t := t_next;
     sys.counters.steps <- sys.counters.steps + 1;

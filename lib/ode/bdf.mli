@@ -7,25 +7,34 @@
     factorised once per step and reused across iterations (modified
     Newton); the Jacobian comes from the system's analytic function when
     available, otherwise finite differences.  [banded] declares the
-    Jacobian's band structure (see {!Banded}). *)
+    Jacobian's band structure (see {!Banded}); [jac_mode] selects the
+    dense/banded/sparse Newton path ({!Odesys.jac_mode}, default
+    [Auto]), with the sparse path producing trajectories bitwise equal
+    to the dense one (see {!Sparse}). *)
 
 val integrate :
   ?order:int ->
   ?newton_tol:float ->
   ?max_newton:int ->
   ?banded:int * int ->
+  ?jac_mode:Odesys.jac_mode ->
+  ?jac_batch:Jacobian.batch_rhs ->
   Odesys.t ->
   t0:float ->
   y0:float array ->
   tend:float ->
   h:float ->
   Odesys.trajectory
-(** @raise Invalid_argument for orders outside 1..3.
+(** [jac_batch] lets the sparse finite-difference path evaluate its
+    colored column groups through a caller-supplied (possibly parallel)
+    batch evaluator.
+    @raise Invalid_argument for orders outside 1..3.
     @raise Om_guard.Om_error.Error ([Newton_failure]) if Newton fails to
-    converge. *)
+    converge or the iteration matrix is singular. *)
 
 val solve_implicit_stage :
   ?banded:int * int ->
+  ?jac_mode:Odesys.jac_mode ->
   Odesys.t ->
   tol:float ->
   max_iter:int ->
@@ -38,6 +47,23 @@ val solve_implicit_stage :
 (** Solve [alpha0 * y = rhs_const + beta_h * f(t_next, y)] by modified
     Newton; shared with the LSODA-style driver.  With [banded = (ml, mu)]
     the Newton matrix factorises inside the band in O(n (ml+mu)^2) — the
-    right choice for method-of-lines PDE systems.
-    @raise Om_guard.Om_error.Error ([Newton_failure]) on
-    non-convergence. *)
+    right choice for method-of-lines PDE systems.  Resolves the Jacobian
+    plan per call; drivers that step repeatedly should resolve once with
+    {!Jacobian.plan} and call {!solve_implicit_stage_with}.
+    @raise Om_guard.Om_error.Error ([Newton_failure]) on non-convergence
+    or a singular iteration matrix. *)
+
+val solve_implicit_stage_with :
+  Jacobian.plan ->
+  Odesys.t ->
+  tol:float ->
+  max_iter:int ->
+  t_next:float ->
+  beta_h:float ->
+  rhs_const:float array ->
+  alpha0:float ->
+  y_guess:float array ->
+  float array
+(** {!solve_implicit_stage} against a pre-resolved plan, so the sparse
+    workspace (pattern, coloring, fd buffers) is built once per
+    integration rather than once per step. *)

@@ -3,7 +3,13 @@
 val numeric :
   ?eps:float -> Odesys.t -> float -> float array -> Linalg.mat
 (** Forward-difference approximation; [dim + 1] RHS evaluations, the
-    "usually very expensive" internal path of LSODA the paper mentions. *)
+    "usually very expensive" internal path of LSODA the paper mentions.
+    Bumps [counters.jac_calls]. *)
+
+val numeric_into :
+  ?eps:float -> Odesys.t -> float -> float array -> Linalg.mat -> unit
+(** In-place {!numeric}; bumps [counters.jac_calls] exactly once like
+    every other evaluation entry point. *)
 
 val analytic : Odesys.t -> float -> float array -> Linalg.mat
 (** Use the system's analytic Jacobian when present, else fall back to
@@ -12,3 +18,72 @@ val analytic : Odesys.t -> float -> float array -> Linalg.mat
 val eval_into :
   ?eps:float -> Odesys.t -> float -> float array -> Linalg.mat -> unit
 (** In-place version of {!analytic}, used by the BDF inner loop. *)
+
+(** {1 Sparse evaluation and jac-mode resolution} *)
+
+type batch_rhs = float -> float array array -> float array array -> unit
+(** [batch t ys outs] evaluates the RHS at every point of [ys], writing
+    into the matching rows of [outs].  The points are independent, so an
+    implementation may run them in parallel (Par_jac in the parallel
+    library); results are bitwise those of sequential evaluation under
+    any scheduling because each point runs the same code on the same
+    inputs. *)
+
+type sparse_ctx = {
+  spat : Sparse.pattern;
+  coloring : Sparse.coloring;
+  sj : Sparse.t;  (** current Jacobian values *)
+  fd : Sparse.fd_ws;
+  f0 : float array;
+  newton : Sparse.newton;
+  batch : batch_rhs option;
+}
+(** Per-integration workspace for the sparse Newton path: pattern,
+    coloring, value storage, colored-fd buffers and the assembled
+    [alpha*I - beta*J] matrix.  Built once by {!plan}. *)
+
+val sparse_ctx : ?batch:batch_rhs -> Odesys.t -> sparse_ctx option
+(** [None] when the system declares no sparsity pattern. *)
+
+(** Resolved Newton-matrix strategy for a whole integration. *)
+type plan =
+  | Dense_plan
+  | Banded_plan of int * int
+  | Sparse_plan of sparse_ctx
+
+val plan :
+  ?jac_mode:Odesys.jac_mode ->
+  ?banded:int * int ->
+  ?batch:batch_rhs ->
+  Odesys.t ->
+  plan
+(** Resolve a {!Odesys.jac_mode} (default [Auto]) against the system.
+    An explicit [banded] argument (the pre-existing solver option) wins
+    for compatibility.  [Auto] selects the sparse path when a pattern
+    is declared, [dim >= 16] and the density is at most [0.25] —
+    below that size the dense factorisation is at least as fast and
+    the workspace is not worth building.  [Sparse] without a declared
+    pattern falls back to the dense path (the always-available
+    fallback). *)
+
+val sparse_eval_into :
+  ?eps:float -> Odesys.t -> sparse_ctx -> float -> float array -> unit
+(** Evaluate the Jacobian into [ctx.sj]: through the system's sparse
+    analytic writer when present, else by colored forward differences
+    (one RHS evaluation per color plus the base point — bitwise the
+    dense forward differences on every structural entry).  Bumps
+    [counters.jac_calls]; the fd path bumps [counters.rhs_calls] by
+    [colors + 1]. *)
+
+val plan_stats : plan -> string * (int * int) option
+(** Human-readable mode name, plus [(nnz, colors)] for the sparse
+    plan — surfaced in the runtime report and [omc --jac-mode]. *)
+
+val mode_stats :
+  ?jac_mode:Odesys.jac_mode ->
+  ?banded:int * int ->
+  Odesys.t ->
+  string * (int * int) option
+(** {!plan_stats} of the plan {!plan} would resolve, without building
+    the sparse workspace — for reporting paths that never factor a
+    matrix themselves. *)

@@ -29,6 +29,8 @@ val integrate :
   ?stiffness_window:int ->
   ?start_mode:mode ->
   ?max_retries:int ->
+  ?jac_mode:Odesys.jac_mode ->
+  ?jac_batch:Jacobian.batch_rhs ->
   Odesys.t ->
   t0:float ->
   y0:float array ->
@@ -40,6 +42,11 @@ val integrate :
     halving — bounded by [max_retries] (default 8) consecutive attempts.
     Newton non-convergence inside a BDF attempt keeps its classic
     treatment (reject, quarter the step).
+    [jac_mode] (default [Auto], see {!Odesys.jac_mode}) selects the
+    Newton-matrix path for the stiff regime — the sparse path is
+    bitwise-identical to the dense one — and [jac_batch] supplies an
+    optional parallel evaluator for the colored finite-difference
+    column groups.
     @raise Om_guard.Om_error.Error ([Step_failure]) when the step count
     budget (default 2_000_000), the retry budget, or the minimum step
     size is exhausted. *)

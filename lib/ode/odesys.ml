@@ -8,12 +8,16 @@ type counters = {
   mutable retries : int;
 }
 
+type jac_mode = Dense | Banded of int * int | Sparse | Auto
+
 type t = {
   dim : int;
   names : string array;
   f : float -> float array -> float array -> unit;
   jac : (float -> float array -> Linalg.mat -> unit) option;
   symbolic : (string * Om_expr.Expr.t) list option;
+  mutable sparsity : Sparse.pattern option;
+  mutable sjac : (float -> float array -> float array -> unit) option;
   counters : counters;
 }
 
@@ -43,7 +47,7 @@ let pp_counters ppf c =
     c.steps c.rhs_calls c.jac_calls c.rejected c.newton_iters
     c.lu_factorisations c.retries
 
-let make ?names ?jac ~dim f =
+let make ?names ?jac ?sparsity ?sjac ~dim f =
   let names =
     match names with
     | Some a ->
@@ -52,7 +56,12 @@ let make ?names ?jac ~dim f =
         a
     | None -> Array.init dim (Printf.sprintf "y%d")
   in
-  { dim; names; f; jac; symbolic = None; counters = fresh_counters () }
+  (match sparsity with
+  | Some (p : Sparse.pattern) when p.rows <> dim || p.cols <> dim ->
+      invalid_arg "Odesys.make: sparsity shape mismatch"
+  | _ -> ());
+  { dim; names; f; jac; symbolic = None; sparsity; sjac;
+    counters = fresh_counters () }
 
 let rhs_into sys t y ydot =
   sys.counters.rhs_calls <- sys.counters.rhs_calls + 1;
@@ -62,6 +71,28 @@ let rhs sys t y =
   let ydot = Array.make sys.dim 0. in
   rhs_into sys t y ydot;
   ydot
+
+(* Structural sparsity: column j appears in row i iff equation i reads
+   state j.  This is the exact read set of the RHS — a superset of the
+   nonzero-derivative positions — which is what colored finite
+   differences need: a perturbation outside the pattern cannot change
+   f_i, so out-of-pattern forward differences are exactly [+0.]. *)
+let pattern_of_equations eqs =
+  let dim = List.length eqs in
+  let names = Array.of_list (List.map fst eqs) in
+  let index = Hashtbl.create (2 * dim) in
+  Array.iteri (fun i s -> Hashtbl.replace index s i) names;
+  let entries =
+    List.concat
+      (List.mapi
+         (fun i (_, e) ->
+           List.filter_map
+             (fun v ->
+               Option.map (fun c -> (i, c)) (Hashtbl.find_opt index v))
+             (Om_expr.Expr.vars e))
+         eqs)
+  in
+  Sparse.pattern_of_entries ~rows:dim ~cols:dim entries
 
 let of_equations ?(time_var = "t") ?(with_symbolic_jacobian = true) eqs =
   let states = List.map fst eqs in
@@ -96,29 +127,41 @@ let of_equations ?(time_var = "t") ?(with_symbolic_jacobian = true) eqs =
       ydot.(i) <- fns.(i) buf
     done
   in
-  let jac =
-    if not with_symbolic_jacobian then None
-    else
-      let entries =
-        List.map
-          (fun (_, e) ->
-            Array.map
-              (fun s -> Om_expr.Eval.eval_fn layout (Om_expr.Deriv.diff s e))
-              names)
-          eqs
-        |> Array.of_list
+  let sparsity = pattern_of_equations eqs in
+  let jac, sjac =
+    if not with_symbolic_jacobian then (None, None)
+    else begin
+      (* One derivative closure per structural entry, in CSR order. *)
+      let eq_arr = Array.of_list (List.map snd eqs) in
+      let ders =
+        Array.init (Sparse.nnz sparsity) (fun _ -> (0, 0, fun _ -> 0.))
       in
-      Some
-        (fun t y (m : Linalg.mat) ->
-          Array.blit y 0 buf 0 dim;
-          buf.(dim) <- t;
-          for i = 0 to dim - 1 do
-            for j = 0 to dim - 1 do
-              m.(i).(j) <- entries.(i).(j) buf
-            done
-          done)
+      for i = 0 to dim - 1 do
+        for k = sparsity.row_ptr.(i) to sparsity.row_ptr.(i + 1) - 1 do
+          let c = sparsity.col_ind.(k) in
+          ders.(k) <-
+            ( i,
+              c,
+              Om_expr.Eval.eval_fn layout
+                (Om_expr.Deriv.diff names.(c) eq_arr.(i)) )
+        done
+      done;
+      let jac t y (m : Linalg.mat) =
+        Array.blit y 0 buf 0 dim;
+        buf.(dim) <- t;
+        Array.iter (fun row -> Array.fill row 0 dim 0.) m;
+        Array.iter (fun (i, c, d) -> m.(i).(c) <- d buf) ders
+      in
+      let sjac t y (v : float array) =
+        Array.blit y 0 buf 0 dim;
+        buf.(dim) <- t;
+        Array.iteri (fun k (_, _, d) -> v.(k) <- d buf) ders
+      in
+      (Some jac, Some sjac)
+    end
   in
-  { dim; names; f; jac; symbolic = Some eqs; counters = fresh_counters () }
+  { dim; names; f; jac; symbolic = Some eqs; sparsity = Some sparsity; sjac;
+    counters = fresh_counters () }
 
 type trajectory = { ts : float array; states : float array array }
 

@@ -19,6 +19,16 @@ type counters = {
           [Rk] and [Lsoda] *)
 }
 
+type jac_mode = Dense | Banded of int * int | Sparse | Auto
+(** How the stiff solvers evaluate and factor the Newton matrix.
+    [Dense] is the classic full-matrix path; [Banded (ml, mu)] declares
+    the band structure (see {!Banded}); [Sparse] uses the system's
+    sparsity pattern with colored compressed columns and the sparse LU
+    of {!Sparse}; [Auto] (every solver's default) picks [Sparse] when a
+    pattern is known, the dimension is large enough, and the density is
+    low enough to pay off, else [Dense].  Dense and sparse produce
+    bitwise-identical trajectories (see {!Sparse}). *)
+
 type t = {
   dim : int;
   names : string array;  (** state variable names, length [dim] *)
@@ -28,6 +38,14 @@ type t = {
       (** Optional analytic Jacobian df/dy, written in place. *)
   symbolic : (string * Om_expr.Expr.t) list option;
       (** [(state, rhs)] pairs when elaborated from equations. *)
+  mutable sparsity : Sparse.pattern option;
+      (** Structural nonzeros of df/dy — the RHS read sets, a superset
+          of the nonzero-derivative positions.  Enables the sparse
+          Newton path. *)
+  mutable sjac : (float -> float array -> float array -> unit) option;
+      (** Optional analytic sparse Jacobian: [sjac t y v] writes the
+          values of every structural entry into [v] in the CSR order of
+          [sparsity]. *)
   counters : counters;
 }
 
@@ -41,15 +59,27 @@ val pp_counters : counters Fmt.t
 val make :
   ?names:string array ->
   ?jac:(float -> float array -> Linalg.mat -> unit) ->
+  ?sparsity:Sparse.pattern ->
+  ?sjac:(float -> float array -> float array -> unit) ->
   dim:int ->
   (float -> float array -> float array -> unit) ->
   t
+(** @raise Invalid_argument when [names] or [sparsity] shapes disagree
+    with [dim]. *)
 
 val rhs : t -> float -> float array -> float array
 (** Allocating wrapper around [f] that bumps the call counter. *)
 
 val rhs_into : t -> float -> float array -> float array -> unit
 (** Non-allocating [f] call that bumps the call counter. *)
+
+val pattern_of_equations : (string * Om_expr.Expr.t) list -> Sparse.pattern
+(** The read-set sparsity pattern of symbolic equations: entry [(i, j)]
+    is structural iff equation [i]'s right-hand side mentions state [j].
+    A superset of the nonzero-derivative positions, safe for colored
+    finite differences — useful for attaching a pattern to a system
+    whose RHS is compiled separately (e.g. the runtime's task-parallel
+    evaluator) but whose equations are known. *)
 
 val of_equations :
   ?time_var:string -> ?with_symbolic_jacobian:bool ->
@@ -59,7 +89,10 @@ val of_equations :
     side may reference any state variable and the time variable (default
     ["t"]).  With [with_symbolic_jacobian] (default true) the analytic
     Jacobian is derived symbolically, the paper's "extra function dedicated
-    to computing the Jacobian".
+    to computing the Jacobian".  The structural sparsity pattern (each
+    equation's state read set) is always recorded in [sparsity]; with the
+    symbolic Jacobian enabled, the per-entry derivatives are also compiled
+    into a sparse writer [sjac].
     @raise Invalid_argument on duplicate states or free variables that are
     neither states nor time. *)
 

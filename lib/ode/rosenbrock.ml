@@ -8,20 +8,30 @@
 
 let gamma = 1. +. (1. /. Float.sqrt 2.)
 
-let make_solver ?banded (sys : Odesys.t) t y h =
+let make_solver_with (jplan : Jacobian.plan) (sys : Odesys.t) t y h =
   let n = sys.dim in
-  let j = Linalg.make n n 0. in
-  Jacobian.eval_into sys t y j;
   sys.counters.lu_factorisations <- sys.counters.lu_factorisations + 1;
-  match banded with
-  | None ->
+  match jplan with
+  | Jacobian.Sparse_plan ctx ->
+      Jacobian.sparse_eval_into sys ctx t y;
+      (* The ROS2 matrix is the Newton shape with alpha = 1 and
+         beta = gamma*h: the dense path computes [1 - (gamma*h)*J_ii]
+         with [gamma *. h] rounded first, so pass the product. *)
+      Sparse.newton_assemble ctx.newton ~jac:ctx.sj ~alpha:1.
+        ~beta:(gamma *. h);
+      Sparse.lu_solve (Sparse.lu_factor (Sparse.newton_matrix ctx.newton))
+  | Jacobian.Dense_plan ->
+      let j = Linalg.make n n 0. in
+      Jacobian.eval_into sys t y j;
       let m =
         Array.init n (fun i ->
             Array.init n (fun k ->
                 (if i = k then 1. else 0.) -. (gamma *. h *. j.(i).(k))))
       in
       Linalg.lu_solve (Linalg.lu_factor m)
-  | Some (ml, mu) ->
+  | Jacobian.Banded_plan (ml, mu) ->
+      let j = Linalg.make n n 0. in
+      Jacobian.eval_into sys t y j;
       let b = Banded.create ~n ~ml ~mu in
       for i = 0 to n - 1 do
         for k = max 0 (i - ml) to min (n - 1) (i + mu) do
@@ -31,9 +41,9 @@ let make_solver ?banded (sys : Odesys.t) t y h =
       done;
       Banded.lu_solve (Banded.lu_factor b)
 
-let step ?banded (sys : Odesys.t) t y h =
+let step_with jplan (sys : Odesys.t) t y h =
   let n = sys.dim in
-  let solve = make_solver ?banded sys t y h in
+  let solve = make_solver_with jplan sys t y h in
   let f1 = Odesys.rhs sys t y in
   let k1 = solve f1 in
   let y2 = Array.init n (fun i -> y.(i) +. (h *. k1.(i))) in
@@ -43,13 +53,19 @@ let step ?banded (sys : Odesys.t) t y h =
   Array.init n (fun i ->
       y.(i) +. (h *. ((1.5 *. k1.(i)) +. (0.5 *. k2.(i)))))
 
-let integrate ?banded (sys : Odesys.t) ~t0 ~y0 ~tend ~h =
+let step ?banded ?jac_mode (sys : Odesys.t) t y h =
+  step_with (Jacobian.plan ?jac_mode ?banded sys) sys t y h
+
+let integrate ?banded ?jac_mode ?jac_batch (sys : Odesys.t) ~t0 ~y0 ~tend ~h
+    =
   if h <= 0. then invalid_arg "Rosenbrock.integrate: nonpositive step";
+  (* One plan (and one sparse workspace) for the whole integration. *)
+  let jplan = Jacobian.plan ?jac_mode ?banded ?batch:jac_batch sys in
   let ts = ref [ t0 ] and ys = ref [ Array.copy y0 ] in
   let t = ref t0 and y = ref (Array.copy y0) in
   while !t < tend -. 1e-12 do
     let h' = Float.min h (tend -. !t) in
-    y := step ?banded sys !t !y h';
+    y := step_with jplan sys !t !y h';
     t := !t +. h';
     sys.counters.steps <- sys.counters.steps + 1;
     ts := !t :: !ts;

@@ -13,15 +13,24 @@
 
 val step :
   ?banded:int * int ->
+  ?jac_mode:Odesys.jac_mode ->
   Odesys.t ->
   float ->
   float array ->
   float ->
   float array
-(** [step sys t y h] advances one step of size [h]. *)
+(** [step sys t y h] advances one step of size [h].  Resolves the
+    Jacobian plan per call; see {!step_with} for repeated stepping. *)
+
+val step_with :
+  Jacobian.plan -> Odesys.t -> float -> float array -> float -> float array
+(** {!step} against a pre-resolved {!Jacobian.plan}, so the sparse
+    workspace is built once per integration rather than once per step. *)
 
 val integrate :
   ?banded:int * int ->
+  ?jac_mode:Odesys.jac_mode ->
+  ?jac_batch:Jacobian.batch_rhs ->
   Odesys.t ->
   t0:float ->
   y0:float array ->
@@ -29,5 +38,7 @@ val integrate :
   h:float ->
   Odesys.trajectory
 (** Fixed-step integration (the final step is shortened to land on
-    [tend]).  @raise Invalid_argument on a nonpositive step.
+    [tend]).  [jac_mode] (default [Auto]) selects the dense/banded/sparse
+    path for [I - gamma h J]; the sparse path is bitwise-identical to the
+    dense one.  @raise Invalid_argument on a nonpositive step.
     @raise Linalg.Singular if [I - gamma h J] degenerates. *)

@@ -1,0 +1,50 @@
+(** Parallel evaluation of colored finite-difference column groups.
+
+    The sparse Jacobian path ({!Om_ode.Jacobian.sparse_eval_into})
+    perturbs one seed vector per {e color} and recovers every column of
+    that color from a single RHS evaluation.  The per-color evaluations
+    are independent, so they map directly onto the supervisor/worker
+    scheme of the paper: this module spreads them over a
+    {!Domain_pool}, each worker evaluating through its own scratch
+    clone of the compiled model
+    ({!Om_codegen.Pipeline.clone_scratch}).
+
+    Work is distributed by an atomic ticket counter, and every group's
+    result lands in its caller-assigned slot, so the output is
+    bitwise-deterministic regardless of scheduling — and bitwise equal
+    to the sequential evaluation, because the clones run the same
+    bytecode on the same inputs. *)
+
+type rhs = float -> float array -> float array -> unit
+
+type t
+
+val create : ?nworkers:int -> Om_codegen.Pipeline.result -> t
+(** [create compiled] spawns a worker pool (default
+    [Domain.recommended_domain_count () - 1], at least 1) whose workers
+    evaluate [compiled]'s RHS through private scratch clones.
+    @raise Invalid_argument if [nworkers < 1].
+    @raise Om_guard.Om_error.Error ([Spawn_failure]) if a domain cannot
+    be spawned. *)
+
+val create_with : rhs array -> t
+(** [create_with rhss] builds an evaluator over caller-supplied
+    per-worker RHS closures ([rhss.(w)] is worker [w]'s private
+    evaluator; closures must not share mutable scratch).
+    @raise Invalid_argument on an empty array. *)
+
+val batch : t -> float -> float array array -> float array array -> unit
+(** [batch t time pts vals] evaluates [vals.(i) <- f(time, pts.(i))] for
+    every [i], spreading the evaluations over the pool.  Waits for all
+    workers; a typed fault raised by any evaluation is re-raised here
+    (see {!Domain_pool.round}).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val batch_rhs : t -> Om_ode.Jacobian.batch_rhs
+(** The evaluator as a solver hook, for
+    [Bdf.integrate ~jac_batch:(Par_jac.batch_rhs t)] and friends. *)
+
+val nworkers : t -> int
+
+val shutdown : t -> unit
+(** Terminate the worker domains.  Idempotent. *)

@@ -734,6 +734,115 @@ let test_lsoda_budget_exhausted () =
       Alcotest.(check string) "solver named" "lsoda" solver;
       Alcotest.(check int) "budget spent" 8 retries
 
+(* ---------- sparse stiff regression ---------- *)
+
+(* A method-of-lines heat equation: 32 states, tridiagonal Jacobian,
+   stiff enough (lambda_max ~ 4/dx^2) to drive LSODA into BDF.  The
+   dense and sparse Newton paths must produce Int64-bitwise identical
+   trajectories — the whole design contract of [Om_ode.Sparse]. *)
+let heat_system ~with_symbolic_jacobian () =
+  let f = Om_pde.Discretize.heat_1d ~n:34 () in
+  ( Odesys.of_equations ~with_symbolic_jacobian f.Om_lang.Flat_model.equations,
+    Om_lang.Flat_model.initial_values f )
+
+let check_bitwise_traj name (a : Odesys.trajectory) (b : Odesys.trajectory) =
+  let beq x y = Int64.bits_of_float x = Int64.bits_of_float y in
+  Alcotest.(check bool) (name ^ ": same times") true
+    (Array.for_all2 beq a.ts b.ts);
+  Alcotest.(check bool) (name ^ ": states bitwise") true
+    (Array.for_all2 (fun ra rb -> Array.for_all2 beq ra rb) a.states b.states)
+
+let test_bdf_sparse_matches_dense_bitwise () =
+  List.iter
+    (fun symbolic ->
+      let name = if symbolic then "symbolic" else "fd" in
+      let run jac_mode =
+        let sys, y0 = heat_system ~with_symbolic_jacobian:symbolic () in
+        Bdf.integrate ~jac_mode sys ~t0:0. ~y0 ~tend:0.05 ~h:1e-3
+      in
+      check_bitwise_traj ("bdf " ^ name) (run Odesys.Dense) (run Odesys.Sparse))
+    [ true; false ]
+
+let test_lsoda_sparse_matches_dense_bitwise () =
+  List.iter
+    (fun symbolic ->
+      let name = if symbolic then "symbolic" else "fd" in
+      let run jac_mode =
+        let sys, y0 = heat_system ~with_symbolic_jacobian:symbolic () in
+        let res = Lsoda.integrate ~jac_mode sys ~t0:0. ~y0 ~tend:0.2 in
+        (* The sparse path only matters if the driver actually entered
+           its BDF regime. *)
+        Alcotest.(check bool) (name ^ ": entered BDF") true
+          (List.exists (fun (_, m) -> m = Lsoda.Bdf_mode) res.switches);
+        res.trajectory
+      in
+      check_bitwise_traj ("lsoda " ^ name) (run Odesys.Dense)
+        (run Odesys.Sparse))
+    [ true; false ]
+
+(* Auto resolves to the sparse path on this system (32 states,
+   tridiagonal) and must still be bitwise the explicit modes. *)
+let test_auto_resolves_sparse_and_matches () =
+  let sys, _ = heat_system ~with_symbolic_jacobian:true () in
+  (match Jacobian.mode_stats sys with
+  | "sparse", Some (nnz, colors) ->
+      Alcotest.(check int) "tridiagonal nnz" 94 nnz;
+      Alcotest.(check int) "tridiagonal colors" 3 colors
+  | mode, _ -> Alcotest.failf "Auto resolved to %s" mode);
+  let run jac_mode =
+    let sys, y0 = heat_system ~with_symbolic_jacobian:true () in
+    Bdf.integrate ~jac_mode sys ~t0:0. ~y0 ~tend:0.05 ~h:1e-3
+  in
+  check_bitwise_traj "auto" (run Odesys.Auto) (run Odesys.Sparse)
+
+(* Singular iteration matrices surface as the same typed Newton_failure
+   in every jac mode (the solver's step-shrinking taxonomy, not an
+   untyped linear-algebra exception). *)
+let test_sparse_singular_newton_failure () =
+  List.iter
+    (fun jac_mode ->
+      let pat = Om_ode.Sparse.pattern_of_entries ~rows:2 ~cols:2
+          [ (0, 0); (1, 1) ]
+      in
+      let sys =
+        Odesys.make ~sparsity:pat
+          ~jac:(fun _ _ m ->
+            m.(0).(0) <- 1.;
+            m.(0).(1) <- 0.;
+            m.(1).(0) <- 0.;
+            m.(1).(1) <- 1.)
+          ~sjac:(fun _ _ v ->
+            v.(0) <- 1.;
+            v.(1) <- 1.)
+          ~dim:2
+          (fun _ y ydot ->
+            ydot.(0) <- y.(0);
+            ydot.(1) <- y.(1))
+      in
+      (* alpha0 = beta_h and J = I make M = alpha0*I - beta_h*J = 0. *)
+      Alcotest.check_raises "singular Newton matrix is typed"
+        (Ge.Error (Ge.Newton_failure { time = 0.; iterations = 0 }))
+        (fun () ->
+          ignore
+            (Bdf.solve_implicit_stage ~jac_mode sys ~tol:1e-10 ~max_iter:4
+               ~t_next:0. ~beta_h:1. ~rhs_const:[| 0.; 0. |] ~alpha0:1.
+               ~y_guess:[| 1.; 1. |])))
+    [ Odesys.Dense; Odesys.Sparse ]
+
+(* Every numeric-Jacobian entry point bumps jac_calls exactly once and
+   costs dim + 1 RHS evaluations. *)
+let test_numeric_jacobian_counts_once () =
+  let sys = clean_decay () in
+  let m = Array.make_matrix 1 1 0. in
+  Jacobian.numeric_into sys 0. [| 1. |] m;
+  Alcotest.(check int) "jac_calls after numeric_into" 1
+    sys.Odesys.counters.Odesys.jac_calls;
+  Alcotest.(check int) "rhs calls = dim + 1" 2
+    sys.Odesys.counters.Odesys.rhs_calls;
+  ignore (Jacobian.numeric sys 0. [| 1. |]);
+  Alcotest.(check int) "jac_calls after numeric" 2
+    sys.Odesys.counters.Odesys.jac_calls
+
 let () =
   let q = Qcheck_seed.to_alcotest in
   Alcotest.run "om_ode"
@@ -823,6 +932,19 @@ let () =
           Alcotest.test_case "time event" `Quick test_event_time_function;
           Alcotest.test_case "multiple functions" `Quick
             test_event_multiple_functions;
+        ] );
+      ( "sparse regression",
+        [
+          Alcotest.test_case "bdf dense = sparse bitwise" `Quick
+            test_bdf_sparse_matches_dense_bitwise;
+          Alcotest.test_case "lsoda dense = sparse bitwise" `Quick
+            test_lsoda_sparse_matches_dense_bitwise;
+          Alcotest.test_case "auto resolves sparse" `Quick
+            test_auto_resolves_sparse_and_matches;
+          Alcotest.test_case "singular Newton matrix typed" `Quick
+            test_sparse_singular_newton_failure;
+          Alcotest.test_case "numeric jac_calls counted once" `Quick
+            test_numeric_jacobian_counts_once;
         ] );
       ( "backoff",
         [
