@@ -1083,7 +1083,7 @@ let write_serve_json path ~nmodels ~repeats ~tend ~steps rows =
      compiles, hits, p50_ms, p95_ms, p99_ms) list *)
   let buf = Buffer.create 1024 in
   let num v = Printf.sprintf "%.6g" v in
-  Buffer.add_string buf "{\n  \"schema\": \"objectmath-bench-serve/2\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"objectmath-bench-serve/3\",\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"models\": %d,\n  \"repeats\": %d,\n  \"tend\": %s,\n  \
@@ -1123,6 +1123,12 @@ let write_serve_json path ~nmodels ~repeats ~tend ~steps rows =
      series is still recorded for cross-machine comparison). *)
   Buffer.add_string buf
     (ratio "same_model_x2_over_x1" "same-model-x2" "same-model-x1");
+  Buffer.add_string buf ",\n";
+  (* Durability cost: a warm same-model burst with the write-ahead
+     journal on, as a fraction of the identical journal-free burst.
+     Group-commit fsync keeps this near 1.0 (< 1.05 is the acceptance
+     bar). *)
+  Buffer.add_string buf (ratio "journal_overhead" "journal-off" "journal-on");
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   Buffer.output_buffer oc buf;
@@ -1179,7 +1185,9 @@ let serve_run ~nmodels ~repeats () =
     "%d fuzz models x %d repeats = %d jobs per series (%d rk4 steps each)\n\n"
     (List.length models) repeats (List.length jobs) steps;
   let now = Om_parallel.Monotonic.now in
-  let run_series ?(executors = 1) label cache_capacity jobs =
+  let journal_path = Filename.concat out_dir "bench_serve.journal" in
+  let run_series ?(executors = 1) ?(journal = false) ?(recover_first = false)
+      label cache_capacity jobs =
     let njobs = List.length jobs in
     let latencies = ref [] in
     let mu = Mutex.create () in
@@ -1206,11 +1214,31 @@ let serve_run ~nmodels ~repeats () =
         timings = true;
       }
     in
-    let server = Om_serve.Server.create ~config ~emit () in
     let t0 = now () in
+    let server =
+      if journal then begin
+        if (not recover_first) && Sys.file_exists journal_path then
+          Sys.remove journal_path;
+        (* recovery series: replay an existing journal and re-enqueue the
+           crashed jobs; the measured wall covers replay + re-execution *)
+        let replay =
+          match Om_serve.Journal.replay journal_path with
+          | Ok r -> r
+          | Error msg -> failwith msg
+        in
+        let j = Om_serve.Journal.open_append journal_path in
+        let server = Om_serve.Server.create ~config ~journal:j ~emit () in
+        ignore (Om_serve.Server.recover server replay);
+        server
+      end
+      else Om_serve.Server.create ~config ~emit ()
+    in
     List.iter (fun j -> ignore (Om_serve.Server.submit server j)) jobs;
     ignore (Om_serve.Server.drain server);
     let wall = now () -. t0 in
+    (* the recovery series submits nothing itself: its jobs all come
+       from the journal, so count terminal statuses instead *)
+    let njobs = max njobs (List.length !latencies) in
     let cs = Om_serve.Model_cache.stats (Om_serve.Server.cache server) in
     let sorted = Array.of_list !latencies in
     Array.sort compare sorted;
@@ -1250,7 +1278,76 @@ let serve_run ~nmodels ~repeats () =
   in
   let sm1 = run_series ~executors:1 "same-model-x1" 64 (hot_jobs "x1") in
   let sm2 = run_series ~executors:2 "same-model-x2" 64 (hot_jobs "x2") in
-  let rows = [ cold; warm; sm1; sm2 ] in
+  (* Durability: the warm series again with the write-ahead journal on —
+     every accept fsynced (group commit) before its job runs. *)
+  let rename tag =
+    List.map (fun j ->
+        { j with Om_serve.Job.id = tag ^ "-" ^ j.Om_serve.Job.id })
+  in
+  (* Durability: group-commit fsync overhead, measured on a warm burst
+     long enough for batching to amortise.  Per-job fsync would show up
+     here as a multi-x slowdown; group commit (executors block on their
+     accept's fsync only, terminal records ride later batches) keeps
+     the journal-on/journal-off gap within a few percent. *)
+  let journal_burst tag =
+    List.init (32 * repeats) (fun i ->
+        {
+          Om_serve.Job.default with
+          Om_serve.Job.id = Printf.sprintf "%s-%d" tag i;
+          tenant = "durable";
+          source = hot_source;
+          solver = Om_serve.Job.Rk4 (Some (tend /. float_of_int hot_steps));
+          tend;
+        })
+  in
+  (* Paired interleaved rounds for the overhead ratio: on a loaded
+     single-core machine a ~100ms series varies ±20% run to run, which
+     would drown the few percent the journal actually costs (and any
+     scheme that picks each side's run independently compares a lucky
+     run against an unlucky one).  Each round runs journal-off then
+     journal-on back to back, sharing ambient load, and the reported
+     rows aggregate all rounds — total jobs over total wall — so
+     transient stalls fall out of both sides alike. *)
+  let aggregate rows =
+    let label, cap, ex, _, _, _, _, _, _, _, _ = List.hd rows in
+    let sum f = List.fold_left (fun a r -> a +. f r) 0. rows in
+    let sumi f = List.fold_left (fun a r -> a + f r) 0 rows in
+    let njobs = sumi (fun (_, _, _, n, _, _, _, _, _, _, _) -> n) in
+    let wall = sum (fun (_, _, _, _, _, w, _, _, _, _, _) -> w) in
+    let med f =
+      let a = Array.of_list (List.map f rows) in
+      Array.sort compare a;
+      a.(Array.length a / 2)
+    in
+    ( label, cap, ex, njobs, float_of_int njobs /. wall, wall,
+      sumi (fun (_, _, _, _, _, _, c, _, _, _, _) -> c),
+      sumi (fun (_, _, _, _, _, _, _, h, _, _, _) -> h),
+      med (fun (_, _, _, _, _, _, _, _, p, _, _) -> p),
+      med (fun (_, _, _, _, _, _, _, _, _, p, _) -> p),
+      med (fun (_, _, _, _, _, _, _, _, _, _, p) -> p) )
+  in
+  let pairs =
+    List.init 3 (fun _ ->
+        let off = run_series "journal-off" 64 (journal_burst "jb") in
+        let on_ =
+          run_series ~journal:true "journal-on" 64 (journal_burst "jo")
+        in
+        (off, on_))
+  in
+  let jbase = aggregate (List.map fst pairs) in
+  let wj = aggregate (List.map snd pairs) in
+  (* Recovery: journal a burst of accepts with no terminal records (a
+     crashed server), then measure replay + re-execution to drain. *)
+  let crashed = rename "crash" jobs in
+  if Sys.file_exists journal_path then Sys.remove journal_path;
+  let j = Om_serve.Journal.open_append journal_path in
+  List.iter (fun s -> ignore (Om_serve.Journal.record_accept j s)) crashed;
+  Om_serve.Journal.close j;
+  let recov =
+    run_series ~journal:true ~recover_first:true "recovery" 64 []
+  in
+  if Sys.file_exists journal_path then Sys.remove journal_path;
+  let rows = [ cold; warm; sm1; sm2; jbase; wj; recov ] in
   let path = Filename.concat out_dir "BENCH_serve.json" in
   write_serve_json path ~nmodels:(List.length models) ~repeats ~tend ~steps
     rows;
@@ -1262,6 +1359,12 @@ let serve_run ~nmodels ~repeats () =
   Printf.printf
     "same-model x2/x1 throughput: %.2fx (scratch-clone executor overlap)\n"
     (series_jps sm2 /. series_jps sm1);
+  Printf.printf
+    "journal overhead: %.3fx journal-off throughput (group-commit fsync; \
+     < 1.05 is the acceptance bar)\n"
+    (series_jps jbase /. series_jps wj);
+  Printf.printf "recovery drain: %.1f jobs/s from a cold journal replay\n"
+    (series_jps recov);
   Printf.printf "machine-readable results written to %s\n" path
 
 let serve_bench () = serve_run ~nmodels:12 ~repeats:6 ()

@@ -792,7 +792,9 @@ let ensemble_cmd =
 (* ---- serve ---- *)
 
 let serve_cmd =
-  let run socket accept queue executors cache_capacity no_timings =
+  let run socket accept queue executors cache_capacity no_timings journal_path
+      retries retry_backoff quota_queued quota_running deadline_margin
+      result_cache =
     let resolve name =
       Option.map (fun f -> f ()) (List.assoc_opt name builtin_models)
     in
@@ -804,6 +806,12 @@ let serve_cmd =
         cache_capacity;
         timings = not no_timings;
         resolve;
+        max_queued_per_tenant = quota_queued;
+        max_running_per_tenant = quota_running;
+        default_retries = retries;
+        retry_backoff_s = retry_backoff;
+        deadline_margin;
+        result_cache_capacity = result_cache;
       }
     in
     let write_record oc record =
@@ -815,10 +823,38 @@ let serve_cmd =
         flush oc
       with Sys_error _ -> ()
     in
+    (* Durability: replay the journal before serving (re-enqueueing the
+       previous process's unfinished jobs exactly once), then append to
+       the same file.  A corrupt journal is a hard startup error — the
+       operator must not silently lose accepted work. *)
+    let start_server ~emit =
+      match journal_path with
+      | None -> Om_serve.Server.create ~config ~emit ()
+      | Some path -> (
+          match Om_serve.Journal.replay path with
+          | Error msg ->
+              Printf.eprintf "omc: %s\n" msg;
+              exit 2
+          | Ok replay ->
+              let journal = Om_serve.Journal.open_append path in
+              let server =
+                Om_serve.Server.create ~config ~journal ~emit ()
+              in
+              let recovered = Om_serve.Server.recover server replay in
+              if recovered > 0 then
+                emit
+                  (Om_serve.Json.Obj
+                     [
+                       ("type", Om_serve.Json.Str "recovered");
+                       ("jobs", Om_serve.Json.Int recovered);
+                       ( "torn_tail",
+                         Om_serve.Json.Bool replay.Om_serve.Journal.torn_tail
+                       );
+                     ]);
+              server)
+    in
     let serve_stdin () =
-      let server =
-        Om_serve.Server.create ~config ~emit:(write_record stdout) ()
-      in
+      let server = start_server ~emit:(write_record stdout) in
       (try
          let rec loop () =
            ignore (Om_serve.Server.handle_line server (input_line stdin));
@@ -858,7 +894,10 @@ let serve_cmd =
         Mutex.unlock wmutex;
         match (field record "type", field record "status", field record "job")
         with
-        | Some "status", Some "rejected", _ -> incr rejected
+        | Some "status", Some status, _
+          when String.length status >= 8 && String.sub status 0 8 = "rejected"
+          ->
+            incr rejected
         | Some "status", Some "invalid", _ -> ()
         | Some "status", Some status, Some job ->
             Mutex.lock pmutex;
@@ -927,9 +966,7 @@ let serve_cmd =
            are accepted concurrently, each handled by its own domain;
            records route to the submitting connection via per-job
            sinks. *)
-        let server =
-          Om_serve.Server.create ~config ~emit:(write_record stdout) ()
-        in
+        let server = start_server ~emit:(write_record stdout) in
         if Sys.file_exists path then Sys.remove path;
         let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         Unix.bind sock (Unix.ADDR_UNIX path);
@@ -942,7 +979,9 @@ let serve_cmd =
             accept_loop (if remaining > 0 then remaining - 1 else remaining)
           end
         in
-        accept_loop accept;
+        (* [--accept 0] means serve forever: a negative count never
+           reaches the loop's 0 stop condition. *)
+        accept_loop (if accept = 0 then -1 else accept);
         List.iter Domain.join !conns;
         ignore (Om_serve.Server.drain server);
         Unix.close sock;
@@ -965,7 +1004,7 @@ let serve_cmd =
     Arg.(value & opt int 64
          & info [ "queue" ] ~docv:"N"
              ~doc:"Submission queue capacity; a full queue rejects jobs \
-                   with a $(i,rejected) status record.")
+                   with a $(i,rejected_full) status record.")
   in
   let executors =
     Arg.(value & opt int 1
@@ -984,14 +1023,68 @@ let serve_cmd =
              ~doc:"Omit wall-clock fields from status records (makes the \
                    output deterministic for tests).")
   in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Write-ahead job journal: every accepted job and state \
+                   transition is appended to PATH (fsynced before the job \
+                   runs).  On startup the journal is replayed and jobs the \
+                   previous process accepted but never finished are \
+                   re-enqueued exactly once.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Default job-level retry budget: transiently failed jobs \
+                   (worker faults, spawn failures, exhausted solver \
+                   ladders) are re-enqueued with exponential backoff up to \
+                   N times.  Jobs may override with their own \
+                   $(i,retries) field.")
+  in
+  let retry_backoff =
+    Arg.(value & opt float 0.05
+         & info [ "retry-backoff" ] ~docv:"SECONDS"
+             ~doc:"Base backoff before the first retry; attempt k waits \
+                   2^(k-1) times this.")
+  in
+  let quota_queued =
+    Arg.(value & opt int 0
+         & info [ "quota-queued" ] ~docv:"N"
+             ~doc:"Per-tenant bound on queued jobs; over-quota submissions \
+                   are shed with $(i,rejected_quota) (0 = no quota).")
+  in
+  let quota_running =
+    Arg.(value & opt int 0
+         & info [ "quota-running" ] ~docv:"N"
+             ~doc:"Per-tenant bound on concurrently executing jobs; a \
+                   saturated tenant's jobs wait while other tenants' jobs \
+                   overtake them (0 = no quota).")
+  in
+  let deadline_margin =
+    Arg.(value & opt float 0.
+         & info [ "deadline-margin" ] ~docv:"FACTOR"
+             ~doc:"Shed jobs at admission with $(i,rejected_deadline) when \
+                   the model's smoothed run time times FACTOR exceeds the \
+                   job's deadline (0 = never shed on deadline).")
+  in
+  let result_cache =
+    Arg.(value & opt int 0
+         & info [ "result-cache" ] ~docv:"N"
+             ~doc:"Cache up to N finished trajectories: identical \
+                   deterministic jobs (same model, solver and end time, no \
+                   chaos, no domains) replay the stored result bit for bit \
+                   (0 = off).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Long-running multi-tenant simulation service: NDJSON jobs on \
              stdin or a Unix socket, priority scheduling, per-job \
-             deadlines/cancellation, compiled-model cache, streamed \
-             results")
+             deadlines/cancellation, per-tenant quotas, crash-recoverable \
+             job journal, retry/backoff, compiled-model and result caches, \
+             streamed results")
     Term.(const run $ socket $ accept $ queue $ executors $ cache
-          $ no_timings)
+          $ no_timings $ journal $ retries $ retry_backoff $ quota_queued
+          $ quota_running $ deadline_margin $ result_cache)
 
 (* ---- fuzz ---- *)
 

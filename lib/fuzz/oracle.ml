@@ -69,6 +69,70 @@ let check ?chaos (m : A.model) : result =
           pos.line pos.col;
         None
   in
+  (* ---- serve journal round trip ------------------------------------ *)
+  (* The durability invariant of the serve layer, on this generated
+     model: encoding a job as its journal accept record and replaying
+     the file must reconstruct exactly the accepted-but-unfinished
+     jobs, bit for bit.  Bitwise-identical *execution* of the replayed
+     job then follows from the spec carrying the source text verbatim
+     plus the pipeline-determinism invariants below.  Also covers the
+     torn-tail rule: a byte-truncated final line (the crash's own
+     half-written record) is ignored, not a replay error. *)
+  (let module J = Om_serve.Job in
+   let module Jr = Om_serve.Journal in
+   let resolve _ = None in
+   let spec ~id ~retries ~chaos =
+     {
+       J.default with
+       J.id;
+       tenant = "fuzz";
+       priority = String.length src mod 3;
+       source = src;
+       solver = J.Rk4 (Some h);
+       tend;
+       chunk = 2;
+       retries;
+       chaos;
+     }
+   in
+   let s1 = spec ~id:"fz-1" ~retries:1 ~chaos:None in
+   let s2 = spec ~id:"fz-2" ~retries:0 ~chaos:None in
+   let s3 =
+     spec ~id:"fz-3" ~retries:2
+       ~chaos:(Some { J.kind = `Nan; task = 0; round = 2; count = 1; attempts = 1 })
+   in
+   List.iter
+     (fun s ->
+       if J.of_json ~resolve (J.to_json s) <> Ok s then
+         fail "journal" "to_json/of_json is not the identity on %s" s.J.id)
+     [ s1; s2; s3 ];
+   let path = Filename.temp_file "om_fuzz_journal" ".ndjson" in
+   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+     (fun () ->
+       let j = Jr.open_append path in
+       ignore (Jr.record_accept j s1);
+       ignore (Jr.record_accept j s2);
+       ignore (Jr.record_accept j s3);
+       Jr.record_state j ~id:"fz-2" ~attempt:1 "running";
+       Jr.record_state j ~id:"fz-2" ~attempt:1 ~status:"ok" "done";
+       Jr.record_state j ~id:"fz-3" ~attempt:1 ~delay_s:0.01 "retrying";
+       Jr.close j;
+       (* simulate the crash's torn write: half an accept record *)
+       let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+       output_string oc "{\"rec\":\"accept\",\"job\":{\"id\":\"to";
+       close_out oc;
+       match Jr.replay path with
+       | Error msg -> fail "journal" "replay failed: %s" msg
+       | Ok r ->
+           if not r.Jr.torn_tail then
+             fail "journal" "torn final line not detected";
+           if r.Jr.accepted <> 3 || r.Jr.completed <> 1 then
+             fail "journal" "replay counted %d accepted / %d done (want 3/1)"
+               r.Jr.accepted r.Jr.completed;
+           if r.Jr.pending <> [ s1; s3 ] then
+             fail "journal"
+               "replay pending set is not the accepted-minus-terminal jobs \
+                in accept order"));
   (* ---- flatten + typecheck ----------------------------------------- *)
   match Om_lang.Flatten.flatten m with
   | exception Om_lang.Flatten.Error msg ->

@@ -33,6 +33,24 @@ let retryable = function
   | Worker_exception _ | Newton_failure _ | Step_failure _ ->
       true
 
+(* Job-level classification, one level up from the step ladder: when a
+   whole integration has failed, is re-running the job from scratch a
+   plausible recovery?  Infrastructure faults (stalls, spawn failures,
+   worker crashes, barrier overruns) are transient by nature, and a
+   [Step_failure] is the step ladder's summary of whatever fault
+   exhausted its budget — under chaos injection the next attempt draws a
+   fresh plan, so the serve layer re-enqueues these with backoff.
+   Deterministic verdicts about the model itself (a non-finite equation,
+   a divergent Newton iteration) and the non-retryable envelope faults
+   (cancellation, deadline) would fail identically every time. *)
+let job_retryable = function
+  | Worker_stall _ | Spawn_failure _ | Barrier_timeout _ | Worker_exception _
+  | Step_failure _ ->
+      true
+  | Nonfinite_output _ | Newton_failure _ | Cancelled _ | Deadline_exceeded _
+    ->
+      false
+
 (* Render the float with %h only when it is non-finite garbage worth
    quoting exactly; %g otherwise keeps messages readable (and stable for
    the cram tests). *)

@@ -74,6 +74,19 @@ val retryable : t -> bool
     {!Cancelled} and {!Deadline_exceeded} — retrying cannot unexpire a
     deadline). *)
 
+val job_retryable : t -> bool
+(** Job-level recovery classification, one level above {!retryable}:
+    when an integration has already failed with this fault, is
+    re-running the {e whole job} from scratch plausible?  [true] for
+    transient infrastructure faults ({!Worker_stall}, {!Spawn_failure},
+    {!Barrier_timeout}, {!Worker_exception}) and for {!Step_failure}
+    (the step ladder's summary of an injected or environmental fault
+    burst); [false] for deterministic verdicts about the model
+    ({!Nonfinite_output}, {!Newton_failure}) and for the terminal
+    envelope faults ({!Cancelled}, {!Deadline_exceeded}).  The serve
+    layer re-enqueues [job_retryable] failures with exponential backoff
+    under a bounded per-job budget. *)
+
 val to_string : t -> string
 val pp : t Fmt.t
 

@@ -1,5 +1,12 @@
 type solver = Rk4 of float option | Rkf45 | Lsoda
-type chaos = { kind : [ `Nan | `Inf ]; task : int; round : int; count : int }
+
+type chaos = {
+  kind : [ `Nan | `Inf | `Fail_spawn ];
+  task : int;
+  round : int;
+  count : int;
+  attempts : int;
+}
 
 type spec = {
   id : string;
@@ -11,6 +18,7 @@ type spec = {
   tend : float;
   chunk : int;
   domains : int;
+  retries : int;
   chaos : chaos option;
 }
 
@@ -25,6 +33,7 @@ let default =
     tend = 1.0;
     chunk = 0;
     domains = 0;
+    retries = 0;
     chaos = None;
   }
 
@@ -46,15 +55,18 @@ let chaos_of_json json =
         match Option.bind (Json.member c "kind") Json.to_str with
         | Some "nan" | None -> Ok `Nan
         | Some "inf" -> Ok `Inf
+        | Some "fail_spawn" -> Ok `Fail_spawn
         | Some other -> Error (Printf.sprintf "bad chaos kind %S" other)
       in
       let* task = field c "task" Json.to_int ~default:0 in
       let* round = field c "round" Json.to_int ~default:1 in
       let* count = field c "count" Json.to_int ~default:1 in
-      if task < 0 || round < 1 || count < 1 then Error "bad chaos coordinates"
-      else Ok (Some { kind; task; round; count })
+      let* attempts = field c "attempts" Json.to_int ~default:0 in
+      if task < 0 || round < 1 || count < 1 || attempts < 0 then
+        Error "bad chaos coordinates"
+      else Ok (Some { kind; task; round; count; attempts })
 
-let of_json ?(default_id = "") ~resolve json =
+let of_json ?(default_id = "") ?(default_retries = 0) ~resolve json =
   match json with
   | Json.Obj _ ->
       let* id = field json "id" Json.to_str ~default:default_id in
@@ -64,6 +76,7 @@ let of_json ?(default_id = "") ~resolve json =
       let* tend = field json "tend" Json.to_float ~default:default.tend in
       let* chunk = field json "chunk" Json.to_int ~default:0 in
       let* domains = field json "domains" Json.to_int ~default:0 in
+      let* retries = field json "retries" Json.to_int ~default:default_retries in
       let* h = field json "h" Json.to_float ~default:0. in
       let* solver =
         match Option.bind (Json.member json "solver") Json.to_str with
@@ -89,6 +102,7 @@ let of_json ?(default_id = "") ~resolve json =
       if deadline_s < 0. then Error "negative deadline_s"
       else if tend <= 0. then Error "nonpositive tend"
       else if chunk < 0 || domains < 0 then Error "negative chunk or domains"
+      else if retries < 0 then Error "negative retries"
       else
         Ok
           {
@@ -101,17 +115,69 @@ let of_json ?(default_id = "") ~resolve json =
             tend;
             chunk;
             domains;
+            retries;
             chaos;
           }
   | _ -> Error "job record must be a JSON object"
 
-let fault_plan spec =
+(* The journal's wire form: every field explicit, in a fixed order, so
+   encode -> decode is the identity on specs and journal bytes are
+   deterministic for a given submission sequence. *)
+let to_json spec =
+  let solver_fields =
+    match spec.solver with
+    | Rk4 None -> [ ("solver", Json.Str "rk4") ]
+    | Rk4 (Some h) -> [ ("solver", Json.Str "rk4"); ("h", Json.Num h) ]
+    | Rkf45 -> [ ("solver", Json.Str "rkf45") ]
+    | Lsoda -> [ ("solver", Json.Str "lsoda") ]
+  in
+  let chaos_fields =
+    match spec.chaos with
+    | None -> []
+    | Some { kind; task; round; count; attempts } ->
+        [
+          ( "chaos",
+            Json.Obj
+              [
+                ( "kind",
+                  Json.Str
+                    (match kind with
+                    | `Nan -> "nan"
+                    | `Inf -> "inf"
+                    | `Fail_spawn -> "fail_spawn") );
+                ("task", Json.Int task);
+                ("round", Json.Int round);
+                ("count", Json.Int count);
+                ("attempts", Json.Int attempts);
+              ] );
+        ]
+  in
+  Json.Obj
+    ([
+       ("id", Json.Str spec.id);
+       ("tenant", Json.Str spec.tenant);
+       ("priority", Json.Int spec.priority);
+       ("deadline_s", Json.Num spec.deadline_s);
+       ("source", Json.Str spec.source);
+     ]
+    @ solver_fields
+    @ [
+        ("tend", Json.Num spec.tend);
+        ("chunk", Json.Int spec.chunk);
+        ("domains", Json.Int spec.domains);
+        ("retries", Json.Int spec.retries);
+      ]
+    @ chaos_fields)
+
+let fault_plan ?(attempt = 1) spec =
   match spec.chaos with
-  | None -> None
-  | Some { kind; task; round; count } ->
+  | Some { kind; task; round; count; attempts }
+    when attempts = 0 || attempt <= attempts ->
       let fault i =
         match kind with
         | `Nan -> Om_guard.Fault_plan.Nan_task { task; round = round + i }
         | `Inf -> Om_guard.Fault_plan.Inf_task { task; round = round + i }
+        | `Fail_spawn -> Om_guard.Fault_plan.Fail_spawn { worker = task + i }
       in
       Some (Om_guard.Fault_plan.make (List.init count fault))
+  | Some _ | None -> None

@@ -3,31 +3,45 @@
     One job is one integration request: a model source (inline text, or
     a builtin name resolved by the caller), a solver, an end time, and
     the service-level envelope — tenant id, priority, wall-clock
-    deadline, optional trajectory streaming and optional chaos
-    injection.  {!of_json} decodes the wire form used by [omc serve]'s
-    NDJSON protocol. *)
+    deadline, job-level retry budget, optional trajectory streaming and
+    optional chaos injection.  {!of_json} decodes the wire form used by
+    [omc serve]'s NDJSON protocol; {!to_json} is its exact inverse and
+    is what the {!Journal} persists. *)
 
 type solver = Rk4 of float option  (** fixed step; [None] = [tend/400] *)
             | Rkf45
             | Lsoda
 
 (** Seeded fault injection riding on a job (the PR-5
-    {!Om_guard.Fault_plan} taxonomy): poison [task]'s output with
-    NaN/+inf in rounds [round .. round+count-1].  With [count] larger
-    than the retry budget the job must fail as [solver_failure]; with
-    [count = 1] the solvers recover bitwise — both are exercised by the
-    serve tests. *)
-type chaos = { kind : [ `Nan | `Inf ]; task : int; round : int; count : int }
+    {!Om_guard.Fault_plan} taxonomy).  [`Nan]/[`Inf] poison [task]'s
+    output in rounds [round .. round+count-1]; [`Fail_spawn] fails the
+    spawns of workers [task .. task+count-1] (meaningful with
+    [domains > 0], where the runtime degrades down the worker ladder
+    instead of failing the job).  [attempts] bounds which job attempts
+    the plan fires on: [0] means every attempt; [k > 0] arms the plan
+    on attempts [1..k] only, so a job whose chaos outlives the solver
+    retry budget fails its first [k] attempts and then — given a
+    job-level retry budget — converges to [ok].  Both regimes are
+    exercised by the serve tests. *)
+type chaos = {
+  kind : [ `Nan | `Inf | `Fail_spawn ];
+  task : int;
+  round : int;
+  count : int;
+  attempts : int;
+}
 
 type spec = {
   id : string;
   tenant : string;
   priority : int;  (** higher pops first; FIFO within a priority *)
   deadline_s : float;
-      (** wall-clock seconds from submission; [0.] = none.  Enforced
-          while queued (an expired job is failed without running) and
-          mid-run (the runtime polls the job's {!Om_guard.Cancel} token
-          every RHS round). *)
+      (** wall-clock seconds from submission; [0.] = none.  Enforced at
+          admission (a deadline that cannot plausibly be met is shed as
+          [rejected_deadline]), while queued (an expired job is failed
+          without running) and mid-run (the runtime polls the job's
+          {!Om_guard.Cancel} token every RHS round).  Also orders the
+          queue: within a priority, earlier deadlines pop first. *)
   source : string;  (** ObjectMath model source text *)
   solver : solver;
   tend : float;
@@ -39,15 +53,22 @@ type spec = {
           the full degradation ladder); [0]: sequential in-process
           evaluation — chaos jobs run on the simulated executor instead,
           where task poisons apply *)
+  retries : int;
+      (** job-level retry budget: how many times a
+          {!Om_guard.Om_error.job_retryable} failure may be re-enqueued
+          (with exponential backoff) before the job goes terminal.
+          [0] = fail on first error. *)
   chaos : chaos option;
 }
 
 val default : spec
 (** [id ""], tenant ["default"], priority 0, no deadline, empty source,
-    [Rk4 None] to [tend = 1.0], no streaming, no domains, no chaos. *)
+    [Rk4 None] to [tend = 1.0], no streaming, no domains, no retries,
+    no chaos. *)
 
 val of_json :
   ?default_id:string ->
+  ?default_retries:int ->
   resolve:(string -> string option) ->
   Json.t ->
   (spec, string) result
@@ -55,10 +76,18 @@ val of_json :
     model): ["id"] (default [default_id]), ["tenant"], ["priority"],
     ["deadline_s"], ["source"] {e or} ["model"] (a builtin name passed
     through [resolve]), ["solver"] (["rk4"|"rkf45"|"lsoda"]), ["h"]
-    (fixed step for rk4), ["tend"], ["chunk"], ["domains"], and
-    ["chaos"] as [{"kind":"nan"|"inf","task":i,"round":r,"count":n}].
-    Returns [Error msg] on unknown solvers, unresolvable model names,
-    missing sources or malformed chaos specs. *)
+    (fixed step for rk4), ["tend"], ["chunk"], ["domains"], ["retries"]
+    (default [default_retries], the server-wide budget), and ["chaos"]
+    as [{"kind":"nan"|"inf"|"fail_spawn","task":i,"round":r,"count":n,
+    "attempts":a}].  Returns [Error msg] on unknown solvers,
+    unresolvable model names, missing sources or malformed specs. *)
 
-val fault_plan : spec -> Om_guard.Fault_plan.t option
-(** The {!Om_guard.Fault_plan} encoding of the job's chaos spec. *)
+val to_json : spec -> Json.t
+(** Exact inverse of {!of_json} (every field explicit, fixed order):
+    [of_json ~resolve (to_json s) = Ok s] for any decodable [s].  Used
+    by the {!Journal} so replay reconstructs submissions bit-for-bit. *)
+
+val fault_plan : ?attempt:int -> spec -> Om_guard.Fault_plan.t option
+(** The {!Om_guard.Fault_plan} encoding of the job's chaos spec, armed
+    for the given job [attempt] (default 1): [None] when the chaos
+    record's [attempts] bound says this attempt runs clean. *)

@@ -1,0 +1,284 @@
+(* Append-only NDJSON write-ahead log with leader-based group-commit
+   durability.
+
+   Writers append whole lines under [mutex] (one [Unix.write] each, so
+   records never interleave) and bump [written_seq] — a plain page-cache
+   write, never an fsync.  Durability is demanded, not scheduled: the
+   first [await_durable] caller to find its record unsynced becomes the
+   fsync leader, issues one fsync covering the whole backlog off-lock,
+   and publishes [synced_seq]; callers arriving meanwhile wait on
+   [synced] and are covered by that same fsync (or elect the next
+   leader if their record landed after the leader's target).  That
+   turns N outstanding accepts into one fsync, and costs nothing at
+   all for records nobody awaits (state transitions ride the page
+   cache until the next demanded fsync or [close]; on a kill -9 the
+   kernel still has them, and on a machine crash replay simply re-runs
+   the job).  No dedicated sync domain exists — that matters on small
+   machines, where OCaml's stop-the-world minor collections must
+   rendezvous with every domain and even a parked extra domain taxes
+   the executors' allocation rate. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutex : Mutex.t;
+  synced : Condition.t;  (* synced_seq moved, or syncing/closed changed *)
+  mutable written_seq : int;
+  mutable synced_seq : int;
+  mutable syncing : bool;  (* a leader's fsync is in flight *)
+  mutable closing : bool;
+  mutable closed : bool;
+}
+
+let open_append path =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  in
+  (* Truncate a torn final line left by a crash mid-append.  Each
+     record is one write, so a torn tail is a write that never
+     completed and was never acknowledged durable; replay ignores it,
+     but a new record appended after it would be glued onto the
+     fragment and corrupt that line for the *next* replay. *)
+  (let size = (Unix.fstat fd).Unix.st_size in
+   let chunk = 4096 in
+   let rec line_start pos =
+     (* offset just past the last newline at or before [pos] *)
+     if pos = 0 then 0
+     else
+       let off = max 0 (pos - chunk) in
+       let len = pos - off in
+       ignore (Unix.lseek fd off Unix.SEEK_SET);
+       let buf = Bytes.create len in
+       let rec fill k =
+         if k < len then
+           match Unix.read fd buf k (len - k) with
+           | 0 -> ()
+           | n -> fill (k + n)
+       in
+       fill 0;
+       match Bytes.rindex_opt buf '\n' with
+       | Some i -> off + i + 1
+       | None -> line_start off
+   in
+   if size > 0 then begin
+     let keep = line_start size in
+     if keep < size then Unix.ftruncate fd keep
+   end);
+  {
+    fd;
+    mutex = Mutex.create ();
+    synced = Condition.create ();
+    written_seq = 0;
+    synced_seq = 0;
+    syncing = false;
+    closing = false;
+    closed = false;
+  }
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let append t line =
+  Mutex.lock t.mutex;
+  let seq =
+    if t.closing then t.written_seq  (* discard; nothing to await *)
+    else begin
+      write_all t.fd line;
+      t.written_seq <- t.written_seq + 1;
+      t.written_seq
+    end
+  in
+  Mutex.unlock t.mutex;
+  seq
+
+let record_accept t spec =
+  let line =
+    Json.to_string
+      (Json.Obj [ ("rec", Json.Str "accept"); ("job", Job.to_json spec) ])
+    ^ "\n"
+  in
+  append t line
+
+let record_state t ~id ?attempt ?status ?delay_s state =
+  let opt name conv v = Option.to_list (Option.map (fun x -> (name, conv x)) v) in
+  let line =
+    Json.to_string
+      (Json.Obj
+         ([
+            ("rec", Json.Str "state");
+            ("id", Json.Str id);
+            ("state", Json.Str state);
+          ]
+         @ opt "attempt" (fun a -> Json.Int a) attempt
+         @ opt "status" (fun s -> Json.Str s) status
+         @ opt "delay_s" (fun d -> Json.Num d) delay_s))
+    ^ "\n"
+  in
+  ignore (append t line)
+
+let await_durable t seq =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.synced_seq >= seq || t.closed then ()
+    else if t.syncing then begin
+      (* a leader's fsync is in flight; it either covers us or we
+         re-check (and possibly lead) when it lands *)
+      Condition.wait t.synced t.mutex;
+      loop ()
+    end
+    else begin
+      t.syncing <- true;
+      let target = t.written_seq in
+      Mutex.unlock t.mutex;
+      (* fsync outside the mutex: appends keep flowing during the
+         sync, forming the next batch *)
+      Unix.fsync t.fd;
+      Mutex.lock t.mutex;
+      if target > t.synced_seq then t.synced_seq <- target;
+      t.syncing <- false;
+      Condition.broadcast t.synced;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock t.mutex
+
+let close t =
+  Mutex.lock t.mutex;
+  if t.closing then Mutex.unlock t.mutex
+  else begin
+    t.closing <- true;
+    (* wait out an in-flight leader so we never close the fd under its
+       fsync *)
+    while t.syncing do Condition.wait t.synced t.mutex done;
+    Mutex.unlock t.mutex;
+    (* final fsync before releasing any still-blocked awaiters: the
+       whole backlog, state records included, is durable at close *)
+    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.mutex;
+    t.synced_seq <- t.written_seq;
+    t.closed <- true;
+    Condition.broadcast t.synced;
+    Mutex.unlock t.mutex;
+    Unix.close t.fd
+  end
+
+(* ---- replay ---- *)
+
+type replay = {
+  pending : Job.spec list;
+  accepted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  torn_tail : bool;
+}
+
+type track = { spec : Job.spec; order : int; mutable last : string }
+
+let terminal = function "done" | "failed" | "cancelled" -> true | _ -> false
+
+let replay path =
+  if not (Sys.file_exists path) then
+    Ok
+      {
+        pending = [];
+        accepted = 0;
+        completed = 0;
+        failed = 0;
+        cancelled = 0;
+        torn_tail = false;
+      }
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    let torn_tail = len > 0 && contents.[len - 1] <> '\n' in
+    let lines =
+      (* keep only complete lines: a torn final fragment — the crash's
+         own half-written record — is dropped here, not parsed *)
+      let parts = String.split_on_char '\n' contents in
+      let rec complete = function
+        | [] | [ _ ] -> []  (* last part: "" for a clean tail, else torn *)
+        | l :: rest -> l :: complete rest
+      in
+      complete parts
+    in
+    let jobs : (string, track) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref 0 in
+    let err = ref None in
+    let fail lineno msg =
+      if !err = None then
+        err := Some (Printf.sprintf "journal %s: line %d: %s" path lineno msg)
+    in
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        if !err = None && String.trim line <> "" then
+          match Json.of_string line with
+          | exception Json.Error msg -> fail lineno msg
+          | json -> (
+              match Option.bind (Json.member json "rec") Json.to_str with
+              | Some "accept" -> (
+                  match Json.member json "job" with
+                  | None -> fail lineno "accept record without job"
+                  | Some job -> (
+                      match Job.of_json ~resolve:(fun _ -> None) job with
+                      | Error msg -> fail lineno ("bad job: " ^ msg)
+                      | Ok spec ->
+                          (* duplicate accept (same id): keep the first —
+                             the server refuses duplicate live ids, so a
+                             second accept can only be a resubmission
+                             after the first went terminal; treat it as
+                             reviving the id *)
+                          if Hashtbl.mem jobs spec.Job.id then
+                            (Hashtbl.find jobs spec.Job.id).last <- "queued"
+                          else begin
+                            incr order;
+                            Hashtbl.replace jobs spec.Job.id
+                              { spec; order = !order; last = "queued" }
+                          end))
+              | Some "state" -> (
+                  match
+                    ( Option.bind (Json.member json "id") Json.to_str,
+                      Option.bind (Json.member json "state") Json.to_str )
+                  with
+                  | Some id, Some state -> (
+                      match Hashtbl.find_opt jobs id with
+                      | Some tr -> tr.last <- state
+                      | None ->
+                          fail lineno
+                            (Printf.sprintf "state for unaccepted job %S" id))
+                  | _ -> fail lineno "state record without id/state")
+              | Some other -> fail lineno (Printf.sprintf "unknown rec %S" other)
+              | None -> fail lineno "record without \"rec\""))
+      lines;
+    match !err with
+    | Some msg -> Error msg
+    | None ->
+        let tracks =
+          Hashtbl.fold (fun _ tr acc -> tr :: acc) jobs []
+          |> List.sort (fun a b -> compare a.order b.order)
+        in
+        let count st =
+          List.length (List.filter (fun tr -> tr.last = st) tracks)
+        in
+        Ok
+          {
+            pending =
+              List.filter_map
+                (fun tr -> if terminal tr.last then None else Some tr.spec)
+                tracks;
+            accepted = List.length tracks;
+            completed = count "done";
+            failed = count "failed";
+            cancelled = count "cancelled";
+            torn_tail;
+          }
+  end

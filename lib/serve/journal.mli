@@ -1,0 +1,93 @@
+(** Write-ahead job journal: the serve layer's crash-recovery log.
+
+    One journal is one append-only NDJSON file.  Every accepted job is
+    appended {e before} it is enqueued ([{"rec":"accept","seq":N,
+    "job":{...}}], with the job in {!Job.to_json} wire form), and every
+    state transition is appended as it happens ([{"rec":"state",
+    "id":...,"state":"running"|"retrying"|"requeued"|"done"|"failed"|
+    "cancelled", ...}]).  After a crash, {!replay} folds the file into
+    the set of jobs that were accepted but never reached a terminal
+    state — exactly the work the restarted server must re-run.
+
+    Durability is leader-based group-commit: {!record_accept} and
+    {!record_state} write their line immediately (one [write] under the
+    journal mutex, so lines never interleave) and return; the first
+    {!await_durable} caller to find its record unsynced becomes the
+    fsync leader and issues one [fsync] covering the whole backlog,
+    while callers arriving meanwhile wait and are covered by that same
+    fsync.  An executor calls {!await_durable} on a job's accept
+    sequence before running it, so a job's side effects never precede
+    its durable accept record — the exactly-once replay argument needs
+    only that ordering, not a synchronous fsync per append (which would
+    dominate small-job service times).  Terminal and transition records
+    are {e not} awaited: they ride the page cache until the next
+    demanded fsync or {!close} (a killed process loses nothing — the
+    kernel still holds the writes; a machine crash at worst re-runs a
+    job whose recovery is bitwise identical, which the recovery tests
+    assert).  Undemanded records cost no fsync at all, and no dedicated
+    sync domain exists to tax the executors' stop-the-world
+    rendezvous — which keeps the journal's overhead on a warm serve
+    benchmark within a few percent even on one core.
+
+    Replay is tolerant of exactly one kind of damage — a byte-truncated
+    {e final} line (the torn write of the crash itself), which is
+    ignored and reported via [torn_tail].  A malformed line anywhere
+    else means the file is not a journal (or was corrupted at rest) and
+    replay returns [Error] rather than silently dropping records. *)
+
+type t
+
+val open_append : string -> t
+(** Open (creating if needed) [path] for appending.  A torn final line
+    left by a crash mid-append is truncated
+    away — its single-write record never completed, so it was never
+    acknowledged durable — leaving subsequent records on fresh lines.
+    @raise Sys_error when the path cannot be opened. *)
+
+val record_accept : t -> Job.spec -> int
+(** Append the job's accept record and return its journal sequence
+    number (monotonic from 1) for {!await_durable}. *)
+
+val record_state :
+  t ->
+  id:string ->
+  ?attempt:int ->
+  ?status:string ->
+  ?delay_s:float ->
+  string ->
+  unit
+(** [record_state t ~id state] appends a state-transition record.
+    [attempt] tags which job attempt is meant (retry accounting);
+    [status] carries the server's fine-grained terminal status (e.g.
+    ["solver_failure"] inside a ["failed"] record); [delay_s] records
+    the backoff chosen for a ["retrying"] transition. *)
+
+val await_durable : t -> int -> unit
+(** Block until every record up to and including sequence number [seq]
+    has been [fsync]ed. *)
+
+val close : t -> unit
+(** Flush (final fsync) and close the file.  Idempotent; records after
+    close are discarded. *)
+
+(** The fold of a journal file: what a restarted server needs. *)
+type replay = {
+  pending : Job.spec list;
+      (** accepted but not terminal, in accept order — the jobs to
+          re-enqueue (exactly once each: replay deduplicates on id,
+          keeping the first accept) *)
+  accepted : int;  (** accept records seen (distinct ids) *)
+  completed : int;  (** ids whose last state is [done] *)
+  failed : int;  (** ids whose last state is [failed] *)
+  cancelled : int;  (** ids whose last state is [cancelled] *)
+  torn_tail : bool;
+      (** the file ended mid-record (no trailing newline); the fragment
+          was ignored *)
+}
+
+val replay : string -> (replay, string) result
+(** Fold [path].  A missing file is an empty journal (fresh start — the
+    common case for a first boot with [--journal]).  [Error] on a
+    malformed record anywhere but a torn final line, or on a [state]
+    record whose id was never accepted with a terminal/running state
+    (which would indicate interleaved writers or corruption). *)

@@ -1,0 +1,111 @@
+(* LRU cache of finished trajectories, keyed on everything that
+   determines the output bytes: the model's content hash, the solver
+   (with its fixed step, bit-exact) and the end time (bit-exact).
+   Floats are keyed by their IEEE bits, not their printed form, so two
+   keys collide only when the runs are bitwise-identical by
+   construction — which is exactly the property the serve tests assert
+   about a cache hit.
+
+   Same shape as [Model_cache] minus the in-flight latch: a second
+   identical job arriving while the first is still running simply runs
+   too (result identity makes the duplicated work harmless), which
+   keeps this module a plain mutex-protected map.  The value type is
+   abstract here; the server stores its replayable run record. *)
+
+type 'a entry = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a entry option;
+  mutable next : 'a entry option;
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable head : 'a entry option;  (* most recently used *)
+  mutable tail : 'a entry option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Result_cache.create: negative capacity";
+  {
+    mutex = Mutex.create ();
+    capacity;
+    table = Hashtbl.create (max 8 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let key ~source_key ~solver ~tend =
+  let bits f = Printf.sprintf "%Lx" (Int64.bits_of_float f) in
+  let solver_part =
+    match solver with
+    | Job.Rk4 None -> "rk4"
+    | Job.Rk4 (Some h) -> "rk4:" ^ bits h
+    | Job.Rkf45 -> "rkf45"
+    | Job.Lsoda -> "lsoda"
+  in
+  String.concat "|" [ source_key; solver_part; bits tend ]
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let lookup t key =
+  if t.capacity = 0 then None
+  else begin
+    Mutex.lock t.mutex;
+    let result =
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          unlink t e;
+          push_front t e;
+          Some e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+    in
+    Mutex.unlock t.mutex;
+    result
+  end
+
+let store t key value =
+  if t.capacity > 0 then begin
+    Mutex.lock t.mutex;
+    (match Hashtbl.find_opt t.table key with
+    | Some e ->
+        (* racing identical jobs: keep the first stored result so every
+           later hit is bitwise-stable *)
+        unlink t e;
+        push_front t e
+    | None ->
+        let e = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key e;
+        push_front t e;
+        if Hashtbl.length t.table > t.capacity then
+          match t.tail with
+          | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.table lru.key
+          | None -> ());
+    Mutex.unlock t.mutex
+  end
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = (t.hits, t.misses, Hashtbl.length t.table) in
+  Mutex.unlock t.mutex;
+  s

@@ -1,0 +1,34 @@
+(** LRU cache of finished job results, keyed on the inputs that
+    determine the output bytes.
+
+    {!key} folds the model's content hash ([Pipeline.source_key] of the
+    source text), the solver with its fixed step, and the end time into
+    one string — floats by their IEEE-754 bits, so two jobs share a key
+    exactly when their integrations are bitwise-identical by
+    determinism of the pipeline.  The server consults the cache only
+    for jobs with no chaos and [domains = 0] whose run ended [ok]
+    (chaos and degradation make reruns legitimately differ), and a hit
+    replays the stored trajectory chunks verbatim.
+
+    Capacity [0] disables the cache: {!lookup} always misses without
+    counting, {!store} drops — the default, so cached results never
+    change [omc serve] output unless asked for. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument on a negative capacity. *)
+
+val key : source_key:string -> solver:Job.solver -> tend:float -> string
+
+val lookup : 'a t -> string -> 'a option
+(** Counts a hit or a miss (except at capacity 0) and refreshes the
+    entry's recency on hit. *)
+
+val store : 'a t -> string -> 'a -> unit
+(** Insert, evicting the least recently used entry past capacity.  A
+    racing duplicate insert keeps the first value, so repeated hits are
+    stable. *)
+
+val stats : 'a t -> int * int * int
+(** [(hits, misses, live_entries)]. *)

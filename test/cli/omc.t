@@ -301,3 +301,65 @@ cache block is the shared cache (two sessions, one model: one compile):
   "status":"ok"
   $ grep -h -o '"compiles":[0-9]*' conn1.out conn2.out | sort | tail -1
   "compiles":1
+
+Per-tenant admission control: with --quota-queued 1 and the executor
+pinned by the 2M-step job (the one-second pause after its line
+guarantees the executor has picked it up before the probes arrive, so
+the quota slot is free for q1), tenant t's second queued job is shed
+as rejected_quota the moment its line is read, while tenant u is
+unaffected; the summary's rejected count includes the quota shed:
+
+  $ { echo '{"id":"slow","tenant":"t","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;","h":0.0000005}'; sleep 1; cat; } <<'EOF2' | omc serve --no-timings --quota-queued 1
+  > {"id":"q1","tenant":"t","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}
+  > {"id":"q2","tenant":"t","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}
+  > {"id":"u1","tenant":"u","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}
+  > EOF2
+  {"type":"status","job":"q2","tenant":"t","status":"rejected_quota","error":"tenant \"t\" is at its queued-job quota"}
+  {"type":"status","job":"slow","tenant":"t","status":"ok","steps":2000001,"rhs_calls":8000004,"retries":0,"faults":0,"degradations":0,"final":[0.73575888231545994],"cache":"miss"}
+  {"type":"status","job":"q1","tenant":"t","status":"ok","steps":400,"rhs_calls":1600,"retries":0,"faults":0,"degradations":0,"final":[0.73575888234312392],"cache":"hit"}
+  {"type":"status","job":"u1","tenant":"u","status":"ok","steps":400,"rhs_calls":1600,"retries":0,"faults":0,"degradations":0,"final":[0.73575888234312392],"cache":"hit"}
+  {"type":"summary","jobs":3,"ok":3,"failed":0,"rejected":1,"cache":{"hits":2,"misses":1,"compiles":1,"evictions":0,"entries":1}}
+
+Transient failures retry with exponential backoff: the chaos fault
+fires on attempt 1 only, so with --retries 1 the job emits one retry
+record, converges to the clean final state on attempt 2 (note the
+attempts field and the retried summary count), and the model cache
+makes the second attempt free of compilation:
+
+  $ omc serve --no-timings --retries 1 --retry-backoff 0 <<'EOF2'
+  > {"id":"flaky","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;","chaos":{"kind":"nan","task":0,"round":1,"count":64,"attempts":1}}
+  > EOF2
+  {"type":"retry","job":"flaky","tenant":"default","attempt":1,"delay_s":0.0,"error":"rk-fixed step failed at t=0 (h=1.95313e-05) after 8 retries: non-finite RHS output nan in der(c.x) (state slot 0) at t=0"}
+  {"type":"status","job":"flaky","tenant":"default","status":"ok","steps":400,"rhs_calls":1600,"retries":0,"faults":0,"degradations":0,"final":[0.73575888234312392],"attempts":2,"cache":"hit"}
+  {"type":"summary","jobs":1,"ok":1,"failed":0,"rejected":0,"retried":1,"cache":{"hits":1,"misses":1,"compiles":1,"evictions":0,"entries":1}}
+
+The write-ahead journal records accepts and state transitions as
+NDJSON; a drained run leaves every job terminal, so restarting on the
+same journal recovers nothing (exactly-once, no duplicate execution):
+
+  $ omc serve --no-timings --journal j.ndjson <<'EOF2'
+  > {"id":"j1","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}
+  > EOF2
+  {"type":"status","job":"j1","tenant":"default","status":"ok","steps":400,"rhs_calls":1600,"retries":0,"faults":0,"degradations":0,"final":[0.73575888234312392],"cache":"miss"}
+  {"type":"summary","jobs":1,"ok":1,"failed":0,"rejected":0,"cache":{"hits":0,"misses":1,"compiles":1,"evictions":0,"entries":1}}
+  $ grep -o '"rec":"accept","job":{"id":"j1"' j.ndjson
+  "rec":"accept","job":{"id":"j1"
+  $ grep -c '"state":"done"' j.ndjson
+  1
+  $ omc serve --no-timings --journal j.ndjson </dev/null
+  {"type":"summary","jobs":0,"ok":0,"failed":0,"rejected":0,"cache":{"hits":0,"misses":0,"compiles":0,"evictions":0,"entries":0}}
+
+Crash recovery: a journal holding an accepted job with no terminal
+state (the process died first) plus a torn final line (it died
+mid-append) replays into exactly one re-run — the fragment is ignored,
+the lost job completes with the usual bitwise-stable final state, and
+a second restart finds the journal complete:
+
+  $ printf '%s\n' '{"rec":"accept","job":{"id":"lost","source":"model M; class C variable x init 2.0; equation der(x) = 0.0 - x; end; instance c of C;"}}' > crash.ndjson
+  $ printf '{"rec":"accept","job":{"id":"torn","sour' >> crash.ndjson
+  $ omc serve --no-timings --journal crash.ndjson </dev/null
+  {"type":"recovered","jobs":1,"torn_tail":true}
+  {"type":"status","job":"lost","tenant":"default","status":"ok","steps":400,"rhs_calls":1600,"retries":0,"faults":0,"degradations":0,"final":[0.73575888234312392],"cache":"miss"}
+  {"type":"summary","jobs":1,"ok":1,"failed":0,"rejected":0,"recovered":1,"cache":{"hits":0,"misses":1,"compiles":1,"evictions":0,"entries":1}}
+  $ omc serve --no-timings --journal crash.ndjson </dev/null
+  {"type":"summary","jobs":0,"ok":0,"failed":0,"rejected":0,"cache":{"hits":0,"misses":0,"compiles":0,"evictions":0,"entries":0}}

@@ -8,6 +8,8 @@ module J = Om_serve.Json
 module Job = Om_serve.Job
 module Q = Om_serve.Job_queue
 module MC = Om_serve.Model_cache
+module RC = Om_serve.Result_cache
+module Jr = Om_serve.Journal
 module S = Om_serve.Server
 module P = Om_codegen.Pipeline
 
@@ -112,7 +114,7 @@ let test_job_chaos_plan () =
 (* ---------- bounded priority queue ---------- *)
 
 let test_queue_priority_order () =
-  let q = Q.create ~capacity:8 in
+  let q = Q.create ~capacity:8 () in
   List.iter
     (fun (p, x) -> Alcotest.(check bool) "accepted" true (Q.submit q ~priority:p x = `Ok))
     [ (0, "a"); (5, "b"); (0, "c"); (9, "d"); (5, "e") ];
@@ -125,16 +127,16 @@ let test_queue_priority_order () =
     (drain [])
 
 let test_queue_bounded_rejection () =
-  let q = Q.create ~capacity:2 in
+  let q = Q.create ~capacity:2 () in
   Alcotest.(check bool) "1st" true (Q.submit q ~priority:0 1 = `Ok);
   Alcotest.(check bool) "2nd" true (Q.submit q ~priority:0 2 = `Ok);
-  Alcotest.(check bool) "3rd rejected" true (Q.submit q ~priority:7 3 = `Rejected);
+  Alcotest.(check bool) "3rd rejected" true (Q.submit q ~priority:7 3 = `Rejected_full);
   Alcotest.(check int) "length" 2 (Q.length q);
   ignore (Q.pop q);
   Alcotest.(check bool) "space again" true (Q.submit q ~priority:0 4 = `Ok)
 
 let test_queue_close () =
-  let q = Q.create ~capacity:4 in
+  let q = Q.create ~capacity:4 () in
   ignore (Q.submit q ~priority:0 "x");
   Q.close q;
   Alcotest.(check bool) "closed rejects" true (Q.submit q ~priority:0 "y" = `Closed);
@@ -144,7 +146,7 @@ let test_queue_close () =
 
 let test_queue_concurrent_consumers () =
   (* Two consumer domains drain 50 items exactly once between them. *)
-  let q = Q.create ~capacity:64 in
+  let q = Q.create ~capacity:64 () in
   let seen = Atomic.make 0 in
   let consumer () =
     let rec go n = match Q.pop q with
@@ -221,7 +223,7 @@ let test_cache_capacity_zero_never_stores () =
 
 (* ---------- server ---------- *)
 
-let collecting_server ?(config = S.default_config) () =
+let collecting_server ?(config = S.default_config) ?journal () =
   let records = ref [] in
   let mu = Mutex.create () in
   let emit r =
@@ -230,7 +232,7 @@ let collecting_server ?(config = S.default_config) () =
     Mutex.unlock mu
   in
   let config = { config with S.timings = false; resolve } in
-  (S.create ~config ~emit (), fun () -> List.rev !records)
+  (S.create ~config ?journal ~emit (), fun () -> List.rev !records)
 
 let str_field r k = Option.bind (J.member r k) J.to_str
 let int_field r k = Option.bind (J.member r k) J.to_int
@@ -294,7 +296,7 @@ let test_server_chaos_fails_job_not_server () =
   let chaos =
     { Job.default with
       Job.id = "boom"; source;
-      chaos = Some { Job.kind = `Nan; task = 0; round = 1; count = 64 } }
+      chaos = Some { Job.kind = `Nan; task = 0; round = 1; count = 64; attempts = 0 } }
   in
   ignore (S.submit server chaos);
   ignore (S.submit server { Job.default with Job.id = "next"; source });
@@ -313,7 +315,7 @@ let test_server_chaos_recovers_bitwise () =
   let job =
     { Job.default with
       Job.id = "c1"; source;
-      chaos = Some { Job.kind = `Inf; task = 0; round = 2; count = 1 } }
+      chaos = Some { Job.kind = `Inf; task = 0; round = 2; count = 1; attempts = 0 } }
   in
   ignore (S.submit server job);
   ignore (S.submit server { Job.default with Job.id = "clean"; source });
@@ -345,11 +347,13 @@ let test_server_deadline_exceeded () =
     (str_field r "cache")
 
 let test_server_cancel () =
-  (* Cancelling a queued/running job surfaces as status "cancelled". *)
+  (* Cancelling a queued/running job surfaces as status "cancelled".
+     The tiny step size makes the run effectively unbounded, so the
+     cancel always lands before the job can finish on its own. *)
   let server, records = collecting_server () in
   let job =
     { Job.default with Job.id = "victim"; source = decay "1.0" "1.0";
-      tend = 50. }
+      solver = Job.Rk4 (Some 1e-8); tend = 50. }
   in
   ignore (S.submit server job);
   S.cancel server ~job:"victim" ~reason:"test says stop";
@@ -420,7 +424,12 @@ let test_server_rejection_overload () =
         match S.submit server (mk id) with
         | `Ok _ -> `Ok
         | `Duplicate -> `Duplicate
-        | `Rejected -> `Rejected
+        | `Rejected status ->
+            (* a full queue must shed with the global-overload status,
+               never a tenant-quota or deadline one *)
+            Alcotest.(check string) "full-queue shed status" "rejected_full"
+              status;
+            `Rejected
         | `Closed -> `Closed)
       [ "r1"; "r2"; "r3"; "r4"; "r5"; "r6" ]
   in
@@ -436,13 +445,14 @@ let test_server_rejection_overload () =
     List.length (List.filter (fun (_, st) -> st = "ok") (statuses rs))
   in
   let rejected_count =
-    List.length (List.filter (fun (_, st) -> st = "rejected") (statuses rs))
+    List.length
+      (List.filter (fun (_, st) -> st = "rejected_full") (statuses rs))
   in
   Alcotest.(check int) "accepted jobs all ok" accepted ok_count;
   Alcotest.(check int) "rejections reported as statuses" rejected rejected_count;
   let st = S.stats server in
   Alcotest.(check int) "stats.submitted" accepted st.S.submitted;
-  Alcotest.(check int) "stats.rejected" rejected st.S.rejected
+  Alcotest.(check int) "stats.rejected_full" rejected st.S.rejected_full
 
 let test_server_summary_counts () =
   let server, records = collecting_server () in
@@ -452,7 +462,7 @@ let test_server_summary_counts () =
     (S.submit server
        { Job.default with
          Job.id = "boom"; source;
-         chaos = Some { Job.kind = `Nan; task = 0; round = 1; count = 64 } });
+         chaos = Some { Job.kind = `Nan; task = 0; round = 1; count = 64; attempts = 0 } });
   let summary = S.drain server in
   Alcotest.(check (option int)) "jobs" (Some 2) (int_field summary "jobs");
   Alcotest.(check (option int)) "ok" (Some 1) (int_field summary "ok");
@@ -580,7 +590,8 @@ let test_server_duplicate_id () =
     [ "invalid"; "ok" ] dup_statuses;
   let st = S.stats server in
   Alcotest.(check int) "two accepted jobs" 2 st.S.submitted;
-  Alcotest.(check int) "duplicate is not a rejection" 0 st.S.rejected
+  Alcotest.(check int) "duplicate is not a rejection" 0
+    (st.S.rejected_full + st.S.rejected_quota + st.S.rejected_deadline)
 
 let test_server_drain_idempotent () =
   let server, records = collecting_server () in
@@ -727,6 +738,522 @@ let test_server_bitwise_across_executor_counts () =
   Alcotest.(check (list (pair string string)))
     "finals identical across executor counts" one four
 
+(* ---------- admission control: tenant quotas & deadline ordering ---------- *)
+
+let test_queue_deadline_ordering () =
+  (* Within a priority the earliest absolute deadline pops first;
+     priority still dominates; no deadline sorts last (infinity). *)
+  let q = Q.create ~capacity:8 () in
+  List.iter
+    (fun (dl, x) ->
+      Alcotest.(check bool) "accepted" true
+        (Q.submit ~deadline:dl q ~priority:0 x = `Ok))
+    [ (5., "b"); (1., "a"); (Float.infinity, "c") ];
+  Alcotest.(check bool) "accepted" true (Q.submit q ~priority:1 "p" = `Ok);
+  Q.close q;
+  let rec drain acc =
+    match Q.pop q with Some x -> drain (x :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list string)) "priority, then earliest deadline, then fifo"
+    [ "p"; "a"; "b"; "c" ] (drain [])
+
+let test_queue_tenant_queued_quota () =
+  let q = Q.create ~max_queued_per_tenant:2 ~capacity:8 () in
+  Alcotest.(check bool) "first accepted" true
+    (Q.submit ~tenant:"t" q ~priority:0 "a" = `Ok);
+  Alcotest.(check bool) "second accepted" true
+    (Q.submit ~tenant:"t" q ~priority:0 "b" = `Ok);
+  Alcotest.(check bool) "third shed as over-quota" true
+    (Q.submit ~tenant:"t" q ~priority:9 "c" = `Rejected_quota);
+  Alcotest.(check bool) "other tenant unaffected" true
+    (Q.submit ~tenant:"u" q ~priority:0 "d" = `Ok);
+  Alcotest.(check bool) "force bypasses the quota" true
+    (Q.submit ~tenant:"t" ~force:true q ~priority:0 "e" = `Ok);
+  Alcotest.(check int) "tenant t queued" 3 (Q.queued_for q ~tenant:"t");
+  (* popping one of t's entries does not open a slot while still at
+     quota (force pushed it one over) *)
+  Alcotest.(check bool) "pop returns t's oldest" true (Q.pop q = Some "a");
+  Alcotest.(check bool) "still at quota after one pop" true
+    (Q.submit ~tenant:"t" q ~priority:0 "f" = `Rejected_quota);
+  Alcotest.(check bool) "capacity shedding still reported as full" true
+    (let q2 = Q.create ~max_queued_per_tenant:8 ~capacity:1 () in
+     ignore (Q.submit ~tenant:"t" q2 ~priority:0 "x");
+     Q.submit ~tenant:"t" q2 ~priority:0 "y" = `Rejected_full)
+
+let test_queue_tenant_running_quota () =
+  let q = Q.create ~max_running_per_tenant:1 ~capacity:8 () in
+  Alcotest.(check bool) "accepted" true
+    (Q.submit ~tenant:"t" q ~priority:5 "t1" = `Ok);
+  Alcotest.(check bool) "accepted" true
+    (Q.submit ~tenant:"t" q ~priority:5 "t2" = `Ok);
+  Alcotest.(check bool) "accepted" true
+    (Q.submit ~tenant:"u" q ~priority:0 "u1" = `Ok);
+  Alcotest.(check bool) "best entry pops first" true (Q.pop q = Some "t1");
+  (* t is saturated: its higher-priority t2 is skipped for u's job *)
+  Alcotest.(check bool) "saturated tenant skipped for next-best" true
+    (Q.pop q = Some "u1");
+  Alcotest.(check int) "t running" 1 (Q.running_for q ~tenant:"t");
+  Q.finished q ~tenant:"u";
+  (* only t2 remains and t still holds its running slot: a consumer
+     must block until [finished] releases it *)
+  let popped = Atomic.make None in
+  let d = Domain.spawn (fun () -> Atomic.set popped (Some (Q.pop q))) in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "pop blocks while tenant saturated" true
+    (Atomic.get popped = None);
+  Q.finished q ~tenant:"t";
+  wait_for "blocked pop released by finished" (fun () ->
+      Atomic.get popped <> None);
+  Domain.join d;
+  Alcotest.(check bool) "released pop yields the skipped job" true
+    (Atomic.get popped = Some (Some "t2"))
+
+let test_server_tenant_quota () =
+  (* One executor pinned by a long job; tenant t1 may queue one more.
+     Its second queued job sheds as rejected_quota while tenant t2
+     still gets in. *)
+  let config = { S.default_config with S.max_queued_per_tenant = 1 } in
+  let server, records = collecting_server ~config () in
+  let source = decay "1.0" "2.0" in
+  let long =
+    { Job.default with
+      Job.id = "long"; tenant = "t1"; source; solver = Job.Rk4 (Some 1e-8) }
+  in
+  (match S.submit server long with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "long refused");
+  wait_for "executor picked up the long job" (fun () ->
+      (MC.stats (S.cache server)).MC.compiles >= 1);
+  (match
+     S.submit server { Job.default with Job.id = "q1"; tenant = "t1"; source }
+   with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "q1 refused");
+  (match
+     S.submit server { Job.default with Job.id = "q2"; tenant = "t1"; source }
+   with
+  | `Rejected status ->
+      Alcotest.(check string) "tenant-quota shed status" "rejected_quota"
+        status
+  | _ -> Alcotest.fail "expected q2 shed over tenant quota");
+  (match
+     S.submit server { Job.default with Job.id = "q3"; tenant = "t2"; source }
+   with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "other tenant must be unaffected");
+  S.cancel server ~job:"long" ~reason:"quota witnessed";
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "q1 completed" (Some "ok")
+    (status_of rs "q1");
+  Alcotest.(check (option string)) "q2 shed" (Some "rejected_quota")
+    (status_of rs "q2");
+  Alcotest.(check (option string)) "q3 completed" (Some "ok")
+    (status_of rs "q3");
+  Alcotest.(check int) "stats.rejected_quota" 1
+    (S.stats server).S.rejected_quota
+
+let test_server_deadline_shed () =
+  (* An absurd deadline margin makes any model with a recorded run-time
+     estimate miss any finite deadline: the second job for the same
+     model sheds before entering the queue.  Models without an estimate
+     are never shed (no data, no prediction). *)
+  let config = { S.default_config with S.deadline_margin = 1e12 } in
+  let server, records = collecting_server ~config () in
+  let source = decay "1.0" "2.0" in
+  ignore (S.submit server { Job.default with Job.id = "warm"; source });
+  wait_for "warm job recorded a run-time estimate" (fun () ->
+      status_of (records ()) "warm" <> None);
+  (match
+     S.submit server
+       { Job.default with Job.id = "doomed"; source; deadline_s = 0.5 }
+   with
+  | `Rejected status ->
+      Alcotest.(check string) "deadline shed status" "rejected_deadline"
+        status
+  | _ -> Alcotest.fail "expected the doomed job shed");
+  (match
+     S.submit server
+       { Job.default with
+         Job.id = "nodl"; source (* no deadline: margin never applies *) }
+   with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "deadline-free job must not be shed");
+  (match
+     S.submit server
+       { Job.default with
+         Job.id = "unseen"; source = decay "2.0" "1.0"; deadline_s = 0.5 }
+   with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "unseen model must not be shed");
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "doomed shed" (Some "rejected_deadline")
+    (status_of rs "doomed");
+  Alcotest.(check (option string)) "deadline-free ran" (Some "ok")
+    (status_of rs "nodl");
+  Alcotest.(check int) "stats.rejected_deadline" 1
+    (S.stats server).S.rejected_deadline
+
+(* ---------- write-ahead journal ---------- *)
+
+let tmp_journal () =
+  let path = Filename.temp_file "om_serve_test" ".journal" in
+  Sys.remove path;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_journal f =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let jspec id = { Job.default with Job.id = id; source = decay "1.0" "2.0" }
+
+let test_journal_replay_roundtrip () =
+  with_journal (fun path ->
+      Alcotest.(check bool) "missing file replays empty" true
+        (match Jr.replay path with
+        | Ok r -> r.Jr.pending = [] && r.Jr.accepted = 0 && not r.Jr.torn_tail
+        | Error _ -> false);
+      let j = Jr.open_append path in
+      let s1 = jspec "j1" and s2 = jspec "j2" and s3 = jspec "j3" in
+      ignore (Jr.record_accept j s1);
+      ignore (Jr.record_accept j s2);
+      let seq3 = Jr.record_accept j s3 in
+      Alcotest.(check int) "sequence numbers are monotonic" 3 seq3;
+      Jr.record_state j ~id:"j1" ~attempt:1 "running";
+      Jr.record_state j ~id:"j1" ~status:"ok" "done";
+      Jr.record_state j ~id:"j2" ~attempt:1 "running";
+      Jr.record_state j ~id:"j2" ~attempt:1 ~delay_s:0.05 "retrying";
+      Jr.await_durable j seq3;
+      Jr.close j;
+      match Jr.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check int) "accepted" 3 r.Jr.accepted;
+          Alcotest.(check int) "completed" 1 r.Jr.completed;
+          Alcotest.(check int) "failed" 0 r.Jr.failed;
+          Alcotest.(check bool) "no torn tail" false r.Jr.torn_tail;
+          (* retrying j2 and untouched j3 are pending, in accept order,
+             with their full specs reconstructed bit-for-bit *)
+          Alcotest.(check bool) "pending specs reconstructed" true
+            (r.Jr.pending = [ s2; s3 ]))
+
+let test_journal_torn_tail_ignored () =
+  (* A crash mid-append leaves a final line without the newline: replay
+     must ignore exactly that fragment and keep everything before it. *)
+  with_journal (fun path ->
+      let j = Jr.open_append path in
+      ignore (Jr.record_accept j (jspec "keep"));
+      Jr.close j;
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc {|{"rec":"accept","job":{"id":"to|};
+      close_out oc;
+      (match Jr.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check bool) "torn tail flagged" true r.Jr.torn_tail;
+          Alcotest.(check int) "fragment not counted" 1 r.Jr.accepted;
+          Alcotest.(check bool) "intact job still pending" true
+            (match r.Jr.pending with
+            | [ s ] -> s.Job.id = "keep"
+            | _ -> false));
+      (* re-opening for append after a torn tail starts a fresh line:
+         the journal self-heals on the next record *)
+      let j2 = Jr.open_append path in
+      ignore (Jr.record_accept j2 (jspec "after"));
+      Jr.close j2;
+      match Jr.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check int) "healed journal counts both" 2 r.Jr.accepted)
+
+let test_journal_malformed_rejected () =
+  (* Unlike a torn tail, a complete-but-corrupt line anywhere is a real
+     integrity failure: replay refuses rather than silently dropping
+     jobs. *)
+  let expect_error what lines =
+    with_journal (fun path ->
+        let oc = open_out_bin path in
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+        close_out oc;
+        match Jr.replay path with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail (what ^ ": expected replay to refuse"))
+  in
+  let accept =
+    J.to_string (J.Obj [ ("rec", J.Str "accept"); ("job", Job.to_json (jspec "a")) ])
+  in
+  expect_error "garbage line" [ accept; "not json at all" ];
+  expect_error "unknown record kind" [ accept; {|{"rec":"mystery"}|} ];
+  expect_error "state for unaccepted id"
+    [ accept; {|{"rec":"state","id":"ghost","state":"done"}|} ];
+  expect_error "accept without a job" [ {|{"rec":"accept"}|} ]
+
+let test_server_journal_lifecycle () =
+  (* A journaled run writes accept → running → done for a clean job and
+     accept → running → retrying → requeued → running → done for a
+     flaky one; replay after drain finds nothing pending. *)
+  with_journal (fun path ->
+      let journal = Jr.open_append path in
+      let config = { S.default_config with S.retry_backoff_s = 0. } in
+      let server, records = collecting_server ~config ~journal () in
+      let source = decay "1.0" "2.0" in
+      ignore (S.submit server { Job.default with Job.id = "clean"; source });
+      ignore
+        (S.submit server
+           { Job.default with
+             Job.id = "flaky"; source; retries = 1;
+             chaos =
+               Some { Job.kind = `Nan; task = 0; round = 1; count = 64; attempts = 1 } });
+      ignore (S.drain server);
+      let rs = records () in
+      Alcotest.(check (option string)) "clean ok" (Some "ok")
+        (status_of rs "clean");
+      Alcotest.(check (option string)) "flaky converged" (Some "ok")
+        (status_of rs "flaky");
+      (match Jr.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check int) "both accepted" 2 r.Jr.accepted;
+          Alcotest.(check int) "both completed" 2 r.Jr.completed;
+          Alcotest.(check bool) "nothing pending after drain" true
+            (r.Jr.pending = []));
+      let raw = read_file path in
+      let has s =
+        let n = String.length s and m = String.length raw in
+        let rec scan i = i + n <= m && (String.sub raw i n = s || scan (i + 1)) in
+        scan 0
+      in
+      List.iter
+        (fun (what, fragment) ->
+          Alcotest.(check bool) what true (has fragment))
+        [
+          ("retry transition journaled", {|"state":"retrying"|});
+          ("re-enqueue journaled", {|"state":"requeued"|});
+          ("second attempt journaled", {|"attempt":2|});
+          ("terminal status journaled", {|"status":"ok"|});
+        ])
+
+let test_server_crash_recovery_bitwise () =
+  (* The recovery contract end to end: a journal holding an accept with
+     no terminal is replayed into a fresh server, runs exactly once and
+     streams the same bytes a clean run streams. *)
+  let spec = { (jspec "r1") with Job.chunk = 150 } in
+  let job_records rs =
+    List.filter_map
+      (fun r ->
+        match (str_field r "type", str_field r "job") with
+        | Some ("chunk" | "status"), Some "r1" -> Some (J.to_string r)
+        | _ -> None)
+      rs
+  in
+  (* clean reference run, no journal *)
+  let clean_server, clean_records = collecting_server () in
+  ignore (S.submit clean_server spec);
+  ignore (S.drain clean_server);
+  let reference = job_records (clean_records ()) in
+  Alcotest.(check int) "reference streamed chunks and a status" 4
+    (List.length reference);
+  with_journal (fun path ->
+      (* simulate the crash: accept journaled, process died before any
+         state transition *)
+      let j = Jr.open_append path in
+      ignore (Jr.record_accept j spec);
+      Jr.close j;
+      let replay =
+        match Jr.replay path with Ok r -> r | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check bool) "crashed job pending" true
+        (replay.Jr.pending = [ spec ]);
+      (* restart: same journal file, recover, drain *)
+      let journal = Jr.open_append path in
+      let server, records = collecting_server ~journal () in
+      Alcotest.(check int) "one job recovered" 1 (S.recover server replay);
+      ignore (S.drain server);
+      let rs = records () in
+      Alcotest.(check (option string)) "recovered job completed" (Some "ok")
+        (status_of rs "r1");
+      Alcotest.(check int) "exactly one terminal status" 1
+        (List.length (List.filter (fun (id, _) -> id = "r1") (statuses rs)));
+      Alcotest.(check (list string)) "recovered stream bitwise equal"
+        reference (job_records rs);
+      Alcotest.(check int) "stats.recovered" 1 (S.stats server).S.recovered;
+      (* a second replay of the same journal finds nothing to redo *)
+      match Jr.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check bool) "journal now complete" true
+            (r.Jr.pending = [] && r.Jr.completed = 1 && r.Jr.accepted = 1))
+
+(* ---------- retry / backoff ---------- *)
+
+let retry_config = { S.default_config with S.retry_backoff_s = 0. }
+
+let status_record rs id =
+  List.find
+    (fun r -> str_field r "type" = Some "status" && str_field r "job" = Some id)
+    rs
+
+let test_server_retry_converges_bitwise () =
+  (* Chaos on attempt 1 only: the retry runs clean, the job converges
+     to ok on attempt 2 and its final state matches an undisturbed
+     run of the same model bit for bit. *)
+  let server, records = collecting_server ~config:retry_config () in
+  let source = decay "1.0" "2.0" in
+  ignore
+    (S.submit server
+       { Job.default with
+         Job.id = "flaky"; source; retries = 1;
+         chaos =
+           Some { Job.kind = `Nan; task = 0; round = 1; count = 64; attempts = 1 } });
+  ignore (S.submit server { Job.default with Job.id = "witness"; source });
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "flaky converged" (Some "ok")
+    (status_of rs "flaky");
+  let flaky = status_record rs "flaky" in
+  Alcotest.(check (option int)) "succeeded on attempt 2" (Some 2)
+    (int_field flaky "attempts");
+  let retries =
+    List.filter (fun r -> str_field r "type" = Some "retry") rs
+  in
+  Alcotest.(check int) "one retry record emitted" 1 (List.length retries);
+  (match retries with
+  | [ r ] ->
+      Alcotest.(check (option string)) "retry names the job" (Some "flaky")
+        (str_field r "job");
+      Alcotest.(check (option int)) "retry names the attempt" (Some 1)
+        (int_field r "attempt")
+  | _ -> ());
+  Alcotest.(check bool) "retried final bitwise equals clean final" true
+    (J.member flaky "final" = J.member (status_record rs "witness") "final");
+  Alcotest.(check bool) "witness has no attempts field" true
+    (int_field (status_record rs "witness") "attempts" = None);
+  Alcotest.(check int) "stats.retried" 1 (S.stats server).S.retried
+
+let test_server_retry_budget_exhausted () =
+  (* Chaos on every attempt: retries stop at the budget, the job fails
+     terminally with the full attempt count on record. *)
+  let server, records = collecting_server ~config:retry_config () in
+  let source = decay "1.0" "1.0" in
+  ignore
+    (S.submit server
+       { Job.default with
+         Job.id = "doomed"; source; retries = 2;
+         chaos =
+           Some { Job.kind = `Nan; task = 0; round = 1; count = 64; attempts = 0 } });
+  (* a model error is not transient: never retried whatever the budget *)
+  ignore
+    (S.submit server
+       { Job.default with Job.id = "bad"; source = "not a model"; retries = 3 });
+  ignore (S.drain server);
+  let rs = records () in
+  Alcotest.(check (option string)) "budget exhausted fails terminally"
+    (Some "solver_failure")
+    (status_of rs "doomed");
+  Alcotest.(check (option int)) "all three attempts on record" (Some 3)
+    (int_field (status_record rs "doomed") "attempts");
+  Alcotest.(check int) "exactly one terminal status" 1
+    (List.length (List.filter (fun (id, _) -> id = "doomed") (statuses rs)));
+  Alcotest.(check (option string)) "model error terminal immediately"
+    (Some "model_error")
+    (status_of rs "bad");
+  Alcotest.(check bool) "model error never retried" true
+    (int_field (status_record rs "bad") "attempts" = None);
+  Alcotest.(check int) "stats.retried counts both transitions" 2
+    (S.stats server).S.retried
+
+(* ---------- result cache ---------- *)
+
+let test_result_cache_unit () =
+  (* LRU over abstract values, plus the key discipline: float inputs
+     enter the key as IEEE bit patterns, so nearby-but-distinct values
+     never collide. *)
+  let c = RC.create 2 in
+  let k1 = RC.key ~source_key:"s" ~solver:(Job.Rk4 (Some 0.1)) ~tend:1.0 in
+  let k2 =
+    RC.key ~source_key:"s" ~solver:(Job.Rk4 (Some 0.1000000000000001)) ~tend:1.0
+  in
+  let k3 = RC.key ~source_key:"s" ~solver:Job.Rkf45 ~tend:1.0 in
+  Alcotest.(check bool) "nearby step sizes get distinct keys" true (k1 <> k2);
+  Alcotest.(check bool) "solvers get distinct keys" true (k1 <> k3);
+  Alcotest.(check string) "keys are deterministic" k1
+    (RC.key ~source_key:"s" ~solver:(Job.Rk4 (Some 0.1)) ~tend:1.0);
+  RC.store c k1 1;
+  RC.store c k2 2;
+  Alcotest.(check (option int)) "hit" (Some 1) (RC.lookup c k1);
+  RC.store c k3 3 (* k2 is now least-recent: evicted *);
+  Alcotest.(check (option int)) "evicted" None (RC.lookup c k2);
+  Alcotest.(check (option int)) "survivor" (Some 1) (RC.lookup c k1);
+  let hits, misses, entries = RC.stats c in
+  Alcotest.(check int) "hits" 2 hits;
+  Alcotest.(check int) "misses" 1 misses;
+  Alcotest.(check int) "entries" 2 entries;
+  (* capacity 0 disables without counting *)
+  let off = RC.create 0 in
+  RC.store off k1 1;
+  Alcotest.(check (option int)) "disabled never hits" None (RC.lookup off k1);
+  Alcotest.(check bool) "disabled counts nothing" true
+    (RC.stats off = (0, 0, 0))
+
+let test_server_result_cache_hit_bitwise () =
+  (* Two identical jobs: the second is answered from the result cache —
+     witnessed by the status field and the hit counter — and streams
+     exactly the bytes the first streamed.  A different tend misses. *)
+  let config = { S.default_config with S.result_cache_capacity = 4 } in
+  let server, records = collecting_server ~config () in
+  let source = decay "1.0" "2.0" in
+  let mk id = { Job.default with Job.id = id; source; chunk = 150 } in
+  ignore (S.submit server (mk "c1"));
+  ignore (S.drain server);
+  let rs1 = records () in
+  Alcotest.(check (option string)) "first computed" (Some "ok")
+    (status_of rs1 "c1");
+  Alcotest.(check bool) "first is not a cache hit" true
+    (str_field (status_record rs1 "c1") "result_cache" = None);
+  let server2, records2 = collecting_server ~config () in
+  ignore (S.submit server2 (mk "c1"));
+  ignore (S.submit server2 (mk "c2"));
+  ignore (S.submit server2 { (mk "c3") with Job.tend = 0.5 });
+  ignore (S.drain server2);
+  let rs = records2 () in
+  List.iter
+    (fun id ->
+      Alcotest.(check (option string)) (id ^ " ok") (Some "ok")
+        (status_of rs id))
+    [ "c1"; "c2"; "c3" ];
+  Alcotest.(check (option string)) "second job answered from cache"
+    (Some "hit")
+    (str_field (status_record rs "c2") "result_cache");
+  Alcotest.(check bool) "different tend misses" true
+    (str_field (status_record rs "c3") "result_cache" = None);
+  let hits, misses, entries = S.result_cache_stats server2 in
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "two misses" 2 misses;
+  Alcotest.(check int) "two entries" 2 entries;
+  let stream id =
+    List.filter_map
+      (fun r ->
+        match (str_field r "type", str_field r "job") with
+        | Some "chunk", Some j when j = id ->
+            Option.map J.to_string (J.member r "rows")
+        | Some "status", Some j when j = id ->
+            Option.map J.to_string (J.member r "final")
+        | _ -> None)
+      rs
+  in
+  Alcotest.(check (list string)) "hit streams the computed bytes"
+    (stream "c1") (stream "c2")
+
 let () =
   Alcotest.run "om_serve"
     [
@@ -794,5 +1321,45 @@ let () =
             test_server_executors_overlap_same_model;
           Alcotest.test_case "bitwise identity across executor counts" `Quick
             test_server_bitwise_across_executor_counts;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "deadline ordering" `Quick
+            test_queue_deadline_ordering;
+          Alcotest.test_case "tenant queued quota" `Quick
+            test_queue_tenant_queued_quota;
+          Alcotest.test_case "tenant running quota" `Quick
+            test_queue_tenant_running_quota;
+          Alcotest.test_case "server tenant quota" `Quick
+            test_server_tenant_quota;
+          Alcotest.test_case "deadline-aware shedding" `Quick
+            test_server_deadline_shed;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "replay roundtrip" `Quick
+            test_journal_replay_roundtrip;
+          Alcotest.test_case "torn tail ignored" `Quick
+            test_journal_torn_tail_ignored;
+          Alcotest.test_case "malformed rejected" `Quick
+            test_journal_malformed_rejected;
+          Alcotest.test_case "journaled server lifecycle" `Quick
+            test_server_journal_lifecycle;
+          Alcotest.test_case "crash recovery bitwise" `Quick
+            test_server_crash_recovery_bitwise;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "converges bitwise" `Quick
+            test_server_retry_converges_bitwise;
+          Alcotest.test_case "budget exhausted" `Quick
+            test_server_retry_budget_exhausted;
+        ] );
+      ( "results",
+        [
+          Alcotest.test_case "lru and key discipline" `Quick
+            test_result_cache_unit;
+          Alcotest.test_case "hit bitwise, counters" `Quick
+            test_server_result_cache_hit_bitwise;
         ] );
     ]
